@@ -1,0 +1,19 @@
+"""Shared benchmark fixtures and report-printing helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_report(title: str, lines: list[str]) -> None:
+    """Print one experiment's reproduction rows, clearly delimited."""
+    bar = "=" * 74
+    print(f"\n{bar}\n{title}\n{bar}")
+    for line in lines:
+        print(line)
+    print(bar)
+
+
+@pytest.fixture(scope="session")
+def report_printer():
+    return print_report

@@ -1,0 +1,52 @@
+"""D2.5c — Fact checking: verdict accuracy by ranker.
+
+Claims about a table are verified end-to-end; the comparison is the
+keyword ranker vs the fine-tuned LM ranker (AggChecker's neural
+component).
+
+Expected shape: the LM ranker dominates on paraphrased claims, lifting
+both interpretation accuracy and final verdict accuracy.
+"""
+
+import pytest
+
+from repro.factcheck import (
+    FactChecker,
+    KeywordRanker,
+    evaluate_checker,
+    generate_claim_workload,
+    train_lm_ranker,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    workload = generate_claim_workload(num_rows=40, num_claims=100, seed=0)
+    train, test = workload.split(test_fraction=0.3, seed=1)
+    ranker = train_lm_ranker(workload, train, steps=250, seed=0)
+    return workload, ranker, test
+
+
+def test_bench_factcheck(benchmark, report_printer, setup):
+    workload, lm_ranker, test = setup
+
+    keyword = evaluate_checker(FactChecker(workload, KeywordRanker()), test)
+    lm = benchmark.pedantic(
+        evaluate_checker,
+        args=(FactChecker(workload, lm_ranker), test),
+        rounds=1, iterations=1,
+    )
+
+    report_printer(
+        "D2.5c: claim verification against relational data",
+        [
+            f"{'ranker':<18}{'verdict acc':>13}{'interpretation acc':>20}",
+            f"{'keyword':<18}{keyword['verdict_accuracy']:>13.2f}"
+            f"{keyword['interpretation_accuracy']:>20.2f}",
+            f"{'fine-tuned LM':<18}{lm['verdict_accuracy']:>13.2f}"
+            f"{lm['interpretation_accuracy']:>20.2f}",
+        ],
+    )
+    assert lm["interpretation_accuracy"] >= keyword["interpretation_accuracy"]
+    assert lm["verdict_accuracy"] >= keyword["verdict_accuracy"]
+    assert lm["verdict_accuracy"] >= 0.85

@@ -1,0 +1,39 @@
+"""FIG1 — Figure 1: evolution of parameter counts in language models.
+
+Regenerates the paper's only figure from architecture formulas and
+verifies its qualitative shape: monotone-in-time growth trend spanning
+more than three orders of magnitude, every computed count within the
+documented tolerance of the published one.
+"""
+
+from repro.figures import (
+    figure1_points,
+    growth_orders_of_magnitude,
+    render_figure1_ascii,
+)
+
+
+def test_bench_figure1(benchmark, report_printer):
+    points = benchmark(figure1_points)
+
+    lines = [render_figure1_ascii(), ""]
+    lines.append(f"{'model':<14}{'year':>7}{'computed':>12}{'published':>12}{'error':>8}")
+    for point in points:
+        lines.append(
+            f"{point.name:<14}{point.year:>7.1f}"
+            f"{point.estimated_params / 1e9:>11.2f}B"
+            f"{point.published_params / 1e9:>11.1f}B"
+            f"{point.relative_error:>8.1%}"
+        )
+    lines.append("")
+    lines.append(
+        f"growth across the timeline: 10^{growth_orders_of_magnitude():.2f}"
+    )
+    report_printer("FIG1: parameter-count evolution (computed from architectures)", lines)
+
+    # Shape assertions (the paper's log-scale growth story).
+    assert len(points) == 11
+    assert growth_orders_of_magnitude() > 3.0
+    early = [p for p in points if p.year < 2019.5]
+    late = [p for p in points if p.year > 2021.5]
+    assert max(p.estimated_params for p in early) < min(p.estimated_params for p in late)

@@ -1,0 +1,171 @@
+"""D2.3 — Fine-tuning vs prompting: accuracy as labels grow.
+
+The tutorial's Section 2.3 story: prompting needs no weight updates and
+works from a handful of in-context examples, while fine-tuning uses
+labeled data to specialize the model. We sweep the number of labeled
+examples for fine-tuning and the number of in-context shots for
+prompting on the same classification task.
+
+Expected shape: fine-tuning improves with more labels and dominates at
+the high-label end; at our (tiny) model scale prompting stays near its
+few-shot plateau — the paper's point that in-context learning *emerges
+with scale* is reproduced from the other side: it is weak when the
+model is small.
+"""
+
+import pytest
+
+from repro.models import SequenceClassifier
+from repro.prompting import FewShotPrompt, PromptClassifier, PromptTemplate
+from repro.tokenizers import WhitespaceTokenizer
+from repro.training import (
+    LabeledExample,
+    evaluate_classifier,
+    finetune_classifier,
+    pretrain_clm,
+    pretrain_mlm,
+)
+from repro.models import BERTModel, GPTModel, ModelConfig
+from repro.utils.corpus import synthetic_db_corpus
+from repro.utils.rng import SeededRNG
+
+# The task: does the sentence talk about rows (1) or columns (0)?
+POSITIVE_OBJECT, NEGATIVE_OBJECT = "rows", "columns"
+
+
+def make_examples(n: int, seed: int) -> list:
+    rng = SeededRNG(seed)
+    subjects = ["the database", "the table", "the index", "the engine"]
+    verbs = ["stores", "scans", "returns", "caches"]
+    adjectives = ["large", "small", "sorted", "cached"]
+    examples = []
+    for i in range(n):
+        label = i % 2
+        obj = POSITIVE_OBJECT if label else NEGATIVE_OBJECT
+        text = f"{rng.choice(subjects)} {rng.choice(verbs)} {rng.choice(adjectives)} {obj} ."
+        examples.append(LabeledExample(text=text, label=label))
+    return examples
+
+
+@pytest.fixture(scope="module")
+def setup():
+    corpus = synthetic_db_corpus(num_docs=80, seed=7)
+    tokenizer = WhitespaceTokenizer(lowercase=True)
+    tokenizer.train(corpus, vocab_size=512)
+    bert = BERTModel(
+        ModelConfig.tiny(vocab_size=tokenizer.vocab_size, causal=False), seed=0
+    )
+    pretrain_mlm(bert, tokenizer, corpus, steps=60, seed=0)
+    gpt = GPTModel(ModelConfig.tiny(vocab_size=tokenizer.vocab_size), seed=0)
+    pretrain_clm(gpt, tokenizer, corpus, steps=60, seed=0)
+    test = make_examples(40, seed=999)
+    return tokenizer, bert, gpt, test
+
+
+def finetune_accuracy(tokenizer, bert, test, num_labels, seed=0):
+    classifier = SequenceClassifier(bert, num_classes=2, seed=seed)
+    train = make_examples(num_labels, seed=5)
+    finetune_classifier(classifier, tokenizer, train, epochs=8, lr=2e-3, seed=seed)
+    return evaluate_classifier(classifier, tokenizer, test)
+
+
+def prompt_accuracy(tokenizer, gpt, test, shots, seed=0, calibrated=False):
+    template = PromptTemplate("sentence : {text}")
+    prompt = FewShotPrompt(template, instructions="", answer_prefix="topic :")
+    for example in make_examples(max(shots, 1) * 2, seed=5)[: shots]:
+        prompt.add_example(
+            POSITIVE_OBJECT if example.label else NEGATIVE_OBJECT, text=example.text
+        )
+    classifier = PromptClassifier(
+        gpt, tokenizer, prompt,
+        verbalizers={0: NEGATIVE_OBJECT, 1: POSITIVE_OBJECT},
+    )
+    if calibrated:
+        classifier.calibrate()
+    hits = sum(
+        classifier.predict(text=example.text) == example.label for example in test
+    )
+    return hits / len(test)
+
+
+def test_bench_finetune_vs_prompt(benchmark, report_printer, setup):
+    tokenizer, bert, gpt, test = setup
+
+    label_counts = [4, 16, 64]
+    finetuned = {
+        n: finetune_accuracy(tokenizer, bert, test, n) for n in label_counts
+    }
+    shot_counts = [0, 1, 4]
+    prompted = {
+        k: benchmark.pedantic(
+            prompt_accuracy, args=(tokenizer, gpt, test, k), rounds=1, iterations=1
+        ) if k == 4 else prompt_accuracy(tokenizer, gpt, test, k)
+        for k in shot_counts
+    }
+
+    calibrated = prompt_accuracy(tokenizer, gpt, test, 4, calibrated=True)
+
+    lines = [f"{'method':<24}{'supervision':>14}{'accuracy':>10}"]
+    for k in shot_counts:
+        lines.append(f"{'prompting':<24}{f'{k}-shot':>14}{prompted[k]:>10.2f}")
+    lines.append(
+        f"{'prompting + calibration':<24}{'4-shot':>14}{calibrated:>10.2f}"
+    )
+    for n in label_counts:
+        lines.append(f"{'fine-tuning':<24}{f'{n} labels':>14}{finetuned[n]:>10.2f}")
+    report_printer("D2.3: fine-tuning vs prompting", lines)
+
+    # Shapes: fine-tuning improves with labels and wins at the high end.
+    assert finetuned[64] >= finetuned[4]
+    assert finetuned[64] >= max(prompted.values())
+    assert finetuned[64] >= 0.9
+
+
+def test_bench_adapter_finetuning(benchmark, report_printer, setup):
+    """D2.3-ablation — parameter-efficient fine-tuning (Houlsby [28]).
+
+    Full fine-tuning vs LoRA-style adapters on the same task: adapters
+    train a small fraction of the parameters at comparable accuracy.
+    """
+    from repro.models import BERTModel
+    from repro.training import inject_adapters, trainable_parameter_count
+    from repro.training import pretrain_mlm
+    from repro.models import ModelConfig
+
+    tokenizer, _, _, test = setup
+    corpus = synthetic_db_corpus(num_docs=80, seed=7)
+
+    def build_backbone():
+        backbone = BERTModel(
+            ModelConfig.tiny(vocab_size=tokenizer.vocab_size, causal=False), seed=0
+        )
+        pretrain_mlm(backbone, tokenizer, corpus, steps=60, seed=0)
+        return backbone
+
+    def run(adapted: bool):
+        backbone = build_backbone()
+        classifier = SequenceClassifier(backbone, num_classes=2, seed=0)
+        if adapted:
+            inject_adapters(backbone, rank=2, seed=0)
+        trainable = trainable_parameter_count(classifier)
+        train = make_examples(64, seed=5)
+        finetune_classifier(classifier, tokenizer, train, epochs=8, lr=3e-3, seed=0)
+        return trainable, evaluate_classifier(classifier, tokenizer, test)
+
+    full_trainable, full_acc = run(adapted=False)
+    adapter_trainable, adapter_acc = benchmark.pedantic(
+        run, args=(True,), rounds=1, iterations=1
+    )
+
+    report_printer(
+        "D2.3-ablation: full fine-tuning vs LoRA adapters (64 labels)",
+        [
+            f"{'method':<16}{'trainable params':>18}{'accuracy':>10}",
+            f"{'full':<16}{full_trainable:>18,}{full_acc:>10.2f}",
+            f"{'adapters r=2':<16}{adapter_trainable:>18,}{adapter_acc:>10.2f}",
+            "",
+            f"parameter reduction: {full_trainable / adapter_trainable:.0f}x",
+        ],
+    )
+    assert adapter_trainable < full_trainable / 5
+    assert adapter_acc >= 0.8

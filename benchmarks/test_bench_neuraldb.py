@@ -1,0 +1,89 @@
+"""D2.5f — NeuralDB: accuracy by retriever and by fact-store size.
+
+Answers three query families (lookup, count, two-hop join) over a
+schema-free store of natural-language facts, comparing the lexical
+retriever, the untrained dense retriever, and the contrastively trained
+dense retriever.
+
+Expected shape: trained dense >= lexical >> untrained dense on the
+retrieval-bound families (lookup/join); accuracy degrades gracefully as
+the store grows.
+"""
+
+import pytest
+
+from repro.neuraldb import (
+    EmbeddingRetriever,
+    LexicalRetriever,
+    NeuralDatabase,
+    evaluate_neuraldb,
+    generate_fact_world,
+    train_reader,
+)
+from repro.neuraldb.facts import contrastive_pairs, training_qa_pairs
+
+
+@pytest.fixture(scope="module")
+def reader():
+    return train_reader(training_qa_pairs(seed=0, num_worlds=5), steps=250, seed=0)
+
+
+def test_bench_neuraldb_retrievers(benchmark, report_printer, reader):
+    world = generate_fact_world(num_people=12, seed=42)
+
+    lexical = NeuralDatabase(LexicalRetriever(world.facts), reader)
+    untrained = NeuralDatabase(
+        EmbeddingRetriever(world.facts, pretrain_steps=30, seed=0), reader
+    )
+    trained_retriever = EmbeddingRetriever(world.facts, pretrain_steps=30, seed=0)
+    trained_retriever.train_contrastive(
+        contrastive_pairs(seed=0, num_worlds=5), steps=120, seed=0
+    )
+    trained = NeuralDatabase(trained_retriever, reader)
+
+    reports = {
+        "lexical overlap": evaluate_neuraldb(lexical, world),
+        "dense, untrained": evaluate_neuraldb(untrained, world),
+        "dense, contrastive": benchmark.pedantic(
+            evaluate_neuraldb, args=(trained, world), rounds=1, iterations=1
+        ),
+    }
+    lines = [f"{'retriever':<20}{'lookup':>8}{'count':>7}{'join':>7}{'overall':>9}"]
+    for name, report in reports.items():
+        lines.append(
+            f"{name:<20}{report.lookup_accuracy:>8.2f}{report.count_accuracy:>7.2f}"
+            f"{report.join_accuracy:>7.2f}{report.overall():>9.2f}"
+        )
+    report_printer("D2.5f-i: NeuralDB accuracy by retriever", lines)
+
+    assert reports["dense, contrastive"].overall() >= reports["dense, untrained"].overall()
+    assert reports["dense, contrastive"].overall() >= 0.8
+    assert reports["dense, contrastive"].join_accuracy >= reports["lexical overlap"].join_accuracy
+
+
+def test_bench_neuraldb_scaling(benchmark, report_printer, reader):
+    lines = [f"{'facts':>6}{'lookup':>8}{'count':>7}{'join':>7}"]
+    overalls = []
+
+    def evaluate_size(num_people):
+        world = generate_fact_world(num_people=num_people, seed=42)
+        retriever = EmbeddingRetriever(world.facts, pretrain_steps=30, seed=0)
+        retriever.train_contrastive(
+            contrastive_pairs(seed=0, num_worlds=5), steps=100, seed=0
+        )
+        return world, evaluate_neuraldb(NeuralDatabase(retriever, reader), world)
+
+    for index, num_people in enumerate((6, 12, 16)):
+        if index == 0:
+            world, report = benchmark.pedantic(
+                evaluate_size, args=(num_people,), rounds=1, iterations=1
+            )
+        else:
+            world, report = evaluate_size(num_people)
+        overalls.append(report.overall())
+        lines.append(
+            f"{len(world.facts):>6}{report.lookup_accuracy:>8.2f}"
+            f"{report.count_accuracy:>7.2f}{report.join_accuracy:>7.2f}"
+        )
+    report_printer("D2.5f-ii: NeuralDB accuracy vs fact-store size", lines)
+    assert min(overalls) > 0.5

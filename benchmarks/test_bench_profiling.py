@@ -1,0 +1,59 @@
+"""D2.5h — NLP-enhanced profiling: correlations from column names [78, 87].
+
+Can a model predict which column pairs correlate, looking only at the
+names? Correlated pairs are named with *synonyms* (wage/pay,
+price/cost), so token overlap fails structurally while the LM learns
+the semantic clusters. The payoff metric is budgeted profiling: recall
+of measured correlations within a budget of actual data scans.
+"""
+
+import pytest
+
+from repro.profiling import (
+    TokenOverlapBaseline,
+    evaluate_predictor,
+    generate_schema_corpus,
+    profiling_recall_at_budget,
+    train_name_pair_classifier,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    train = generate_schema_corpus(num_schemas=16, seed=1)
+    test = generate_schema_corpus(num_schemas=8, seed=2)
+    classifier = train_name_pair_classifier(train.pairs, epochs=12, seed=0)
+    return test, classifier
+
+
+def test_bench_profiling(benchmark, report_printer, setup):
+    test, classifier = setup
+    baseline = TokenOverlapBaseline()
+
+    lm_metrics = benchmark.pedantic(
+        evaluate_predictor, args=(classifier, test.pairs), rounds=1, iterations=1
+    )
+    baseline_metrics = evaluate_predictor(baseline, test.pairs)
+
+    lines = [
+        f"{'predictor':<18}{'F1':>7}{'precision':>11}{'recall':>8}",
+        f"{'fine-tuned LM':<18}{lm_metrics['f1']:>7.2f}"
+        f"{lm_metrics['precision']:>11.2f}{lm_metrics['recall']:>8.2f}",
+        f"{'token overlap':<18}{baseline_metrics['f1']:>7.2f}"
+        f"{baseline_metrics['precision']:>11.2f}{baseline_metrics['recall']:>8.2f}",
+        "",
+        f"{'scan budget':<13}{'LM recall':>10}{'overlap recall':>16}",
+    ]
+    for budget in (6, 12, 24):
+        lm_recall, _ = profiling_recall_at_budget(classifier, test, test.pairs, budget)
+        base_recall, _ = profiling_recall_at_budget(baseline, test, test.pairs, budget)
+        lines.append(f"{budget:<13}{lm_recall:>10.2f}{base_recall:>16.2f}")
+    report_printer(
+        "D2.5h: correlation prediction from column names (profiling)", lines
+    )
+
+    assert lm_metrics["f1"] > baseline_metrics["f1"]
+    lm24, _ = profiling_recall_at_budget(classifier, test, test.pairs, 24)
+    base24, _ = profiling_recall_at_budget(baseline, test, test.pairs, 24)
+    assert lm24 > base24
+    assert lm24 >= 0.7

@@ -1,0 +1,72 @@
+"""D2.5g — LM operators in the engine: SQL with NL predicates.
+
+The second §2.5 thread: language models *inside* query processing
+(ThalamusDB-style NL predicates [32]; LM operators [74, 77]). Compares
+the LM-backed ``NL(column, 'description')`` operator against a keyword
+heuristic on retrieval quality, and shows the dictionary-evaluation
+strategy bounding classifier calls by distinct values, not rows.
+"""
+
+import pytest
+
+from repro.semantic import (
+    KeywordPredicate,
+    SemanticDatabase,
+    generate_review_table,
+    train_review_predicate,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    db, gold = generate_review_table(num_rows=40, seed=0)
+    predicate = train_review_predicate(epochs=8, seed=0)
+    return db, gold, predicate
+
+
+def scores(db, gold, predicate):
+    sdb = SemanticDatabase(db, predicate)
+    rows = sdb.execute(
+        "SELECT id FROM products WHERE NL(review, 'the review is positive')"
+    ).rows
+    predicted = {r[0] for r in rows}
+    gold_positive = {i for i, positive in gold.items() if positive}
+    if not predicted:
+        return 0.0, 0.0, 0.0, sdb.predicate_evaluations
+    precision = len(predicted & gold_positive) / len(predicted)
+    recall = len(predicted & gold_positive) / len(gold_positive)
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall else 0.0
+    )
+    return precision, recall, f1, sdb.predicate_evaluations
+
+
+def test_bench_semantic_operator(benchmark, report_printer, setup):
+    db, gold, lm_predicate = setup
+
+    lm_metrics = benchmark.pedantic(
+        scores, args=(db, gold, lm_predicate), rounds=1, iterations=1
+    )
+    keyword_metrics = scores(db, gold, KeywordPredicate())
+    distinct = db.execute("SELECT COUNT(DISTINCT review) FROM products").scalar()
+    total = db.execute("SELECT COUNT(*) FROM products").scalar()
+
+    report_printer(
+        "D2.5g: NL predicates in SQL (LM operators in the engine)",
+        [
+            "query: SELECT id FROM products WHERE NL(review, 'the review is positive')",
+            "",
+            f"{'predicate':<16}{'precision':>10}{'recall':>8}{'F1':>7}{'LM calls':>10}",
+            f"{'fine-tuned LM':<16}{lm_metrics[0]:>10.2f}{lm_metrics[1]:>8.2f}"
+            f"{lm_metrics[2]:>7.2f}{lm_metrics[3]:>10}",
+            f"{'keyword':<16}{keyword_metrics[0]:>10.2f}{keyword_metrics[1]:>8.2f}"
+            f"{keyword_metrics[2]:>7.2f}{keyword_metrics[3]:>10}",
+            "",
+            f"dictionary evaluation: {lm_metrics[3]} classifier calls for "
+            f"{total} rows ({distinct} distinct values)",
+        ],
+    )
+    assert lm_metrics[2] > keyword_metrics[2]
+    assert lm_metrics[2] >= 0.9
+    assert lm_metrics[3] <= distinct

@@ -1,0 +1,26 @@
+"""TAB1 — Table 1: tutorial organization, reproduced and made runnable.
+
+Prints the table verbatim (titles, durations, 90-minute total) and
+executes the live demonstration bound to each tutorial part.
+"""
+
+from repro.tutorial import (
+    TUTORIAL_PARTS,
+    render_table1,
+    run_tutorial,
+    total_duration_minutes,
+)
+
+
+def test_bench_table1(benchmark, report_printer):
+    outputs = benchmark.pedantic(run_tutorial, rounds=1, iterations=1)
+
+    lines = [render_table1(), "", "Live demonstrations:"]
+    for part in TUTORIAL_PARTS:
+        lines.append(f"  [{part.duration_minutes:>2} min] {part.title}")
+        lines.append(f"           {outputs[part.title]}")
+    report_printer("TAB1: tutorial organization (with live demos)", lines)
+
+    assert total_duration_minutes() == 90
+    assert len(outputs) == 7
+    assert all(outputs.values()) or outputs[TUTORIAL_PARTS[0].title] is not None

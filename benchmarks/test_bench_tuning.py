@@ -1,0 +1,69 @@
+"""D2.5d — Database tuning from manuals (DB-BERT style).
+
+Simulated-DBMS throughput under three configurations: the default, a
+config tuned with regex-extracted hints, and a config tuned with
+LM-extracted hints — swept over manual sizes (short manuals contain few
+transparently phrased hints, so the LM's paraphrase coverage matters
+most there).
+
+Expected shape: tuned >> default; LM-tuned >= regex-tuned, with the
+largest gap on short manuals.
+"""
+
+import pytest
+
+from repro.tuning import (
+    DBMSConfig,
+    RegexHintExtractor,
+    SimulatedDBMS,
+    Workload,
+    generate_manual,
+    train_lm_extractor,
+    tune,
+)
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    training_manual = generate_manual(num_sentences=140, seed=1)
+    return train_lm_extractor(training_manual, epochs=8, seed=0)
+
+
+def test_bench_tuning(benchmark, report_printer, extractor):
+    workload = Workload()
+    default_throughput = SimulatedDBMS(workload).throughput(DBMSConfig())
+
+    lines = [
+        f"{'manual size':<13}{'default':>9}{'regex-tuned':>13}{'LM-tuned':>10}"
+        f"{'regex hints':>13}{'LM hints':>10}"
+    ]
+    results = {}
+    for size in (12, 24, 60):
+        manual = generate_manual(num_sentences=size, seed=0)
+        regex_hints = RegexHintExtractor().extract(manual)
+        lm_hints = extractor.extract(manual)
+        regex_report = tune(SimulatedDBMS(workload), regex_hints)
+        lm_report = tune(SimulatedDBMS(workload), lm_hints)
+        results[size] = (regex_report, lm_report, len(regex_hints), len(lm_hints))
+        lines.append(
+            f"{size:<13}{default_throughput:>9.0f}"
+            f"{regex_report.final_throughput:>13.0f}"
+            f"{lm_report.final_throughput:>10.0f}"
+            f"{len(regex_hints):>13}{len(lm_hints):>10}"
+        )
+
+    def tuned_speedup():
+        manual = generate_manual(num_sentences=24, seed=0)
+        return tune(SimulatedDBMS(workload), extractor.extract(manual)).speedup
+
+    speedup = benchmark.pedantic(tuned_speedup, rounds=1, iterations=1)
+    lines.append("")
+    lines.append(f"LM-tuned speedup over default (24-sentence manual): {speedup:.1f}x")
+    report_printer("D2.5d: database tuning from the manual", lines)
+
+    for size, (regex_report, lm_report, _, _) in results.items():
+        assert lm_report.final_throughput >= regex_report.final_throughput
+        assert lm_report.final_throughput > default_throughput
+    # The paraphrase advantage is largest on short manuals.
+    short_regex, short_lm, _, _ = results[12]
+    assert short_lm.final_throughput >= short_regex.final_throughput

@@ -1,0 +1,168 @@
+"""D2.5b — Data wrangling: matching, error detection, imputation.
+
+Reproduces the wrangling comparison (classical baseline vs fine-tuned
+LM vs few-shot prompting) plus the serialization ablation from the
+DESIGN (attribute-tagged vs plain row rendering).
+
+Expected shape: the fine-tuned LM wins every task; few-shot prompting
+with a tiny model hovers near chance (in-context learning emerges with
+scale — see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.api import bootstrap_hub
+from repro.wrangle import (
+    FinetunedErrorDetector,
+    FinetunedImputer,
+    FinetunedMatcher,
+    MajorityImputer,
+    PromptMatcher,
+    RuleErrorDetector,
+    SimilarityMatcher,
+    evaluate_detector,
+    evaluate_imputer,
+    evaluate_matcher,
+    generate_error_dataset,
+    generate_imputation_dataset,
+    generate_matching_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def match_data():
+    pairs = generate_matching_dataset(num_pairs=240, seed=0)
+    return pairs[:180], pairs[180:]
+
+
+def test_bench_entity_matching(benchmark, report_printer, match_data):
+    train, test = match_data
+    similarity = SimilarityMatcher().fit(train)
+    finetuned = FinetunedMatcher(seed=0).fit(train, pretrain_steps=40, finetune_epochs=10)
+    hub = bootstrap_hub(seed=0, steps=40, corpus_docs=40)
+    gpt = hub.get("tiny-gpt")
+    prompting = PromptMatcher(gpt.model, gpt.tokenizer, shots=train[:4])
+
+    sim_metrics = evaluate_matcher(similarity, test)
+    ft_metrics = benchmark.pedantic(
+        evaluate_matcher, args=(finetuned, test), rounds=1, iterations=1
+    )
+    prompt_metrics = evaluate_matcher(prompting, test[:20])
+
+    lines = [f"{'matcher':<26}{'F1':>7}{'precision':>11}{'recall':>8}"]
+    for name, metrics in [
+        ("jaccard baseline", sim_metrics),
+        ("fine-tuned LM (alignment)", ft_metrics),
+        ("few-shot prompting (tiny)", prompt_metrics),
+    ]:
+        lines.append(
+            f"{name:<26}{metrics['f1']:>7.2f}"
+            f"{metrics['precision']:>11.2f}{metrics['recall']:>8.2f}"
+        )
+    report_printer("D2.5b-i: entity matching", lines)
+
+    assert ft_metrics["f1"] > sim_metrics["f1"]
+    assert ft_metrics["f1"] > 0.8
+
+
+def test_bench_serialization_ablation(benchmark, report_printer, match_data):
+    train, test = match_data
+
+    def run_style(style):
+        matcher = FinetunedMatcher(style=style, seed=0).fit(
+            train, pretrain_steps=40, finetune_epochs=10
+        )
+        return evaluate_matcher(matcher, test)["f1"]
+
+    results = {"attribute": benchmark.pedantic(
+        run_style, args=("attribute",), rounds=1, iterations=1
+    )}
+    results["plain"] = run_style("plain")
+    report_printer(
+        "D2.5b-ii: serialization ablation (Ditto design choice)",
+        [f"  {style:<12} F1={f1:.3f}" for style, f1 in results.items()],
+    )
+    assert max(results.values()) > 0.75
+
+
+def test_bench_schema_matching(benchmark, report_printer):
+    from repro.wrangle import (
+        EmbeddingSchemaMatcher,
+        NameSimilarityMatcher,
+        generate_schema_match_task,
+        matching_accuracy,
+    )
+
+    def run_embedding(seed):
+        task = generate_schema_match_task(seed=seed)
+        return matching_accuracy(EmbeddingSchemaMatcher(seed=seed).match(task), task.gold)
+
+    name_accs, emb_accs = [], []
+    for seed in range(4):
+        task = generate_schema_match_task(seed=seed)
+        name_accs.append(
+            matching_accuracy(NameSimilarityMatcher().match(task), task.gold)
+        )
+        if seed == 0:
+            emb_accs.append(
+                benchmark.pedantic(run_embedding, args=(seed,), rounds=1, iterations=1)
+            )
+        else:
+            emb_accs.append(run_embedding(seed))
+
+    name_mean = sum(name_accs) / len(name_accs)
+    emb_mean = sum(emb_accs) / len(emb_accs)
+    report_printer(
+        "D2.5b-v: schema matching (data integration)",
+        [
+            f"{'matcher':<28}{'mean accuracy':>15}",
+            f"{'name similarity':<28}{name_mean:>15.2f}",
+            f"{'instance embeddings (LM)':<28}{emb_mean:>15.2f}",
+        ],
+    )
+    assert emb_mean > name_mean
+
+
+def test_bench_error_detection(benchmark, report_printer):
+    examples = generate_error_dataset(num_examples=200, seed=0)
+    train, test = examples[:150], examples[150:]
+    rule = RuleErrorDetector().fit(train)
+    learned = FinetunedErrorDetector(seed=0).fit(train, epochs=12)
+
+    rule_metrics = evaluate_detector(rule, test)
+    lm_metrics = benchmark.pedantic(
+        evaluate_detector, args=(learned, test), rounds=1, iterations=1
+    )
+    report_printer(
+        "D2.5b-iii: error detection",
+        [
+            f"{'detector':<18}{'F1':>7}{'precision':>11}{'recall':>8}",
+            f"{'mined rules':<18}{rule_metrics['f1']:>7.2f}"
+            f"{rule_metrics['precision']:>11.2f}{rule_metrics['recall']:>8.2f}",
+            f"{'fine-tuned LM':<18}{lm_metrics['f1']:>7.2f}"
+            f"{lm_metrics['precision']:>11.2f}{lm_metrics['recall']:>8.2f}",
+        ],
+    )
+    assert lm_metrics["f1"] > 0.6
+
+
+def test_bench_imputation(benchmark, report_printer):
+    examples = generate_imputation_dataset(num_examples=200, seed=0)
+    train, test = examples[:150], examples[150:]
+    majority = MajorityImputer().fit(train)
+    learned = FinetunedImputer(seed=0).fit(train, epochs=8)
+
+    majority_acc = evaluate_imputer(majority, test)
+    lm_acc = benchmark.pedantic(
+        evaluate_imputer, args=(learned, test), rounds=1, iterations=1
+    )
+    report_printer(
+        "D2.5b-iv: data imputation",
+        [
+            f"{'imputer':<18}{'accuracy':>10}",
+            f"{'majority':<18}{majority_acc:>10.2f}",
+            f"{'fine-tuned LM':<18}{lm_acc:>10.2f}",
+        ],
+    )
+    assert lm_acc > majority_acc
+    assert lm_acc > 0.9

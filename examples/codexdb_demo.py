@@ -1,0 +1,65 @@
+"""CodexDB: synthesize customized Python code for query processing (§2.5).
+
+A SQL query plus natural-language customization ("add logging", "profile
+each step") becomes a generated Python program, validated against the
+native engine and retried when the (simulated) code model produces a
+buggy candidate.
+
+Run:  python examples/codexdb_demo.py
+"""
+
+from repro.codexdb import CodeGenOptions, CodexDB, SimulatedCodex, evaluate_codexdb
+from repro.sql import Database
+
+
+def build_db() -> Database:
+    db = Database()
+    db.execute("CREATE TABLE orders (id INT, region TEXT, amount INT)")
+    db.execute(
+        "INSERT INTO orders VALUES (1, 'north', 120), (2, 'south', 80), "
+        "(3, 'north', 200), (4, 'west', 50), (5, 'south', 90)"
+    )
+    return db
+
+
+def main() -> None:
+    db = build_db()
+    sql = "SELECT region, SUM(amount) FROM orders GROUP BY region"
+
+    # "Use Python, log every step, and profile it" — the customization
+    # CodexDB accepts as natural-language instructions.
+    options = CodeGenOptions(logging=True, comments=True, profile=True)
+    system = CodexDB(db, SimulatedCodex(error_rate=0.0), options)
+    result = system.run(sql)
+
+    print(f"Query: {sql}\n")
+    print("--- synthesized program " + "-" * 40)
+    print(result.code)
+    print("--- execution " + "-" * 50)
+    assert result.outcome is not None
+    print(f"rows    : {result.outcome.rows}")
+    print(f"columns : {result.outcome.columns}")
+    print("logs    :")
+    for line in result.outcome.logs:
+        print(f"  {line}")
+    print(f"profile : { {k: f'{v*1e6:.0f}us' for k, v in result.outcome.profile.items()} }")
+
+    # The retry loop under an unreliable code model.
+    queries = [
+        "SELECT id FROM orders WHERE amount > 85",
+        "SELECT COUNT(*) FROM orders WHERE region = 'north'",
+        "SELECT region, AVG(amount) FROM orders GROUP BY region",
+    ]
+    print("\nSuccess rate vs retry budget (30% of candidates are buggy):")
+    for attempts in (1, 2, 4):
+        report = evaluate_codexdb(
+            db, queries * 4, max_attempts=attempts, error_rate=0.3, seed=1
+        )
+        print(
+            f"  max_attempts={attempts}: success={report.success_rate:.2f} "
+            f"(mean attempts used: {report.mean_attempts:.2f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

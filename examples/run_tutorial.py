@@ -1,0 +1,44 @@
+"""Run the paper's tutorial end to end (Table 1) and render Figure 1.
+
+Prints the tutorial organization table exactly as the paper does, then
+executes the live demonstration attached to each part, and finally
+renders the parameter-count-evolution figure from computed counts.
+
+Run:  python examples/run_tutorial.py       (~15 seconds)
+"""
+
+from repro.api import bootstrap_hub
+from repro.figures import figure1_points, render_attention, render_figure1_ascii
+from repro.tutorial import TUTORIAL_PARTS, render_table1, run_tutorial
+
+
+def main() -> None:
+    print(render_table1())
+    print()
+
+    print("Running the live demonstrations:\n")
+    outputs = run_tutorial(seed=0)
+    for part in TUTORIAL_PARTS:
+        print(f"[{part.duration_minutes:>2} min] {part.title}")
+        print(f"         {outputs[part.title]}\n")
+
+    print("What a trained model attends to (§2.1's teaching aid):\n")
+    hub = bootstrap_hub(seed=0, steps=60, corpus_docs=50)
+    entry = hub.get("tiny-gpt")
+    print(render_attention(entry.model, entry.tokenizer, "the database stores sorted rows"))
+    print()
+
+    print(render_figure1_ascii())
+    print()
+    print(f"{'model':<14}{'year':>7}{'computed':>12}{'published':>12}{'error':>8}")
+    for point in figure1_points():
+        print(
+            f"{point.name:<14}{point.year:>7.1f}"
+            f"{point.estimated_params / 1e9:>11.2f}B"
+            f"{point.published_params / 1e9:>11.1f}B"
+            f"{point.relative_error:>8.1%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

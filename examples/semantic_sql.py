@@ -1,0 +1,50 @@
+"""SQL with natural-language predicates (§2.5, ThalamusDB-style).
+
+Standard SQL is extended with ``NL(column, 'description')``: the
+predicate is evaluated by a fine-tuned language model over the column's
+distinct values, then compiled into an ordinary IN list the relational
+engine executes — an LM operator inside the query processor.
+
+Run:  python examples/semantic_sql.py       (~5 seconds)
+"""
+
+from repro.semantic import (
+    SemanticDatabase,
+    generate_review_table,
+    train_review_predicate,
+)
+
+
+def main() -> None:
+    db, gold = generate_review_table(num_rows=30, seed=0)
+    print("A products table with free-text reviews:")
+    for row in db.execute("SELECT id, review FROM products LIMIT 3").rows:
+        print(f"  [{row[0]}] {row[1]}")
+    print("  ...\n")
+
+    print("Training the sentiment predicate (a small fine-tuned encoder)...")
+    predicate = train_review_predicate(epochs=8, seed=0)
+    sdb = SemanticDatabase(db, predicate)
+
+    query = (
+        "SELECT name, COUNT(*) AS positive_reviews FROM products "
+        "WHERE NL(review, 'the review is positive') "
+        "GROUP BY name ORDER BY positive_reviews DESC"
+    )
+    print(f"\nQuery:\n  {query}\n")
+    result = sdb.execute(query)
+    print(f"{'product':<12}{'positive reviews':>18}")
+    for name, count in result.rows:
+        print(f"{name:<12}{count:>18}")
+
+    gold_positive = sum(gold.values())
+    predicted = sum(count for _, count in result.rows)
+    print(f"\npredicted positives: {predicted}  (gold: {gold_positive})")
+    print(
+        f"classifier calls: {sdb.predicate_evaluations} "
+        f"(distinct reviews, not rows — dictionary evaluation)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Text-to-SQL with constrained decoding (§2.5, PICARD-style).
+
+Generates a synthetic Spider-style workload, trains a small causal LM
+to translate questions into SQL, and compares three translators by
+*execution accuracy* on held-out questions:
+
+  1. a rule-based keyword parser (the pre-neural baseline),
+  2. the LM decoding freely,
+  3. the LM under grammar-constrained (PICARD-style) decoding.
+
+Run:  python examples/text_to_sql.py       (~30 seconds)
+"""
+
+from repro.text2sql import (
+    RuleBasedTranslator,
+    evaluate_translator,
+    generate_workload,
+    train_translator,
+)
+from repro.text2sql.workload import sql_to_engine_dialect
+
+
+def main() -> None:
+    workload = generate_workload(seed=0, examples_per_template=10)
+    train, test = workload.split(test_fraction=0.25, seed=1)
+    print(
+        f"Workload: tables={workload.tables}, "
+        f"{len(train)} train / {len(test)} test questions\n"
+    )
+
+    sample = test[0]
+    print(f"Example question : {sample.question}")
+    print(f"Gold SQL         : {sample.sql}")
+    print(f"Engine dialect   : {sql_to_engine_dialect(sample.sql)}\n")
+
+    print("Training the LM translator (250 steps)...")
+    translator = train_translator(workload, train, steps=250, seed=0)
+
+    contenders = {
+        "rule baseline       ": RuleBasedTranslator(workload).translate,
+        "LM unconstrained    ": lambda q: translator.translate(q, constrained=False),
+        "LM + grammar (PICARD)": lambda q: translator.translate(q, constrained=True),
+    }
+    print(f"\n{'translator':<22} {'exec acc':>9} {'valid SQL':>10}  per-hardness")
+    for name, translate in contenders.items():
+        report = evaluate_translator(translate, workload, test)
+        hardness = ", ".join(f"{h}={a:.2f}" for h, a in report.rows())
+        print(
+            f"{name:<22} {report.accuracy:>9.2f} {report.validity_rate:>10.2f}  {hardness}"
+        )
+
+    print("\nA constrained translation, step by step:")
+    question = sample.question
+    predicted = translator.translate(question, constrained=True)
+    print(f"  question : {question}")
+    print(f"  SQL      : {predicted}")
+    result = workload.db.execute(sql_to_engine_dialect(predicted))
+    print(f"  result   : {result.rows[:5]}{' ...' if len(result) > 5 else ''}")
+
+
+if __name__ == "__main__":
+    main()

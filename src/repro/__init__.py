@@ -1,0 +1,39 @@
+"""LM4DB — language models for data management, from scratch.
+
+A reproduction of the system landscape of *"From BERT to GPT-3 Codex:
+Harnessing the Potential of Very Large Language Models for Data
+Management"* (Trummer, VLDB 2022): a complete numpy-only language-model
+stack (tokenizers, autograd, Transformers, pre-training, fine-tuning,
+prompting, generation, HF-style pipelines, OpenAI-style completion
+client) and every data-management application the tutorial surveys
+(text-to-SQL with PICARD-style constrained decoding, data wrangling,
+fact checking, database tuning, CodexDB-style code synthesis, NeuralDB)
+over a from-scratch in-memory SQL engine.
+
+Quick start::
+
+    from repro.api import bootstrap_hub, CompletionClient
+
+    hub = bootstrap_hub()
+    client = CompletionClient(hub)
+    print(client.complete("tiny-gpt", "the database", max_tokens=8).text)
+"""
+
+from repro.errors import ReproError
+from repro.models import BERTModel, GPTModel, ModelConfig
+from repro.sql import Database
+from repro.tokenizers import BPETokenizer, WhitespaceTokenizer, WordPieceTokenizer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ModelConfig",
+    "GPTModel",
+    "BERTModel",
+    "Database",
+    "BPETokenizer",
+    "WordPieceTokenizer",
+    "WhitespaceTokenizer",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Access channels for language models (Section 2.4 of the tutorial).
+
+Two idioms are provided, matching the two channels the tutorial
+demonstrates:
+
+* :func:`pipeline` — a local-library facade in the style of the
+  HuggingFace Transformers library.
+* :class:`CompletionClient` — a remote-API style client in the style of
+  the OpenAI API (engines addressed by name, ``complete()`` calls
+  returning structured responses with usage accounting).
+"""
+
+from repro.api.hub import ModelHub, bootstrap_hub
+from repro.api.pipelines import (
+    FeatureExtractionPipeline,
+    FillMaskPipeline,
+    Pipeline,
+    TextClassificationPipeline,
+    TextGenerationPipeline,
+    pipeline,
+)
+from repro.api.client import CompletionChoice, CompletionClient, CompletionResponse, Usage
+
+__all__ = [
+    "ModelHub",
+    "bootstrap_hub",
+    "pipeline",
+    "Pipeline",
+    "TextGenerationPipeline",
+    "FillMaskPipeline",
+    "TextClassificationPipeline",
+    "FeatureExtractionPipeline",
+    "CompletionClient",
+    "CompletionResponse",
+    "CompletionChoice",
+    "Usage",
+]

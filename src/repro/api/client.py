@@ -1,0 +1,124 @@
+"""An OpenAI-style completion client over a :class:`ModelHub`.
+
+Demonstrates the remote-API access channel from Section 2.4: engines are
+addressed by name, requests carry decoding parameters, and responses
+return structured choices plus token-usage accounting — the interface
+shape of ``openai.Completion.create``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ModelError
+from repro.generation import GenerationConfig, generate
+from repro.generation.decoding import TokenConstraint
+from repro.models import GPTModel
+from repro.api.hub import ModelHub
+
+
+@dataclass(frozen=True)
+class Usage:
+    """Token accounting for one request."""
+
+    prompt_tokens: int
+    completion_tokens: int
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+
+@dataclass(frozen=True)
+class CompletionChoice:
+    """One completion alternative."""
+
+    text: str
+    index: int
+    finish_reason: str
+
+
+@dataclass(frozen=True)
+class CompletionResponse:
+    """The full response of a completion request."""
+
+    engine: str
+    choices: List[CompletionChoice]
+    usage: Usage
+
+    @property
+    def text(self) -> str:
+        """The text of the first choice (the common access path)."""
+        return self.choices[0].text
+
+
+class CompletionClient:
+    """Issue completion requests against named engines in a hub."""
+
+    def __init__(self, hub: ModelHub) -> None:
+        self.hub = hub
+        self._requests_served = 0
+
+    def complete(
+        self,
+        engine: str,
+        prompt: str,
+        max_tokens: int = 32,
+        temperature: float = 0.0,
+        top_p: float = 1.0,
+        n: int = 1,
+        stop: Sequence[str] = (),
+        seed: int = 0,
+        constraint: Optional[TokenConstraint] = None,
+    ) -> CompletionResponse:
+        """Complete ``prompt`` with the named engine.
+
+        ``temperature == 0`` selects greedy decoding (the OpenAI
+        convention); positive temperatures sample. ``stop`` strings
+        truncate each returned text at the first occurrence.
+        """
+        entry = self.hub.get(engine)
+        model = entry.model
+        if not isinstance(model, GPTModel):
+            raise ModelError(f"engine {engine!r} is not a causal (completion) model")
+        tokenizer = entry.tokenizer
+        if n <= 0:
+            raise ModelError("n must be positive")
+
+        prompt_ids = tokenizer.encode(prompt, add_bos=True).ids
+        choices: List[CompletionChoice] = []
+        completion_tokens = 0
+        for index in range(n):
+            config = GenerationConfig(
+                max_new_tokens=max_tokens,
+                strategy="greedy" if temperature == 0.0 else "sample",
+                temperature=max(temperature, 1e-6) if temperature else 1.0,
+                top_p=top_p,
+                stop_ids=(tokenizer.vocab.eos_id,),
+                seed=seed + index,
+            )
+            out_ids = generate(model, prompt_ids, config, constraint)
+            completion_tokens += len(out_ids)
+            text = tokenizer.decode(out_ids)
+            finish_reason = "length" if len(out_ids) >= max_tokens else "stop"
+            for stop_string in stop:
+                cut = text.find(stop_string)
+                if cut >= 0:
+                    text = text[:cut]
+                    finish_reason = "stop"
+            choices.append(
+                CompletionChoice(text=text.strip(), index=index, finish_reason=finish_reason)
+            )
+        self._requests_served += 1
+        return CompletionResponse(
+            engine=engine,
+            choices=choices,
+            usage=Usage(
+                prompt_tokens=len(prompt_ids), completion_tokens=completion_tokens
+            ),
+        )
+
+    @property
+    def requests_served(self) -> int:
+        return self._requests_served

@@ -1,0 +1,116 @@
+"""A model hub: named (model, tokenizer) pairs, like a local model cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+from repro.errors import ModelError
+from repro.models import BERTModel, GPTModel, ModelConfig
+from repro.tokenizers import Tokenizer, WhitespaceTokenizer
+from repro.training import pretrain_clm, pretrain_mlm
+from repro.utils.corpus import synthetic_db_corpus
+
+AnyModel = Union[GPTModel, BERTModel]
+
+
+@dataclass
+class HubEntry:
+    """One named model with its paired tokenizer."""
+
+    model: AnyModel
+    tokenizer: Tokenizer
+
+
+class ModelHub:
+    """Registry mapping engine names to models + tokenizers.
+
+    Mirrors the role of a local model cache: pipelines and the
+    OpenAI-style client resolve engine names through a hub.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, HubEntry] = {}
+
+    def register(self, name: str, model: AnyModel, tokenizer: Tokenizer) -> None:
+        """Register a model under ``name`` (replacing any previous entry)."""
+        if not tokenizer.is_trained:
+            raise ModelError(f"tokenizer for {name!r} is not trained")
+        self._entries[name] = HubEntry(model=model, tokenizer=tokenizer)
+
+    def get(self, name: str) -> HubEntry:
+        """Resolve an engine name."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ModelError(
+                f"unknown engine {name!r}; registered: {sorted(self._entries)}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    # -- persistence ---------------------------------------------------------
+    def save(self, directory: "Path | str") -> "Path":
+        """Write every entry (model + tokenizer) into a directory."""
+        from pathlib import Path
+
+        from repro.models import save_model
+        from repro.tokenizers import save_tokenizer
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for name, entry in self._entries.items():
+            save_model(entry.model, directory / f"{name}.model.npz")
+            save_tokenizer(entry.tokenizer, directory / f"{name}.tokenizer.json")
+        return directory
+
+    @classmethod
+    def load(cls, directory: "Path | str") -> "ModelHub":
+        """Rebuild a hub from a directory written by :meth:`save`."""
+        from pathlib import Path
+
+        from repro.models import load_model
+        from repro.tokenizers import load_tokenizer
+
+        directory = Path(directory)
+        hub = cls()
+        for model_path in sorted(directory.glob("*.model.npz")):
+            name = model_path.name[: -len(".model.npz")]
+            tokenizer_path = directory / f"{name}.tokenizer.json"
+            if not tokenizer_path.exists():
+                raise ModelError(f"missing tokenizer for hub entry {name!r}")
+            hub.register(name, load_model(model_path), load_tokenizer(tokenizer_path))
+        if not hub.names():
+            raise ModelError(f"no hub entries found in {directory}")
+        return hub
+
+
+def bootstrap_hub(
+    seed: int = 0, steps: int = 80, corpus_docs: int = 80
+) -> ModelHub:
+    """Build a hub with two small pre-trained models.
+
+    Registers ``"tiny-gpt"`` (causal, for generation/completion) and
+    ``"tiny-bert"`` (bidirectional, for fill-mask and embeddings), both
+    pre-trained on the built-in synthetic corpus. Takes a few seconds.
+    """
+    corpus = synthetic_db_corpus(num_docs=corpus_docs, seed=seed + 7)
+    tokenizer = WhitespaceTokenizer(lowercase=True)
+    tokenizer.train(corpus, vocab_size=512)
+
+    gpt = GPTModel(ModelConfig.small(vocab_size=tokenizer.vocab_size), seed=seed)
+    pretrain_clm(gpt, tokenizer, corpus, steps=steps, seed=seed)
+
+    bert = BERTModel(
+        ModelConfig.small(vocab_size=tokenizer.vocab_size, causal=False), seed=seed
+    )
+    pretrain_mlm(bert, tokenizer, corpus, steps=steps, seed=seed)
+
+    hub = ModelHub()
+    hub.register("tiny-gpt", gpt, tokenizer)
+    hub.register("tiny-bert", bert, tokenizer)
+    return hub

@@ -1,0 +1,41 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This is the numerical substrate for every model in the library: a
+:class:`Tensor` records the operations applied to it and :meth:`Tensor.backward`
+propagates gradients through the recorded graph. It supports everything a
+Transformer needs — batched matmul, broadcasting arithmetic, softmax,
+layer normalization, GELU, embedding gather — and is validated against
+finite differences in the test suite.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, tensor
+from repro.autograd.functional import (
+    cross_entropy,
+    dropout,
+    embedding,
+    gelu,
+    layer_norm,
+    log_softmax,
+    relu,
+    sigmoid,
+    softmax,
+    tanh,
+    concat,
+)
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "no_grad",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "layer_norm",
+    "embedding",
+    "gelu",
+    "relu",
+    "tanh",
+    "sigmoid",
+    "dropout",
+    "concat",
+]

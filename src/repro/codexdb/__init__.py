@@ -1,0 +1,31 @@
+"""CodexDB-style code synthesis for query processing (§2.5, [84]).
+
+CodexDB sends a SQL query plus natural-language instructions to GPT-3
+Codex and executes the Python program that comes back, validating
+candidates and retrying on failure. Here the remote Codex model is
+substituted by :class:`SimulatedCodex`: a deterministic SQL-to-Python
+synthesizer wrapped in a seeded *error model* that corrupts a fraction
+of candidates — exercising the same generate / validate / retry loop and
+the same success-at-k metric, with the same customization hooks
+(logging, comments, per-step profiling) that motivate synthesizing code
+instead of running a fixed engine.
+"""
+
+from repro.codexdb.planner import PlanStep, plan_query
+from repro.codexdb.codegen import CodeGenOptions, generate_python
+from repro.codexdb.sandbox import run_generated_code
+from repro.codexdb.codex import CodexDB, SimulatedCodex, SynthesisResult
+from repro.codexdb.evaluate import CodexDBReport, evaluate_codexdb
+
+__all__ = [
+    "PlanStep",
+    "plan_query",
+    "CodeGenOptions",
+    "generate_python",
+    "run_generated_code",
+    "SimulatedCodex",
+    "CodexDB",
+    "SynthesisResult",
+    "CodexDBReport",
+    "evaluate_codexdb",
+]

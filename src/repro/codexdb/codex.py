@@ -1,0 +1,139 @@
+"""The simulated Codex model and the CodexDB generate/validate/retry loop.
+
+The real CodexDB samples multiple programs from GPT-3 Codex, executes
+each, and keeps the first that runs (validating against reference
+results where available). :class:`SimulatedCodex` reproduces exactly that
+interface: it synthesizes a program per request, but a seeded error
+model corrupts a fraction of candidates (wrong column, dropped filter,
+flipped comparison) so the retry loop and the success-at-k metric stay
+meaningful.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CodexDBError
+from repro.sql import Database, Table
+from repro.sql.ast import BinaryOp, ColumnRef, Literal, SelectItem
+from repro.codexdb.codegen import CodeGenOptions, generate_python
+from repro.codexdb.planner import PlanStep, plan_query
+from repro.codexdb.sandbox import ExecutionOutcome, run_generated_code
+from repro.utils.rng import SeededRNG
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of one CodexDB request."""
+
+    code: str
+    outcome: Optional[ExecutionOutcome]
+    attempts: int
+    succeeded: bool
+
+
+class SimulatedCodex:
+    """Stands in for the GPT-3 Codex API.
+
+    ``error_rate`` is the probability that a sampled candidate program
+    is corrupted. Corruptions are the realistic failure modes of LM code
+    generation: referencing the wrong column, dropping a filter, or
+    flipping a comparison operator.
+    """
+
+    def __init__(self, error_rate: float = 0.3, seed: int = 0) -> None:
+        if not 0.0 <= error_rate < 1.0:
+            raise CodexDBError("error_rate must be in [0, 1)")
+        self.error_rate = error_rate
+        self._rng = SeededRNG(seed)
+        self.samples_served = 0
+
+    def sample_program(
+        self, sql: str, options: CodeGenOptions
+    ) -> str:
+        """Return one candidate Python program for ``sql``."""
+        self.samples_served += 1
+        steps = plan_query(sql)
+        if self._rng.coin(self.error_rate):
+            steps = self._corrupt(steps)
+        return generate_python(steps, options)
+
+    def _corrupt(self, steps: List[PlanStep]) -> List[PlanStep]:
+        """Inject one plausible bug into the plan."""
+        mode = self._rng.randint(0, 3)
+        corrupted = list(steps)
+        if mode == 0:
+            # Drop the filter (if any): program runs but over-counts.
+            corrupted = [s for s in corrupted if s.kind != "filter"]
+        elif mode == 1:
+            # Reference a bogus column in the projection: crashes.
+            for i, step in enumerate(corrupted):
+                if step.kind == "project":
+                    items = list(step.args["items"])
+                    items[0] = SelectItem(expr=ColumnRef(name="nonexistent_col"))
+                    corrupted[i] = PlanStep(kind="project", args={"items": items})
+                    break
+            else:
+                corrupted = [s for s in corrupted if s.kind != "filter"]
+        else:
+            # Flip a comparison in the filter: wrong rows survive.
+            for i, step in enumerate(corrupted):
+                if step.kind == "filter":
+                    predicate = step.args["predicate"]
+                    if isinstance(predicate, BinaryOp) and predicate.op in ("<", ">"):
+                        flipped = BinaryOp(
+                            op=">" if predicate.op == "<" else "<",
+                            left=predicate.left,
+                            right=predicate.right,
+                        )
+                        corrupted[i] = PlanStep(
+                            kind="filter", args={"predicate": flipped}
+                        )
+                        break
+            else:
+                corrupted = corrupted[:-1] if len(corrupted) > 1 else corrupted
+        return corrupted
+
+
+class CodexDB:
+    """Synthesize, validate, and retry — CodexDB's outer loop.
+
+    Validation compares candidate output against the native engine's
+    result for the same query (CodexDB validates on examples with known
+    results; our engine plays that role).
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        codex: SimulatedCodex,
+        options: CodeGenOptions = CodeGenOptions(),
+    ) -> None:
+        self.db = db
+        self.codex = codex
+        self.options = options
+
+    def run(self, sql: str, max_attempts: int = 4) -> SynthesisResult:
+        """Request programs until one validates (or attempts run out)."""
+        reference = self._reference_rows(sql)
+        tables = {name: self.db.table(name) for name in self.db.table_names()}
+        last_code = ""
+        for attempt in range(1, max_attempts + 1):
+            code = self.codex.sample_program(sql, self.options)
+            last_code = code
+            try:
+                outcome = run_generated_code(code, tables)
+            except CodexDBError:
+                continue
+            if sorted(map(repr, outcome.rows)) == sorted(map(repr, reference)):
+                return SynthesisResult(
+                    code=code, outcome=outcome, attempts=attempt, succeeded=True
+                )
+        return SynthesisResult(
+            code=last_code, outcome=None, attempts=max_attempts, succeeded=False
+        )
+
+    def _reference_rows(self, sql: str) -> List[Tuple]:
+        return self.db.execute(sql).rows

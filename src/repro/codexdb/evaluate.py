@@ -1,0 +1,51 @@
+"""CodexDB evaluation: success-at-k against the native engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.sql import Database
+from repro.codexdb.codegen import CodeGenOptions
+from repro.codexdb.codex import CodexDB, SimulatedCodex
+
+
+@dataclass
+class CodexDBReport:
+    """Aggregate metrics of a CodexDB evaluation run."""
+
+    total: int = 0
+    succeeded: int = 0
+    attempts_used: List[int] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        return self.succeeded / self.total if self.total else 0.0
+
+    @property
+    def mean_attempts(self) -> float:
+        return (
+            sum(self.attempts_used) / len(self.attempts_used)
+            if self.attempts_used
+            else 0.0
+        )
+
+
+def evaluate_codexdb(
+    db: Database,
+    queries: Sequence[str],
+    max_attempts: int = 4,
+    error_rate: float = 0.3,
+    options: CodeGenOptions = CodeGenOptions(),
+    seed: int = 0,
+) -> CodexDBReport:
+    """Run CodexDB over ``queries``; report success rate and retries."""
+    codex = SimulatedCodex(error_rate=error_rate, seed=seed)
+    system = CodexDB(db, codex, options)
+    report = CodexDBReport()
+    for sql in queries:
+        result = system.run(sql, max_attempts=max_attempts)
+        report.total += 1
+        report.succeeded += int(result.succeeded)
+        report.attempts_used.append(result.attempts)
+    return report

@@ -1,0 +1,58 @@
+"""Execute synthesized programs in a restricted namespace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CodexDBError
+from repro.sql import Table
+
+_SAFE_BUILTINS = {
+    "len": len, "sum": sum, "min": min, "max": max, "sorted": sorted,
+    "list": list, "dict": dict, "set": set, "tuple": tuple, "str": str,
+    "int": int, "float": float, "bool": bool, "range": range,
+    "enumerate": enumerate, "zip": zip, "abs": abs, "round": round,
+    "__import__": __import__,  # the generated code imports only `time`
+}
+
+
+@dataclass
+class ExecutionOutcome:
+    """What a synthesized program produced."""
+
+    columns: List[str]
+    rows: List[Tuple]
+    logs: List[str] = field(default_factory=list)
+    profile: Dict[str, float] = field(default_factory=dict)
+
+
+def run_generated_code(
+    code: str, tables: Dict[str, Table]
+) -> ExecutionOutcome:
+    """Run a generated program against tables; wrap all failures.
+
+    Raises :class:`CodexDBError` if the program crashes or does not
+    produce the ``result``/``columns`` contract.
+    """
+    table_dicts = {name: table.to_dicts() for name, table in tables.items()}
+    namespace: Dict[str, object] = {
+        "tables": table_dicts,
+        "__builtins__": _SAFE_BUILTINS,
+    }
+    try:
+        exec(compile(code, "<codexdb>", "exec"), namespace)  # noqa: S102
+    except Exception as exc:
+        raise CodexDBError(f"generated program crashed: {exc}") from exc
+    if "result" not in namespace or "columns" not in namespace:
+        raise CodexDBError("generated program did not set result/columns")
+    rows = namespace["result"]
+    columns = namespace["columns"]
+    if not isinstance(rows, list) or not isinstance(columns, list):
+        raise CodexDBError("generated program produced malformed output")
+    return ExecutionOutcome(
+        columns=list(columns),
+        rows=[tuple(row) for row in rows],
+        logs=list(namespace.get("logs", [])),
+        profile=dict(namespace.get("profile", {})),
+    )

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers
+can catch the whole family with one ``except`` clause while still being
+able to discriminate the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class TokenizerError(ReproError):
+    """Raised for tokenizer misuse (unknown tokens, untrained vocab, ...)."""
+
+
+class ShapeError(ReproError):
+    """Raised when tensor shapes are incompatible for an autograd op."""
+
+
+class ModelError(ReproError):
+    """Raised for invalid model configurations or checkpoint mismatches."""
+
+
+class TrainingError(ReproError):
+    """Raised for invalid training setups (empty datasets, bad splits)."""
+
+
+class GenerationError(ReproError):
+    """Raised when text generation is configured inconsistently."""
+
+
+class PromptError(ReproError):
+    """Raised for malformed prompt templates or unparsable completions."""
+
+
+class SQLError(ReproError):
+    """Base class for all SQL-engine errors."""
+
+
+class SQLSyntaxError(SQLError):
+    """Raised when a SQL string cannot be lexed or parsed."""
+
+
+class SQLAnalysisError(SQLError):
+    """Raised when a parsed query references unknown tables or columns."""
+
+
+class SQLExecutionError(SQLError):
+    """Raised when a valid plan fails at runtime (e.g. type mismatch)."""
+
+
+class CatalogError(SQLError):
+    """Raised for catalog misuse (duplicate tables, missing tables)."""
+
+
+class Text2SQLError(ReproError):
+    """Raised when NL-to-SQL translation cannot produce a valid query."""
+
+
+class WrangleError(ReproError):
+    """Raised for invalid data-wrangling task configurations."""
+
+
+class FactCheckError(ReproError):
+    """Raised when a claim cannot be compiled into verification queries."""
+
+
+class TuningError(ReproError):
+    """Raised for invalid tuning sessions or unknown knobs."""
+
+
+class CodexDBError(ReproError):
+    """Raised when plan synthesis or validation fails in CodexDB."""
+
+
+class NeuralDBError(ReproError):
+    """Raised for invalid NeuralDB operations."""

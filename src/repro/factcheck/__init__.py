@@ -1,0 +1,42 @@
+"""Data-driven fact checking (§2.5: AggChecker [35], Scrutinizer [36]).
+
+Natural-language claims about a relational table are verified by
+translating each claim into a candidate aggregate query, executing it,
+and comparing the claimed value against the computed one.
+
+Two claim-to-query rankers are provided:
+
+* :class:`KeywordRanker` — lexical matching of claim words against
+  query descriptions (the classical starting point);
+* :class:`LMRanker` — a fine-tuned causal LM scores each candidate
+  query as a continuation of the claim (AggChecker's neural ranking).
+"""
+
+from repro.factcheck.claims import (
+    Claim,
+    ClaimWorkload,
+    generate_claim_workload,
+)
+from repro.factcheck.queries import CandidateQuery, enumerate_candidates
+from repro.factcheck.rankers import KeywordRanker, LMRanker, train_lm_ranker
+from repro.factcheck.verify import (
+    FactChecker,
+    Verdict,
+    VerificationResult,
+    evaluate_checker,
+)
+
+__all__ = [
+    "Claim",
+    "ClaimWorkload",
+    "generate_claim_workload",
+    "CandidateQuery",
+    "enumerate_candidates",
+    "KeywordRanker",
+    "LMRanker",
+    "train_lm_ranker",
+    "FactChecker",
+    "Verdict",
+    "VerificationResult",
+    "evaluate_checker",
+]

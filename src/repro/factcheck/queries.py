@@ -1,0 +1,59 @@
+"""Candidate query enumeration for claim verification.
+
+AggChecker's key idea: the space of plausible interpretations of a
+claim over one table is small enough to enumerate — every combination
+of aggregate, column, and (categorical) filter — and the problem
+becomes *ranking* candidates against the claim text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.factcheck.claims import ClaimWorkload
+
+
+@dataclass(frozen=True)
+class CandidateQuery:
+    """One interpretation: aggregate, target column, optional filter."""
+
+    agg: str
+    column: Optional[str]
+    filter_value: Optional[str]
+
+    def sql(self, workload: ClaimWorkload) -> str:
+        where = (
+            f" WHERE {workload.cat_col} = '{self.filter_value}'"
+            if self.filter_value
+            else ""
+        )
+        if self.agg == "count":
+            return f"SELECT COUNT(*) FROM {workload.table}{where}"
+        return f"SELECT {self.agg.upper()}({self.column}) FROM {workload.table}{where}"
+
+    def description(self) -> str:
+        """A canonical NL-ish rendering used by rankers."""
+        head = "count" if self.agg == "count" else f"{self.agg} {self.column}"
+        where = f" where {self.filter_value}" if self.filter_value else " overall"
+        return head + where
+
+    def execute(self, workload: ClaimWorkload) -> float:
+        value = workload.db.execute(self.sql(workload)).scalar()
+        return round(float(value if value is not None else 0.0), 1)
+
+
+def enumerate_candidates(workload: ClaimWorkload) -> List[CandidateQuery]:
+    """All (agg, column, filter) interpretations for the workload table."""
+    filters: List[Optional[str]] = [None] + list(workload.cat_values)
+    candidates: List[CandidateQuery] = []
+    for filter_value in filters:
+        candidates.append(
+            CandidateQuery(agg="count", column=None, filter_value=filter_value)
+        )
+        for agg in ("avg", "max", "min", "sum"):
+            for column in workload.num_cols:
+                candidates.append(
+                    CandidateQuery(agg=agg, column=column, filter_value=filter_value)
+                )
+    return candidates

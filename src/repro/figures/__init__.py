@@ -1,0 +1,18 @@
+"""Reproduction of the paper's Figure 1."""
+
+from repro.figures.param_evolution import (
+    FigurePoint,
+    figure1_points,
+    render_figure1_ascii,
+    growth_orders_of_magnitude,
+)
+from repro.figures.attention_viz import attention_matrix, render_attention
+
+__all__ = [
+    "FigurePoint",
+    "figure1_points",
+    "render_figure1_ascii",
+    "growth_orders_of_magnitude",
+    "attention_matrix",
+    "render_attention",
+]

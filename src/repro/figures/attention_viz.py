@@ -1,0 +1,76 @@
+"""ASCII visualization of attention weights (the §2.1 teaching aid).
+
+The tutorial explains the Transformer through its attention mechanism;
+this utility renders what a trained model actually attends to — the
+classic token-by-token heatmap — entirely in text.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.models import BERTModel, GPTModel
+from repro.tokenizers import Tokenizer
+
+_SHADES = " .:-=+*#%@"
+
+
+def attention_matrix(
+    model: Union[GPTModel, BERTModel],
+    tokenizer: Tokenizer,
+    text: str,
+    layer: int = -1,
+    head: int = 0,
+) -> tuple[List[str], np.ndarray]:
+    """Run ``text`` through the model; return (tokens, attention T x T)."""
+    encoding = tokenizer.encode(text)
+    if not encoding.ids:
+        raise ModelError("cannot visualize attention over empty input")
+    ids = np.array([encoding.ids], dtype=np.int64)
+    from repro.autograd import no_grad
+
+    with no_grad():
+        model.encode(ids)
+    blocks = model.stack.blocks
+    attention = blocks[layer].attn.last_attention
+    if attention is None:
+        raise ModelError("no attention recorded; run a forward pass first")
+    if not 0 <= head < attention.shape[1]:
+        raise ModelError(f"head {head} out of range [0, {attention.shape[1]})")
+    tokens = [tokenizer.vocab.token_of(i) for i in encoding.ids]
+    return tokens, attention[0, head]
+
+
+def render_attention(
+    model: Union[GPTModel, BERTModel],
+    tokenizer: Tokenizer,
+    text: str,
+    layer: int = -1,
+    head: int = 0,
+    cell_width: int = 2,
+) -> str:
+    """Render the attention heatmap as an ASCII grid.
+
+    Rows are query positions, columns key positions; darker glyphs mean
+    more attention mass. Causal models show an empty upper triangle —
+    the masking §2.1 explains.
+    """
+    tokens, weights = attention_matrix(model, tokenizer, text, layer, head)
+    label_width = max(len(t) for t in tokens) + 1
+    lines = [f"attention (layer {layer}, head {head}) for: {text!r}", ""]
+    header = " " * label_width + "".join(
+        t[:cell_width].ljust(cell_width) for t in tokens
+    )
+    lines.append(header)
+    for token, row in zip(tokens, weights):
+        cells = []
+        for weight in row:
+            shade = _SHADES[min(int(weight * (len(_SHADES) - 1) * 2), len(_SHADES) - 1)]
+            cells.append(shade * 1 + " " * (cell_width - 1))
+        lines.append(token.ljust(label_width) + "".join(cells))
+    lines.append("")
+    lines.append("scale: ' ' = 0  ...  '@' = high attention")
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Text generation: decoding strategies and constrained decoding hooks."""
+
+from repro.generation.decoding import (
+    GenerationConfig,
+    TokenConstraint,
+    generate,
+    generate_text,
+)
+from repro.generation.beam import beam_search
+
+__all__ = [
+    "GenerationConfig",
+    "TokenConstraint",
+    "generate",
+    "generate_text",
+    "beam_search",
+]

@@ -1,0 +1,232 @@
+"""Autoregressive decoding for causal language models.
+
+Implements the strategies the tutorial demonstrates with the OpenAI API:
+greedy decoding, temperature sampling, top-k and nucleus (top-p)
+filtering, stop sequences, and a hook for *constrained* decoding — the
+PICARD idea [69] of masking away tokens that would make the output
+syntactically invalid (used heavily by the text-to-SQL subsystem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.errors import GenerationError
+from repro.models.gpt import GPTModel
+from repro.tokenizers import Tokenizer
+from repro.utils.rng import SeededRNG
+
+
+class TokenConstraint(Protocol):
+    """Restricts which tokens may follow a given generated prefix."""
+
+    def allowed_tokens(self, generated_ids: Sequence[int]) -> Optional[Sequence[int]]:
+        """Return permitted next-token ids, or ``None`` for "no restriction".
+
+        ``generated_ids`` contains only the *newly generated* ids (the
+        prompt is not included). Returning an empty sequence aborts
+        generation.
+        """
+        ...
+
+
+@dataclass
+class GenerationConfig:
+    """Decoding hyper-parameters.
+
+    Attributes:
+        max_new_tokens: hard cap on generated tokens.
+        strategy: one of ``greedy``, ``sample``.
+        temperature: softmax temperature for sampling (ignored by greedy).
+        top_k: if > 0, sample only among the k most likely tokens.
+        top_p: if < 1, sample from the smallest set with cumulative
+            probability >= top_p (nucleus sampling).
+        stop_ids: token ids that end generation (e.g. ``[EOS]``).
+        seed: RNG seed for sampling.
+    """
+
+    max_new_tokens: int = 32
+    strategy: str = "greedy"
+    temperature: float = 1.0
+    top_k: int = 0
+    top_p: float = 1.0
+    stop_ids: tuple = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("greedy", "sample"):
+            raise GenerationError(f"unknown strategy {self.strategy!r}")
+        if self.max_new_tokens <= 0:
+            raise GenerationError("max_new_tokens must be positive")
+        if self.temperature <= 0:
+            raise GenerationError("temperature must be positive")
+        if not 0.0 < self.top_p <= 1.0:
+            raise GenerationError("top_p must be in (0, 1]")
+        if self.top_k < 0:
+            raise GenerationError("top_k must be >= 0")
+
+
+def generate(
+    model: GPTModel,
+    prompt_ids: Sequence[int],
+    config: Optional[GenerationConfig] = None,
+    constraint: Optional[TokenConstraint] = None,
+    use_cache: bool = False,
+) -> List[int]:
+    """Generate token ids continuing ``prompt_ids``.
+
+    Returns only the newly generated ids (without the prompt). The
+    context window slides if the sequence would exceed the model's
+    ``max_seq_len``.
+
+    With ``use_cache=True`` decoding reuses per-layer key/value caches
+    (the standard incremental-decoding optimization): each step costs
+    O(context) attention instead of a full O(context^2) re-encode, with
+    bit-identical greedy outputs. The cached path requires the whole
+    sequence to fit the context window; otherwise it falls back to the
+    sliding-window re-encode.
+    """
+    config = config or GenerationConfig()
+    if not prompt_ids:
+        raise GenerationError("prompt must contain at least one token")
+    fits = len(prompt_ids) + config.max_new_tokens <= model.config.max_seq_len
+    if use_cache and fits:
+        return _generate_cached(model, prompt_ids, config, constraint)
+    return _generate_recompute(model, prompt_ids, config, constraint)
+
+
+def _generate_recompute(
+    model: GPTModel,
+    prompt_ids: Sequence[int],
+    config: GenerationConfig,
+    constraint: Optional[TokenConstraint],
+) -> List[int]:
+    rng = SeededRNG(config.seed)
+    ids = list(prompt_ids)
+    generated: List[int] = []
+    model.eval()
+
+    for _ in range(config.max_new_tokens):
+        window = ids[-model.config.max_seq_len:]
+        with no_grad():
+            logits = model(np.array([window], dtype=np.int64))
+        next_logits = logits.data[0, -1].copy()
+        next_id = _next_token(next_logits, generated, config, constraint, rng)
+        if next_id is None or next_id in config.stop_ids:
+            break
+        generated.append(next_id)
+        ids.append(next_id)
+    return generated
+
+
+def _generate_cached(
+    model: GPTModel,
+    prompt_ids: Sequence[int],
+    config: GenerationConfig,
+    constraint: Optional[TokenConstraint],
+) -> List[int]:
+    rng = SeededRNG(config.seed)
+    model.eval()
+    caches = model.init_cache()
+    generated: List[int] = []
+
+    with no_grad():
+        # Prime the cache with the prompt, one position at a time.
+        next_logits = None
+        for position, token in enumerate(prompt_ids):
+            logits = model.forward_incremental(
+                np.array([[token]], dtype=np.int64), position, caches
+            )
+            next_logits = logits.data[0, -1].copy()
+
+        position = len(prompt_ids)
+        for _ in range(config.max_new_tokens):
+            next_id = _next_token(next_logits, generated, config, constraint, rng)
+            if next_id is None or next_id in config.stop_ids:
+                break
+            generated.append(next_id)
+            logits = model.forward_incremental(
+                np.array([[next_id]], dtype=np.int64), position, caches
+            )
+            next_logits = logits.data[0, -1].copy()
+            position += 1
+    return generated
+
+
+def _next_token(
+    next_logits: np.ndarray,
+    generated: List[int],
+    config: GenerationConfig,
+    constraint: Optional[TokenConstraint],
+    rng: SeededRNG,
+) -> Optional[int]:
+    """Apply the constraint mask and pick the next id (None = abort)."""
+    if constraint is not None:
+        allowed = constraint.allowed_tokens(generated)
+        if allowed is not None:
+            if len(allowed) == 0:
+                return None
+            mask = np.full_like(next_logits, -np.inf)
+            allowed_arr = np.asarray(list(allowed), dtype=np.int64)
+            mask[allowed_arr] = 0.0
+            next_logits = next_logits + mask
+    return _pick_token(next_logits, config, rng)
+
+
+def _pick_token(logits: np.ndarray, config: GenerationConfig, rng: SeededRNG) -> int:
+    """Select one token id from a logit vector per the configured strategy."""
+    if config.strategy == "greedy":
+        return int(np.argmax(logits))
+
+    scaled = logits / config.temperature
+    if config.top_k > 0:
+        cutoff = np.sort(scaled)[-config.top_k]
+        scaled = np.where(scaled < cutoff, -np.inf, scaled)
+    probs = _stable_softmax(scaled)
+    if config.top_p < 1.0:
+        order = np.argsort(-probs)
+        cumulative = np.cumsum(probs[order])
+        keep_count = int(np.searchsorted(cumulative, config.top_p) + 1)
+        keep = order[:keep_count]
+        filtered = np.zeros_like(probs)
+        filtered[keep] = probs[keep]
+        probs = filtered / filtered.sum()
+    return int(rng.generator.choice(len(probs), p=probs))
+
+
+def _stable_softmax(x: np.ndarray) -> np.ndarray:
+    finite_max = np.max(x[np.isfinite(x)]) if np.isfinite(x).any() else 0.0
+    exp = np.exp(np.clip(x - finite_max, -700, 0))
+    exp[~np.isfinite(x)] = 0.0
+    total = exp.sum()
+    if total <= 0:
+        raise GenerationError("all tokens were filtered out during sampling")
+    return exp / total
+
+
+def generate_text(
+    model: GPTModel,
+    tokenizer: Tokenizer,
+    prompt: str,
+    config: Optional[GenerationConfig] = None,
+    constraint: Optional[TokenConstraint] = None,
+) -> str:
+    """Convenience wrapper: text in, text out, stopping at ``[EOS]``."""
+    config = config or GenerationConfig()
+    if not config.stop_ids:
+        config = GenerationConfig(
+            max_new_tokens=config.max_new_tokens,
+            strategy=config.strategy,
+            temperature=config.temperature,
+            top_k=config.top_k,
+            top_p=config.top_p,
+            stop_ids=(tokenizer.vocab.eos_id,),
+            seed=config.seed,
+        )
+    prompt_ids = tokenizer.encode(prompt, add_bos=True).ids
+    out_ids = generate(model, prompt_ids, config, constraint)
+    return tokenizer.decode(out_ids)

@@ -1,0 +1,48 @@
+"""Mining data patterns described in natural language (§1: [83], [88]).
+
+BABOONS [83] and NaturalMiner [88] search a dataset for *abstract
+patterns described in natural language*: the user states a goal ("how do
+premium products differ on price?"), the system enumerates candidate
+data facts (aggregate comparisons over subgroups), scores each fact's
+relevance to the goal with a language model, and uses black-box search
+to assemble the best summary without scoring the whole fact space.
+
+This module reproduces that pipeline:
+
+* :func:`enumerate_facts` — candidate facts over (filter, column,
+  aggregate) triples, each rendered as an NL sentence with its
+  direction vs. the overall population;
+* :class:`LMRelevanceScorer` — a fine-tuned LM scores goal/fact
+  relevance (with a keyword baseline for comparison);
+* :func:`greedy_summary` / :func:`sampled_summary` /
+  :func:`exhaustive_summary` — summary search strategies traded off by
+  scorer-call budget (the black-box-optimization story).
+"""
+
+from repro.miner.facts import DataFact, enumerate_facts, generate_sales_table
+from repro.miner.scorer import (
+    KeywordRelevanceScorer,
+    LMRelevanceScorer,
+    train_relevance_scorer,
+)
+from repro.miner.search import (
+    SummaryResult,
+    exhaustive_summary,
+    greedy_summary,
+    sampled_summary,
+    summary_relevance,
+)
+
+__all__ = [
+    "DataFact",
+    "enumerate_facts",
+    "generate_sales_table",
+    "KeywordRelevanceScorer",
+    "LMRelevanceScorer",
+    "train_relevance_scorer",
+    "SummaryResult",
+    "greedy_summary",
+    "sampled_summary",
+    "exhaustive_summary",
+    "summary_relevance",
+]

@@ -1,0 +1,33 @@
+"""Language models: GPT-style causal LM, BERT-style masked LM, task heads.
+
+Also hosts the named-configuration registry whose parameter-count
+formulas drive the Figure 1 reproduction.
+"""
+
+from repro.models.config import ModelConfig, transformer_param_count
+from repro.models.registry import (
+    HISTORICAL_MODELS,
+    HistoricalModel,
+    named_config,
+    registry_names,
+)
+from repro.models.gpt import GPTModel
+from repro.models.bert import BERTModel
+from repro.models.heads import SequenceClassifier
+from repro.models.checkpoint import load_model, save_model
+from repro.models.recurrent import RecurrentLM
+
+__all__ = [
+    "ModelConfig",
+    "transformer_param_count",
+    "HISTORICAL_MODELS",
+    "HistoricalModel",
+    "named_config",
+    "registry_names",
+    "GPTModel",
+    "BERTModel",
+    "SequenceClassifier",
+    "RecurrentLM",
+    "save_model",
+    "load_model",
+]

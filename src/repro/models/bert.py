@@ -1,0 +1,92 @@
+"""BERT-style encoder-only masked language model.
+
+Bidirectional Transformer encoder with learned token + position
+embeddings, pre-trained with masked language modeling (Section 2.2 of
+the tutorial), usable afterwards as a text encoder for classification,
+similarity and retrieval tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.errors import ModelError
+from repro.models.config import ModelConfig
+from repro.nn import Embedding, Linear, Module, TransformerStack
+from repro.utils.rng import SeededRNG
+
+
+class BERTModel(Module):
+    """Encoder-only MLM: ids (B, T) -> per-position vocab logits (B, T, V)."""
+
+    def __init__(self, config: ModelConfig, seed: int = 0) -> None:
+        super().__init__()
+        if config.causal:
+            raise ModelError("BERTModel requires a non-causal config")
+        self.config = config
+        rng = SeededRNG(seed)
+        self.token_emb = Embedding(config.vocab_size, config.dim, rng.spawn("tok"))
+        self.pos_emb = Embedding(config.max_seq_len, config.dim, rng.spawn("pos"))
+        self.stack = TransformerStack(
+            num_layers=config.num_layers,
+            dim=config.dim,
+            num_heads=config.num_heads,
+            ff_dim=config.ff_dim,
+            rng=rng.spawn("stack"),
+            causal=False,
+            dropout=config.dropout,
+        )
+        self.mlm_head: Optional[Linear] = None
+        if not config.tie_embeddings:
+            self.mlm_head = Linear(config.dim, config.vocab_size, rng.spawn("head"))
+
+    def encode(
+        self, ids: np.ndarray, attention_mask: Optional[np.ndarray] = None
+    ) -> Tensor:
+        """Return contextual hidden states of shape (B, T, dim)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.ndim != 2:
+            raise ModelError(f"ids must be 2-D (batch, seq), got shape {ids.shape}")
+        _, seq = ids.shape
+        if seq > self.config.max_seq_len:
+            raise ModelError(
+                f"sequence length {seq} exceeds max_seq_len {self.config.max_seq_len}"
+            )
+        positions = np.broadcast_to(np.arange(seq), ids.shape)
+        x = self.token_emb(ids) + self.pos_emb(positions)
+        return self.stack(x, attention_mask)
+
+    def forward(
+        self, ids: np.ndarray, attention_mask: Optional[np.ndarray] = None
+    ) -> Tensor:
+        """Return MLM logits of shape (B, T, vocab)."""
+        hidden = self.encode(ids, attention_mask)
+        if self.mlm_head is not None:
+            return self.mlm_head(hidden)
+        return hidden @ self.token_emb.weight.transpose(1, 0)
+
+    def pooled(
+        self, ids: np.ndarray, attention_mask: Optional[np.ndarray] = None
+    ) -> Tensor:
+        """Mean-pool hidden states over real (non-padded) positions.
+
+        Returns a (B, dim) sentence representation used by classifiers
+        and by the NeuralDB retrieval index.
+        """
+        hidden = self.encode(ids, attention_mask)
+        if attention_mask is None:
+            return hidden.mean(axis=1)
+        mask = np.asarray(attention_mask, dtype=np.float64)[:, :, None]
+        counts = np.maximum(mask.sum(axis=1), 1.0)
+        summed = (hidden * Tensor(mask)).sum(axis=1)
+        return summed * Tensor(1.0 / counts)
+
+    def embed_texts(self, batches_of_ids: np.ndarray, attention_mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Inference-mode sentence embeddings as a plain numpy array."""
+        from repro.autograd import no_grad
+
+        with no_grad():
+            return self.pooled(batches_of_ids, attention_mask).data

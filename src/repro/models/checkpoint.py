@@ -1,0 +1,60 @@
+"""Save/load model checkpoints (config + weights) as ``.npz`` files."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.models.bert import BERTModel
+from repro.models.config import ModelConfig
+from repro.models.gpt import GPTModel
+
+AnyModel = Union[GPTModel, BERTModel]
+
+_MODEL_CLASSES = {"GPTModel": GPTModel, "BERTModel": BERTModel}
+
+
+def save_model(model: AnyModel, path: Union[str, Path]) -> Path:
+    """Serialize a model's config and weights to one ``.npz`` file."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    meta = {
+        "model_class": type(model).__name__,
+        "config": dataclasses.asdict(model.config),
+    }
+    arrays = {f"param::{k}": v for k, v in model.state_dict().items()}
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **arrays)
+    return path
+
+
+def load_model(path: Union[str, Path]) -> AnyModel:
+    """Reconstruct a model saved by :func:`save_model`."""
+    path = Path(path)
+    if not path.exists():
+        raise ModelError(f"checkpoint not found: {path}")
+    with np.load(path) as archive:
+        try:
+            meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+        except KeyError:
+            raise ModelError(f"{path} is not a repro checkpoint") from None
+        state = {
+            key[len("param::"):]: archive[key]
+            for key in archive.files
+            if key.startswith("param::")
+        }
+    model_class = _MODEL_CLASSES.get(meta["model_class"])
+    if model_class is None:
+        raise ModelError(f"unknown model class {meta['model_class']!r}")
+    config = ModelConfig(**meta["config"])
+    model = model_class(config)
+    model.load_state_dict(state)
+    return model

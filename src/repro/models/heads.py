@@ -1,0 +1,61 @@
+"""Task heads placed on top of a pre-trained backbone (fine-tuning)."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.models.bert import BERTModel
+from repro.models.gpt import GPTModel
+from repro.nn import Linear, Module
+from repro.utils.rng import SeededRNG
+
+Backbone = Union[BERTModel, GPTModel]
+
+
+class SequenceClassifier(Module):
+    """A classification head over a pooled backbone representation.
+
+    This is the tutorial's "fine-tuning" recipe (Section 2.3): take a
+    pre-trained encoder, add a small task head, and train end-to-end on
+    a handful of labeled examples.
+    """
+
+    def __init__(self, backbone: Backbone, num_classes: int, seed: int = 0) -> None:
+        super().__init__()
+        self.backbone = backbone
+        self.num_classes = num_classes
+        self.head = Linear(backbone.config.dim, num_classes, SeededRNG(seed).spawn("cls"))
+
+    def forward(
+        self, ids: np.ndarray, attention_mask: Optional[np.ndarray] = None
+    ) -> Tensor:
+        """Return class logits of shape (B, num_classes)."""
+        pooled = self._pool(ids, attention_mask)
+        return self.head(pooled)
+
+    def _pool(
+        self, ids: np.ndarray, attention_mask: Optional[np.ndarray] = None
+    ) -> Tensor:
+        if isinstance(self.backbone, BERTModel):
+            return self.backbone.pooled(ids, attention_mask)
+        # For a causal backbone, use the last real position of each row.
+        hidden = self.backbone.encode(ids, attention_mask)
+        ids = np.asarray(ids)
+        if attention_mask is None:
+            last = np.full(ids.shape[0], ids.shape[1] - 1)
+        else:
+            last = np.maximum(np.asarray(attention_mask).sum(axis=1) - 1, 0)
+        return hidden[np.arange(ids.shape[0]), last]
+
+    def predict(
+        self, ids: np.ndarray, attention_mask: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Return the argmax class per row (inference mode)."""
+        from repro.autograd import no_grad
+
+        with no_grad():
+            logits = self.forward(ids, attention_mask)
+        return logits.data.argmax(axis=-1)

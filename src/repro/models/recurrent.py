@@ -1,0 +1,65 @@
+"""A recurrent (Elman-style) language model baseline.
+
+Section 2.1 of the tutorial motivates the Transformer by contrast with
+recurrent networks [43]. This module provides that pre-Transformer
+baseline so the "rise of the Transformer" demo can measure the gap on a
+long-range-dependency task.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+from repro.errors import ModelError
+from repro.models.config import ModelConfig
+from repro.nn import Embedding, Linear, Module
+from repro.utils.rng import SeededRNG
+
+
+class RecurrentLM(Module):
+    """Single-layer tanh RNN language model with tied output embedding."""
+
+    def __init__(self, config: ModelConfig, seed: int = 0) -> None:
+        super().__init__()
+        self.config = config
+        rng = SeededRNG(seed)
+        self.token_emb = Embedding(config.vocab_size, config.dim, rng.spawn("tok"))
+        self.input_proj = Linear(config.dim, config.dim, rng.spawn("in"))
+        self.recurrent = Linear(config.dim, config.dim, rng.spawn("rec"), bias=False)
+        self.out_norm_scale = 1.0 / np.sqrt(config.dim)
+
+    def forward(
+        self, ids: np.ndarray, attention_mask: Optional[np.ndarray] = None
+    ) -> Tensor:
+        """Return next-token logits of shape (B, T, vocab)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.ndim != 2:
+            raise ModelError(f"ids must be 2-D (batch, seq), got shape {ids.shape}")
+        batch, seq = ids.shape
+        embedded = self.token_emb(ids)  # (B, T, D)
+        state = Tensor(np.zeros((batch, self.config.dim)))
+        hidden_steps = []
+        for t in range(seq):
+            step_input = embedded[:, t, :]
+            state = F.tanh(self.input_proj(step_input) + self.recurrent(state))
+            hidden_steps.append(state.reshape(batch, 1, self.config.dim))
+        hidden = F.concat(hidden_steps, axis=1)
+        return hidden @ self.token_emb.weight.transpose(1, 0)
+
+    def encode(
+        self, ids: np.ndarray, attention_mask: Optional[np.ndarray] = None
+    ) -> Tensor:
+        """Return the hidden state at every position (B, T, dim)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        batch, seq = ids.shape
+        embedded = self.token_emb(ids)
+        state = Tensor(np.zeros((batch, self.config.dim)))
+        steps = []
+        for t in range(seq):
+            state = F.tanh(self.input_proj(embedded[:, t, :]) + self.recurrent(state))
+            steps.append(state.reshape(batch, 1, self.config.dim))
+        return F.concat(steps, axis=1)

@@ -1,0 +1,32 @@
+"""NeuralDB: a database whose rows are natural-language facts (§2.5, [77]).
+
+Thorne et al.'s NeuralDB stores facts as free-text sentences and
+answers queries with neural machinery instead of a schema: a retriever
+selects relevant facts, a neural reader extracts per-fact answers, and
+aggregation operators (count, set union, multi-hop joins) combine them.
+
+This implementation mirrors that architecture at laptop scale: the
+retriever is an embedding index over our BERT encoder (with a lexical
+baseline for comparison), the reader is a fine-tuned causal LM that maps
+``fact + question -> answer``, and the operator layer supports lookup,
+count, and two-hop join queries.
+"""
+
+from repro.neuraldb.facts import FactWorld, generate_fact_world
+from repro.neuraldb.reader import NeuralReader, train_reader
+from repro.neuraldb.retriever import EmbeddingRetriever, LexicalRetriever
+from repro.neuraldb.store import NeuralDatabase, QueryOutcome
+from repro.neuraldb.evaluate import NeuralDBReport, evaluate_neuraldb
+
+__all__ = [
+    "FactWorld",
+    "generate_fact_world",
+    "NeuralReader",
+    "train_reader",
+    "LexicalRetriever",
+    "EmbeddingRetriever",
+    "NeuralDatabase",
+    "QueryOutcome",
+    "NeuralDBReport",
+    "evaluate_neuraldb",
+]

@@ -1,0 +1,45 @@
+"""Evaluate a NeuralDatabase against its world's ground truth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.neuraldb.facts import FactWorld
+from repro.neuraldb.store import NeuralDatabase
+
+
+@dataclass
+class NeuralDBReport:
+    """Accuracy per query family."""
+
+    lookup_accuracy: float = 0.0
+    count_accuracy: float = 0.0
+    join_accuracy: float = 0.0
+
+    def overall(self) -> float:
+        return (self.lookup_accuracy + self.count_accuracy + self.join_accuracy) / 3
+
+
+def evaluate_neuraldb(ndb: NeuralDatabase, world: FactWorld) -> NeuralDBReport:
+    """Score lookup, count, and join queries against ground truth."""
+    lookup_hits = 0
+    for person, dept in world.works_in.items():
+        outcome = ndb.lookup(f"where does {person} work ?")
+        lookup_hits += int(str(outcome.answer) == dept)
+
+    count_hits = 0
+    for dept in world.departments:
+        outcome = ndb.count_department(dept)
+        count_hits += int(outcome.answer == world.count_in_department(dept))
+
+    join_hits = 0
+    for person in world.people:
+        outcome = ndb.join_lookup(person)
+        join_hits += int(str(outcome.answer) == world.building_of_person(person))
+
+    return NeuralDBReport(
+        lookup_accuracy=lookup_hits / len(world.works_in),
+        count_accuracy=count_hits / len(world.departments),
+        join_accuracy=join_hits / len(world.people),
+    )

@@ -1,0 +1,108 @@
+"""Synthetic fact worlds: people, departments, buildings — as sentences."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.utils.rng import SeededRNG
+
+_PEOPLE = ["alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
+           "ivan", "judy", "kevin", "laura", "mike", "nina", "oscar", "paula"]
+_DEPARTMENTS = ["engineering", "sales", "marketing", "finance"]
+_BUILDINGS = ["tower", "annex", "plaza", "lab"]
+
+_WORK_TEMPLATES = [
+    "{person} works in {dept} .",
+    "{person} is a member of the {dept} team .",
+    "{person} belongs to {dept} .",
+]
+_LOCATION_TEMPLATES = [
+    "{dept} is located in the {building} .",
+    "the {dept} team sits in the {building} .",
+]
+
+
+@dataclass
+class FactWorld:
+    """Ground truth plus the NL fact sentences derived from it."""
+
+    works_in: Dict[str, str] = field(default_factory=dict)      # person -> dept
+    located_in: Dict[str, str] = field(default_factory=dict)    # dept -> building
+    facts: List[str] = field(default_factory=list)
+
+    @property
+    def people(self) -> List[str]:
+        return sorted(self.works_in)
+
+    @property
+    def departments(self) -> List[str]:
+        return sorted(self.located_in)
+
+    def count_in_department(self, dept: str) -> int:
+        return sum(1 for d in self.works_in.values() if d == dept)
+
+    def building_of_person(self, person: str) -> str:
+        return self.located_in[self.works_in[person]]
+
+
+def generate_fact_world(num_people: int = 12, seed: int = 0) -> FactWorld:
+    """Sample a world and render every relation as one NL sentence."""
+    rng = SeededRNG(seed)
+    world = FactWorld()
+    people = _PEOPLE[:num_people]
+    if num_people > len(_PEOPLE):
+        people = people + [f"person{i}" for i in range(num_people - len(_PEOPLE))]
+    for person in people:
+        world.works_in[person] = rng.choice(_DEPARTMENTS)
+    for dept, building in zip(_DEPARTMENTS, rng.shuffled(_BUILDINGS)):
+        world.located_in[dept] = building
+
+    for person, dept in world.works_in.items():
+        template = rng.choice(_WORK_TEMPLATES)
+        world.facts.append(template.format(person=person, dept=dept))
+    for dept, building in world.located_in.items():
+        template = rng.choice(_LOCATION_TEMPLATES)
+        world.facts.append(template.format(dept=dept, building=building))
+    world.facts = rng.shuffled(world.facts)
+    return world
+
+
+def contrastive_pairs(seed: int = 0, num_worlds: int = 5) -> List[Tuple[str, str]]:
+    """(question, matching fact) pairs for dual-encoder retriever training.
+
+    Drawn from independent worlds so the retriever learns the
+    question-to-fact alignment pattern, not one world's assignments.
+    """
+    pairs: List[Tuple[str, str]] = []
+    for w in range(num_worlds):
+        rng = SeededRNG(seed * 900 + w)
+        world = generate_fact_world(num_people=10, seed=seed * 900 + w + 31)
+        for person, dept in world.works_in.items():
+            fact = rng.choice(_WORK_TEMPLATES).format(person=person, dept=dept)
+            pairs.append((f"where does {person} work ?", fact))
+        for dept, building in world.located_in.items():
+            fact = rng.choice(_LOCATION_TEMPLATES).format(dept=dept, building=building)
+            pairs.append((f"where is {dept} located ?", fact))
+    return pairs
+
+
+def training_qa_pairs(seed: int = 0, num_worlds: int = 6) -> List[Tuple[str, str, str]]:
+    """(fact, question, answer) triples for reader training.
+
+    Sampled from several independent worlds so the reader learns the
+    template semantics, not one world's specific assignments.
+    """
+    triples: List[Tuple[str, str, str]] = []
+    for w in range(num_worlds):
+        rng = SeededRNG(seed * 1000 + w)
+        world = generate_fact_world(num_people=10, seed=seed * 1000 + w + 17)
+        for person, dept in world.works_in.items():
+            fact = rng.choice(_WORK_TEMPLATES).format(person=person, dept=dept)
+            triples.append((fact, f"where does {person} work ?", dept))
+            # The generic phrasing used by the count operator's scan.
+            triples.append((fact, "where does this person work ?", dept))
+        for dept, building in world.located_in.items():
+            fact = rng.choice(_LOCATION_TEMPLATES).format(dept=dept, building=building)
+            triples.append((fact, f"where is {dept} located ?", building))
+    return triples

@@ -1,0 +1,160 @@
+"""Fact retrieval: lexical overlap baseline vs neural embedding index."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import NeuralDBError
+from repro.models import BERTModel, ModelConfig
+from repro.tokenizers import WhitespaceTokenizer
+from repro.training import pretrain_mlm
+from repro.utils.text import jaccard
+
+
+class LexicalRetriever:
+    """Rank facts by word-overlap with the query."""
+
+    def __init__(self, facts: Sequence[str]) -> None:
+        if not facts:
+            raise NeuralDBError("cannot index zero facts")
+        self.facts = list(facts)
+
+    def retrieve(self, query: str, top_k: int = 3) -> List[Tuple[str, float]]:
+        scored = [(fact, jaccard(query, fact)) for fact in self.facts]
+        scored.sort(key=lambda pair: -pair[1])
+        return scored[:top_k]
+
+
+class EmbeddingRetriever:
+    """Dense retrieval over a BERT encoder pre-trained on the fact store.
+
+    The encoder is MLM-pretrained on the facts themselves (no labels),
+    then every fact is embedded once; queries embed at ask time and rank
+    by cosine similarity.
+    """
+
+    # Generic question phrasings, added to the tokenizer's training text
+    # so that query words are in-vocabulary at ask time.
+    QUESTION_PHRASES = [
+        "where does work ?",
+        "where is located ?",
+        "who works in ?",
+    ]
+
+    def __init__(
+        self,
+        facts: Sequence[str],
+        pretrain_steps: int = 60,
+        dim: int = 32,
+        seed: int = 0,
+    ) -> None:
+        if not facts:
+            raise NeuralDBError("cannot index zero facts")
+        self.facts = list(facts)
+        self.tokenizer = WhitespaceTokenizer(lowercase=True)
+        self.tokenizer.train(list(self.facts) + self.QUESTION_PHRASES, vocab_size=1024)
+        max_len = max(len(self.tokenizer.encode(f).ids) for f in self.facts) + 4
+
+        config = ModelConfig(
+            vocab_size=self.tokenizer.vocab_size,
+            max_seq_len=max_len,
+            dim=dim,
+            num_layers=2,
+            num_heads=2,
+            ff_dim=4 * dim,
+            causal=False,
+        )
+        self.encoder = BERTModel(config, seed=seed)
+        pretrain_mlm(
+            self.encoder, self.tokenizer, self.facts,
+            steps=pretrain_steps, seq_len=min(max_len, 24), seed=seed,
+        )
+        self._max_len = max_len
+        self._index = self._embed(self.facts)
+
+    def _embed(self, texts: Sequence[str]) -> np.ndarray:
+        encodings = [
+            self.tokenizer.encode(t, max_length=self._max_len, pad_to=self._max_len)
+            for t in texts
+        ]
+        ids = np.array([e.ids for e in encodings], dtype=np.int64)
+        mask = np.array([e.attention_mask for e in encodings], dtype=np.int64)
+        # Unknown words carry no signal; keep them out of the pooled
+        # representation so rare queries aren't dominated by [UNK].
+        unk = self.tokenizer.vocab.unk_id
+        informative = mask & (ids != unk)
+        informative[informative.sum(axis=1) == 0] = mask[informative.sum(axis=1) == 0]
+        vectors = self.encoder.embed_texts(ids, informative)
+        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+        return vectors / np.maximum(norms, 1e-9)
+
+    def retrieve(self, query: str, top_k: int = 3) -> List[Tuple[str, float]]:
+        query_vec = self._embed([query])[0]
+        similarities = self._index @ query_vec
+        order = np.argsort(-similarities)[:top_k]
+        return [(self.facts[i], float(similarities[i])) for i in order]
+
+    # -- contrastive fine-tuning (DPR-style) ---------------------------------
+    def train_contrastive(
+        self,
+        qa_pairs: Sequence[Tuple[str, str]],
+        steps: int = 120,
+        batch_size: int = 12,
+        lr: float = 2e-3,
+        seed: int = 0,
+    ) -> "EmbeddingRetriever":
+        """Fine-tune the encoder on (question, matching fact) pairs.
+
+        In-batch negatives with an InfoNCE objective — the dual-encoder
+        recipe dense retrievers (and NeuralDB's support-set retriever)
+        are trained with. Afterwards the fact index is rebuilt.
+        """
+        if not qa_pairs:
+            raise NeuralDBError("no training pairs")
+        from repro.autograd import Tensor, cross_entropy
+        from repro.training.optim import AdamW
+        from repro.utils.rng import SeededRNG
+
+        questions = [q for q, _ in qa_pairs]
+        positives = [f for _, f in qa_pairs]
+        q_ids, q_mask = self._encode_batch(questions)
+        f_ids, f_mask = self._encode_batch(positives)
+
+        optimizer = AdamW(self.encoder.parameters(), lr=lr)
+        rng = SeededRNG(seed)
+        n = len(qa_pairs)
+        self.encoder.train()
+        for _ in range(steps):
+            idx = rng.generator.choice(n, size=min(batch_size, n), replace=False)
+            q_vec = self._pooled_normalized(q_ids[idx], q_mask[idx])
+            f_vec = self._pooled_normalized(f_ids[idx], f_mask[idx])
+            logits = (q_vec @ f_vec.transpose(1, 0)) * 10.0  # temperature 0.1
+            targets = np.arange(len(idx))
+            loss = cross_entropy(logits, targets)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.clip_grad_norm(1.0)
+            optimizer.step()
+        self.encoder.eval()
+        self._index = self._embed(self.facts)
+        return self
+
+    def _encode_batch(self, texts: Sequence[str]) -> Tuple[np.ndarray, np.ndarray]:
+        encodings = [
+            self.tokenizer.encode(t, max_length=self._max_len, pad_to=self._max_len)
+            for t in texts
+        ]
+        ids = np.array([e.ids for e in encodings], dtype=np.int64)
+        mask = np.array([e.attention_mask for e in encodings], dtype=np.int64)
+        unk = self.tokenizer.vocab.unk_id
+        informative = mask & (ids != unk)
+        empty = informative.sum(axis=1) == 0
+        informative[empty] = mask[empty]
+        return ids, informative
+
+    def _pooled_normalized(self, ids: np.ndarray, mask: np.ndarray):
+        pooled = self.encoder.pooled(ids, mask)
+        sumsq = (pooled * pooled).sum(axis=-1, keepdims=True)
+        return pooled * ((sumsq + 1e-9) ** -0.5)

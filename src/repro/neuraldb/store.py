@@ -1,0 +1,107 @@
+"""The NeuralDatabase: retrieval + reader + aggregation operators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import NeuralDBError
+from repro.neuraldb.reader import NeuralReader
+from repro.neuraldb.retriever import EmbeddingRetriever, LexicalRetriever
+
+Retriever = Union[LexicalRetriever, EmbeddingRetriever]
+
+
+@dataclass
+class QueryOutcome:
+    """An answer plus the provenance NeuralDB exposes."""
+
+    answer: Union[str, int]
+    supporting_facts: List[str] = field(default_factory=list)
+
+
+class NeuralDatabase:
+    """Facts in, natural-language queries out — no schema anywhere.
+
+    Three operator types cover the query families of the NeuralDB paper
+    at our scale:
+
+    * :meth:`lookup` — single-fact answer extraction;
+    * :meth:`count` — aggregate over per-fact reader outputs;
+    * :meth:`join_lookup` — two-hop composition (person -> department ->
+      building) through intermediate answers.
+    """
+
+    def __init__(self, retriever: Retriever, reader: NeuralReader) -> None:
+        self.retriever = retriever
+        self.reader = reader
+
+    @property
+    def facts(self) -> List[str]:
+        return list(self.retriever.facts)
+
+    # -- mutations (NeuralDB supports inserts/deletes of facts) -------------
+    def add_fact(self, fact: str) -> None:
+        """Insert one NL fact and refresh the retrieval index."""
+        if not fact.strip():
+            raise NeuralDBError("cannot store an empty fact")
+        self.retriever.facts.append(fact)
+        self._reindex()
+
+    def remove_fact(self, fact: str) -> None:
+        """Delete one NL fact (exact match) and refresh the index."""
+        try:
+            self.retriever.facts.remove(fact)
+        except ValueError:
+            raise NeuralDBError(f"fact not stored: {fact!r}") from None
+        if not self.retriever.facts:
+            raise NeuralDBError("cannot remove the last fact of the store")
+        self._reindex()
+
+    def _reindex(self) -> None:
+        if isinstance(self.retriever, EmbeddingRetriever):
+            self.retriever._index = self.retriever._embed(self.retriever.facts)
+
+    def lookup(self, question: str, top_k: int = 2) -> QueryOutcome:
+        """Answer from the single best-supported fact."""
+        hits = self.retriever.retrieve(question, top_k=top_k)
+        if not hits:
+            raise NeuralDBError("retriever returned no facts")
+        best_fact = hits[0][0]
+        answer = self.reader.read(best_fact, question)
+        return QueryOutcome(answer=answer, supporting_facts=[h[0] for h in hits])
+
+    def count(self, entity: str, question_of_fact: str, expected: str) -> QueryOutcome:
+        """Count facts whose per-fact answer equals ``expected``.
+
+        ``question_of_fact`` is asked against *every* fact (the scan is
+        NeuralDB's parallelizable select); facts answering ``expected``
+        are tallied. ``entity`` is only used to phrase provenance.
+        """
+        supporting: List[str] = []
+        for fact in self.retriever.facts:
+            answer = self.reader.read(fact, question_of_fact.format(fact=fact))
+            if answer == expected:
+                supporting.append(fact)
+        return QueryOutcome(answer=len(supporting), supporting_facts=supporting)
+
+    def count_department(self, dept: str) -> QueryOutcome:
+        """How many people work in ``dept``? (a canonical count query)."""
+        supporting: List[str] = []
+        for fact in self.retriever.facts:
+            if "located" in fact or "sits" in fact:
+                continue  # location facts describe departments, not people
+            answer = self.reader.read(fact, "where does this person work ?")
+            if answer == dept:
+                supporting.append(fact)
+        return QueryOutcome(answer=len(supporting), supporting_facts=supporting)
+
+    def join_lookup(self, person: str) -> QueryOutcome:
+        """Which building does ``person`` work in? (two-hop join)."""
+        first = self.lookup(f"where does {person} work ?")
+        dept = str(first.answer)
+        second = self.lookup(f"where is {dept} located ?")
+        return QueryOutcome(
+            answer=second.answer,
+            supporting_facts=first.supporting_facts[:1] + second.supporting_facts[:1],
+        )

@@ -1,0 +1,128 @@
+"""Scaled dot-product multi-head attention (the heart of the Transformer).
+
+The implementation follows "Attention Is All You Need": queries, keys and
+values are linear projections of the input, split into heads, attended
+with scaled dot products, re-merged and projected out. Causal and padding
+masks are boolean numpy arrays (True = *blocked* position).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+from repro.errors import ModelError
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+from repro.utils.rng import SeededRNG
+
+NEG_INF = -1e9
+
+
+def causal_mask(seq_len: int) -> np.ndarray:
+    """Return a (seq_len, seq_len) bool mask blocking future positions."""
+    return np.triu(np.ones((seq_len, seq_len), dtype=bool), k=1)
+
+
+def padding_mask(attention_mask: np.ndarray) -> np.ndarray:
+    """Turn a (B, T) 1/0 attention mask into a (B, 1, 1, T) blocked mask.
+
+    Broadcasting against (B, H, T, T) attention scores blocks every
+    query's view of padded key positions.
+    """
+    attn = np.asarray(attention_mask)
+    return (attn == 0)[:, None, None, :]
+
+
+class MultiHeadAttention(Module):
+    """Multi-head self-attention with optional causal masking."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        rng: SeededRNG,
+        causal: bool = False,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ModelError(f"dim {dim} must be divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.causal = causal
+        self.query = Linear(dim, dim, rng.spawn("q"))
+        self.key = Linear(dim, dim, rng.spawn("k"))
+        self.value = Linear(dim, dim, rng.spawn("v"))
+        self.out = Linear(dim, dim, rng.spawn("o"))
+        self.attn_dropout = Dropout(dropout, rng.spawn("attn_drop"))
+        self._last_attention: Optional[np.ndarray] = None
+
+    def forward(
+        self, x: Tensor, attention_mask: Optional[np.ndarray] = None
+    ) -> Tensor:
+        """Attend over ``x`` of shape (B, T, D).
+
+        Args:
+            x: input activations, shape (batch, seq, dim).
+            attention_mask: optional (batch, seq) array of 1s (keep) and
+                0s (padding) in the HuggingFace convention.
+        """
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.query(x), batch, seq)
+        k = self._split_heads(self.key(x), batch, seq)
+        v = self._split_heads(self.value(x), batch, seq)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        blocked = np.zeros((batch, 1, seq, seq), dtype=bool)
+        if self.causal:
+            blocked = blocked | causal_mask(seq)[None, None, :, :]
+        if attention_mask is not None:
+            blocked = blocked | padding_mask(attention_mask)
+        scores = scores.masked_fill(blocked, NEG_INF)
+
+        weights = F.softmax(scores, axis=-1)
+        self._last_attention = weights.data
+        weights = self.attn_dropout(weights)
+        context = weights @ v
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+        return self.out(merged)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        """(B, T, D) -> (B, H, T, D/H)."""
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(
+            0, 2, 1, 3
+        )
+
+    @property
+    def last_attention(self) -> Optional[np.ndarray]:
+        """Attention weights of the most recent forward pass (B, H, T, T)."""
+        return self._last_attention
+
+    def incremental(self, x: Tensor, cache: dict) -> Tensor:
+        """Attend one new position against cached keys/values.
+
+        Inference-only fast path for autoregressive decoding: ``x`` is
+        the single new position (B, 1, D); the cache accumulates this
+        layer's K/V across steps so earlier positions are never
+        recomputed. Causality holds by construction — the new token sees
+        exactly the cached prefix plus itself.
+        """
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.query(x), batch, seq).data
+        k = self._split_heads(self.key(x), batch, seq).data
+        v = self._split_heads(self.value(x), batch, seq).data
+        cache["k"] = k if "k" not in cache else np.concatenate([cache["k"], k], axis=2)
+        cache["v"] = v if "v" not in cache else np.concatenate([cache["v"], v], axis=2)
+
+        scores = (q @ cache["k"].transpose(0, 1, 3, 2)) / np.sqrt(self.head_dim)
+        shifted = scores - scores.max(axis=-1, keepdims=True)
+        weights = np.exp(shifted)
+        weights = weights / weights.sum(axis=-1, keepdims=True)
+        context = weights @ cache["v"]
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+        return self.out(Tensor(merged))

@@ -1,0 +1,45 @@
+"""NLP-enhanced data profiling (§2.5: [78], [87]).
+
+Trummer's profiling line asks: can a language model predict *data*
+properties from *metadata text* — e.g. whether two columns correlate,
+judging only by their names? A profiler with that skill prioritizes
+which column pairs to actually test, saving scans on wide tables.
+
+This module reproduces the experiment:
+
+* :func:`generate_schema_corpus` — synthetic schemas whose column-name
+  semantics determine correlation (derived columns like ``total_price``
+  correlate with ``unit_price``; unrelated names do not), plus actual
+  data generated accordingly so predictions can be *verified* against
+  measured correlations;
+* :class:`NamePairClassifier` — a fine-tuned encoder predicting
+  "correlated?" from the two names (the LM path);
+* :class:`TokenOverlapBaseline` — the obvious heuristic;
+* :func:`prioritized_profiling` — rank column pairs by predicted
+  probability and measure how many true correlations the profiler finds
+  within a budget of actual data scans.
+"""
+
+from repro.profiling.corpus import (
+    ColumnPair,
+    generate_schema_corpus,
+    measure_correlation,
+)
+from repro.profiling.predictor import (
+    NamePairClassifier,
+    TokenOverlapBaseline,
+    evaluate_predictor,
+    train_name_pair_classifier,
+)
+from repro.profiling.prioritize import profiling_recall_at_budget
+
+__all__ = [
+    "ColumnPair",
+    "generate_schema_corpus",
+    "measure_correlation",
+    "NamePairClassifier",
+    "TokenOverlapBaseline",
+    "train_name_pair_classifier",
+    "evaluate_predictor",
+    "profiling_recall_at_budget",
+]

@@ -1,0 +1,25 @@
+"""Prompting: templates, few-shot prompts, LM-scored classification.
+
+Implements the tutorial's Section 2.3 story: instead of updating weights
+(fine-tuning), describe the task in the model's input — instructions plus
+zero or more worked examples — and read the answer out of the completion.
+"""
+
+from repro.prompting.template import PromptTemplate
+from repro.prompting.fewshot import FewShotPrompt
+from repro.prompting.classify import PromptClassifier, score_continuation
+from repro.prompting.parsers import (
+    parse_final_line,
+    parse_key_value,
+    parse_label,
+)
+
+__all__ = [
+    "PromptTemplate",
+    "FewShotPrompt",
+    "PromptClassifier",
+    "score_continuation",
+    "parse_label",
+    "parse_key_value",
+    "parse_final_line",
+]

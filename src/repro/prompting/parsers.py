@@ -1,0 +1,53 @@
+"""Parsers that read structured answers out of free-form completions."""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional, Sequence
+
+from repro.errors import PromptError
+
+
+def parse_label(
+    completion: str, labels: Sequence[str], default: Optional[str] = None
+) -> str:
+    """Find the first known label word in a completion (case-insensitive).
+
+    Raises :class:`PromptError` if no label is present and no default
+    was provided.
+    """
+    lowered = completion.lower()
+    best: Optional[tuple[int, str]] = None
+    for label in labels:
+        # Whole-word match so "no" does not fire inside "nothing".
+        match = re.search(rf"\b{re.escape(label.lower())}\b", lowered)
+        if match and (best is None or match.start() < best[0]):
+            best = (match.start(), label)
+    if best is not None:
+        return best[1]
+    if default is not None:
+        return default
+    raise PromptError(
+        f"no label from {list(labels)} found in completion {completion!r}"
+    )
+
+
+def parse_final_line(completion: str) -> str:
+    """Return the last non-empty line of a completion, stripped."""
+    lines = [line.strip() for line in completion.splitlines() if line.strip()]
+    if not lines:
+        raise PromptError("completion is empty")
+    return lines[-1]
+
+
+_KV_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_ ]*?)\s*[:=]\s*(.+?)\s*$")
+
+
+def parse_key_value(completion: str) -> Dict[str, str]:
+    """Parse ``key: value`` / ``key = value`` lines into a dict."""
+    out: Dict[str, str] = {}
+    for line in completion.splitlines():
+        match = _KV_RE.match(line)
+        if match:
+            out[match.group(1).strip().lower()] = match.group(2).strip()
+    return out

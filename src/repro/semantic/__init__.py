@@ -1,0 +1,38 @@
+"""Natural-language predicates inside SQL (§2.5: LM-implemented operators).
+
+The tutorial's second §2.5 thread: language models inside the execution
+engine — implementing operators over text the way ThalamusDB [32]
+answers "SQL with natural-language predicates" and Ember/NeuralDB
+[74, 77] push LM operators into query plans.
+
+Here a :class:`SemanticDatabase` accepts standard SQL extended with::
+
+    SELECT name FROM products WHERE NL(review, 'the review is positive')
+
+``NL(column, 'description')`` is compiled *before* execution: the
+predicate is evaluated once per distinct column value by a pluggable
+text classifier (an LM or a keyword baseline), and the call is rewritten
+into an ordinary ``IN`` list the relational engine executes natively —
+the materialize-then-filter strategy semantic operators use in practice.
+"""
+
+from repro.semantic.predicate import (
+    FinetunedPredicate,
+    KeywordPredicate,
+    TextPredicate,
+    generate_review_table,
+    train_review_predicate,
+)
+from repro.semantic.rewrite import extract_nl_calls, rewrite_expression
+from repro.semantic.database import SemanticDatabase
+
+__all__ = [
+    "TextPredicate",
+    "KeywordPredicate",
+    "FinetunedPredicate",
+    "generate_review_table",
+    "train_review_predicate",
+    "extract_nl_calls",
+    "rewrite_expression",
+    "SemanticDatabase",
+]

@@ -1,0 +1,140 @@
+"""AST rewriting: compile ``NL(col, 'desc')`` calls into IN lists."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Literal,
+    UnaryOp,
+)
+
+NL_FUNC = "NL"
+
+
+class SemanticError(ReproError):
+    """Raised for malformed NL(...) operator usage."""
+
+
+def extract_nl_calls(expr: Optional[Expr]) -> List[FuncCall]:
+    """All ``NL(column, 'description')`` calls inside an expression."""
+    calls: List[FuncCall] = []
+    if expr is None:
+        return calls
+
+    def walk(node: Expr) -> None:
+        if isinstance(node, FuncCall):
+            if node.name.upper() == NL_FUNC:
+                _validate(node)
+                calls.append(node)
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, IsNull):
+            walk(node.operand)
+        elif isinstance(node, InList):
+            walk(node.operand)
+            for item in node.items:
+                walk(item)
+        elif isinstance(node, Between):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, CaseWhen):
+            for condition, value in node.branches:
+                walk(condition)
+                walk(value)
+            if node.default is not None:
+                walk(node.default)
+
+    walk(expr)
+    return calls
+
+
+def _validate(call: FuncCall) -> None:
+    if len(call.args) != 2:
+        raise SemanticError("NL() takes exactly two arguments: NL(column, 'description')")
+    if not isinstance(call.args[0], ColumnRef):
+        raise SemanticError("the first argument of NL() must be a column")
+    if not isinstance(call.args[1], Literal) or not isinstance(call.args[1].value, str):
+        raise SemanticError("the second argument of NL() must be a string literal")
+
+
+def nl_call_parts(call: FuncCall) -> Tuple[ColumnRef, str]:
+    """Destructure a validated NL call into (column, description)."""
+    column = call.args[0]
+    description = call.args[1].value
+    assert isinstance(column, ColumnRef) and isinstance(description, str)
+    return column, description
+
+
+def rewrite_expression(
+    expr: Expr, replacement: Callable[[FuncCall], Expr]
+) -> Expr:
+    """Return a copy of ``expr`` with every NL call replaced.
+
+    ``replacement`` maps each NL :class:`FuncCall` to the expression
+    that should stand in for it (typically an :class:`InList`).
+    """
+    if isinstance(expr, FuncCall):
+        if expr.name.upper() == NL_FUNC:
+            return replacement(expr)
+        return FuncCall(
+            name=expr.name,
+            args=tuple(rewrite_expression(a, replacement) for a in expr.args),
+            distinct=expr.distinct,
+        )
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            op=expr.op,
+            left=rewrite_expression(expr.left, replacement),
+            right=rewrite_expression(expr.right, replacement),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(op=expr.op, operand=rewrite_expression(expr.operand, replacement))
+    if isinstance(expr, IsNull):
+        return IsNull(
+            operand=rewrite_expression(expr.operand, replacement), negated=expr.negated
+        )
+    if isinstance(expr, InList):
+        return InList(
+            operand=rewrite_expression(expr.operand, replacement),
+            items=tuple(rewrite_expression(i, replacement) for i in expr.items),
+            negated=expr.negated,
+        )
+    if isinstance(expr, Between):
+        return Between(
+            operand=rewrite_expression(expr.operand, replacement),
+            low=rewrite_expression(expr.low, replacement),
+            high=rewrite_expression(expr.high, replacement),
+            negated=expr.negated,
+        )
+    if isinstance(expr, CaseWhen):
+        return CaseWhen(
+            branches=tuple(
+                (
+                    rewrite_expression(condition, replacement),
+                    rewrite_expression(value, replacement),
+                )
+                for condition, value in expr.branches
+            ),
+            default=(
+                rewrite_expression(expr.default, replacement)
+                if expr.default is not None
+                else None
+            ),
+        )
+    return expr

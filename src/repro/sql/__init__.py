@@ -1,0 +1,35 @@
+"""A from-scratch in-memory relational engine.
+
+This is the execution substrate beneath the data-management applications
+(Section 2.5): text-to-SQL needs an engine to measure *execution*
+accuracy, CodexDB needs a baseline query processor, and the fact-checking
+pipeline verifies claims by running aggregate queries.
+
+Supported SQL: ``CREATE TABLE``, ``INSERT INTO ... VALUES``, and
+``SELECT`` with projections, arithmetic, ``WHERE`` (three-valued NULL
+logic), ``INNER/LEFT JOIN ... ON``, ``GROUP BY``/``HAVING``, aggregate
+functions (COUNT/SUM/AVG/MIN/MAX), ``DISTINCT``, ``ORDER BY`` and
+``LIMIT``.
+"""
+
+from repro.sql.types import SQLType, Value, is_null
+from repro.sql.schema import Column, TableSchema
+from repro.sql.table import Table
+from repro.sql.catalog import Catalog
+from repro.sql.engine import Database, QueryResult
+from repro.sql.parser import parse_sql
+from repro.sql.lexer import tokenize_sql
+
+__all__ = [
+    "SQLType",
+    "Value",
+    "is_null",
+    "Column",
+    "TableSchema",
+    "Table",
+    "Catalog",
+    "Database",
+    "QueryResult",
+    "parse_sql",
+    "tokenize_sql",
+]

@@ -1,0 +1,48 @@
+"""Catalog: the named-table namespace of a database."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import CatalogError
+from repro.sql.table import Table
+
+
+class Catalog:
+    """Case-insensitive mapping from table names to tables."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    def add(self, table: Table, replace: bool = False) -> None:
+        """Register a table under its schema name."""
+        key = table.schema.name.lower()
+        if key in self._tables and not replace:
+            raise CatalogError(f"table {table.schema.name!r} already exists")
+        self._tables[key] = table
+
+    def get(self, name: str) -> Table:
+        """Look up a table; raises :class:`CatalogError` when missing."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"no table {name!r}; known tables: {self.names()}"
+            ) from None
+
+    def drop(self, name: str) -> None:
+        """Remove a table."""
+        try:
+            del self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no table {name!r} to drop") from None
+
+    def names(self) -> List[str]:
+        """Registered table names (original casing), sorted."""
+        return sorted(t.schema.name for t in self._tables.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)

@@ -1,0 +1,108 @@
+"""A minimal interactive SQL shell over the in-memory engine.
+
+Run with ``python -m repro.sql.shell [csv files...]`` — each CSV loads
+as a table named after the file. Useful for poking at the engine and
+for demos; the same REPL loop is importable for tests.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, TextIO
+
+from repro.errors import ReproError
+from repro.sql import Database, QueryResult
+
+PROMPT = "sql> "
+COMMANDS = """\
+.tables            list tables
+.schema <table>    show a table's columns
+.quit              exit
+any other input is executed as SQL (one statement per line)"""
+
+
+def format_result(result: QueryResult) -> str:
+    """Render a query result as an aligned text table."""
+    if not result.columns:
+        return f"ok ({result.rowcount} rows affected)"
+    widths = [len(c) for c in result.columns]
+    rendered_rows: List[List[str]] = []
+    for row in result.rows:
+        rendered = ["NULL" if v is None else str(v) for v in row]
+        widths = [max(w, len(cell)) for w, cell in zip(widths, rendered)]
+        rendered_rows.append(rendered)
+    header = "  ".join(c.ljust(w) for c, w in zip(result.columns, widths))
+    separator = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in rendered_rows
+    ]
+    footer = f"({len(result.rows)} row{'s' if len(result.rows) != 1 else ''})"
+    return "\n".join([header, separator, *body, footer])
+
+
+def handle_line(db: Database, line: str) -> Optional[str]:
+    """Process one input line; returns the text to print (None to quit)."""
+    stripped = line.strip()
+    if not stripped:
+        return ""
+    if stripped in (".quit", ".exit"):
+        return None
+    if stripped == ".help":
+        return COMMANDS
+    if stripped == ".tables":
+        names = db.table_names()
+        return "\n".join(names) if names else "(no tables)"
+    if stripped.startswith(".schema"):
+        parts = stripped.split()
+        if len(parts) != 2:
+            return "usage: .schema <table>"
+        try:
+            schema = db.table(parts[1]).schema
+        except ReproError as exc:
+            return f"error: {exc}"
+        return "\n".join(f"{c.name}  {c.sql_type.value}" for c in schema.columns)
+    try:
+        return format_result(db.execute(stripped))
+    except ReproError as exc:
+        return f"error: {exc}"
+
+
+def repl(
+    db: Database,
+    stdin: Optional[TextIO] = None,
+    stdout: Optional[TextIO] = None,
+) -> None:
+    """Run the read-eval-print loop until EOF or ``.quit``."""
+    stdin = stdin or sys.stdin
+    stdout = stdout or sys.stdout
+    interactive = stdin is sys.stdin and stdin.isatty()
+    while True:
+        if interactive:
+            stdout.write(PROMPT)
+            stdout.flush()
+        line = stdin.readline()
+        if not line:
+            break
+        output = handle_line(db, line)
+        if output is None:
+            break
+        if output:
+            stdout.write(output + "\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    db = Database()
+    for csv_path in argv:
+        path = Path(csv_path)
+        db.load_csv(path.stem, path)
+        print(f"loaded table {path.stem!r} from {path}")
+    print("repro SQL shell — .help for commands")
+    repl(db)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""SQL value types, coercion, and three-valued (NULL) logic."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Union
+
+from repro.errors import SQLExecutionError
+
+# A SQL value: NULL is represented as Python None.
+Value = Union[int, float, str, bool, None]
+
+
+class SQLType(enum.Enum):
+    """Column data types."""
+
+    INT = "INT"
+    FLOAT = "FLOAT"
+    TEXT = "TEXT"
+    BOOL = "BOOL"
+
+    @classmethod
+    def parse(cls, name: str) -> "SQLType":
+        """Parse a type name (accepting common synonyms)."""
+        normalized = name.strip().upper()
+        synonyms = {
+            "INT": cls.INT, "INTEGER": cls.INT, "BIGINT": cls.INT,
+            "FLOAT": cls.FLOAT, "REAL": cls.FLOAT, "DOUBLE": cls.FLOAT,
+            "NUMERIC": cls.FLOAT, "DECIMAL": cls.FLOAT,
+            "TEXT": cls.TEXT, "VARCHAR": cls.TEXT, "CHAR": cls.TEXT,
+            "STRING": cls.TEXT,
+            "BOOL": cls.BOOL, "BOOLEAN": cls.BOOL,
+        }
+        try:
+            return synonyms[normalized]
+        except KeyError:
+            raise SQLExecutionError(f"unknown SQL type: {name!r}") from None
+
+
+def is_null(value: Value) -> bool:
+    """True iff ``value`` is SQL NULL."""
+    return value is None
+
+
+def coerce(value: Value, sql_type: SQLType) -> Value:
+    """Coerce a Python value to a column type (NULL passes through)."""
+    if value is None:
+        return None
+    try:
+        if sql_type is SQLType.INT:
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, str):
+                return int(value.strip())
+            return int(value)
+        if sql_type is SQLType.FLOAT:
+            return float(value)
+        if sql_type is SQLType.TEXT:
+            return str(value)
+        if sql_type is SQLType.BOOL:
+            if isinstance(value, str):
+                lowered = value.strip().lower()
+                if lowered in ("true", "t", "1", "yes"):
+                    return True
+                if lowered in ("false", "f", "0", "no"):
+                    return False
+                raise ValueError(value)
+            return bool(value)
+    except (ValueError, TypeError) as exc:
+        raise SQLExecutionError(
+            f"cannot coerce {value!r} to {sql_type.value}"
+        ) from exc
+    raise SQLExecutionError(f"unhandled type {sql_type}")
+
+
+def infer_type(value: Value) -> SQLType:
+    """Infer a column type from a sample Python value."""
+    if isinstance(value, bool):
+        return SQLType.BOOL
+    if isinstance(value, int):
+        return SQLType.INT
+    if isinstance(value, float):
+        return SQLType.FLOAT
+    return SQLType.TEXT
+
+
+# -- three-valued logic ----------------------------------------------------
+TruthValue = Optional[bool]  # True / False / None (unknown)
+
+
+def sql_and(a: TruthValue, b: TruthValue) -> TruthValue:
+    """Kleene AND: False dominates, otherwise unknown propagates."""
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return True
+
+
+def sql_or(a: TruthValue, b: TruthValue) -> TruthValue:
+    """Kleene OR: True dominates, otherwise unknown propagates."""
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return False
+
+
+def sql_not(a: TruthValue) -> TruthValue:
+    """Kleene NOT: unknown stays unknown."""
+    if a is None:
+        return None
+    return not a

@@ -1,0 +1,42 @@
+"""Text-to-SQL translation (the classic NLP-for-databases task, §2.5).
+
+Three translators over the same synthetic Spider-style workload:
+
+* :class:`RuleBasedTranslator` — a keyword/heuristic semantic parser in
+  the spirit of pre-neural systems (NaLIR [46]).
+* :class:`LMTranslator` — a fine-tuned causal LM that emits SQL tokens,
+  optionally with **grammar-constrained decoding** in the spirit of
+  PICARD [69]: at every step, only tokens that keep the SQL prefix
+  parseable *and schema-consistent* are allowed.
+
+Quality is measured by **execution accuracy**: predicted and gold SQL
+are both run on the in-memory engine and their result sets compared.
+"""
+
+from repro.text2sql.workload import (
+    Text2SQLExample,
+    Text2SQLWorkload,
+    generate_workload,
+)
+from repro.text2sql.baseline import RuleBasedTranslator
+from repro.text2sql.constraint import SQLGrammarConstraint, allowed_continuations
+from repro.text2sql.translator import LMTranslator, train_translator
+from repro.text2sql.evaluate import (
+    EvaluationReport,
+    evaluate_translator,
+    execution_match,
+)
+
+__all__ = [
+    "Text2SQLExample",
+    "Text2SQLWorkload",
+    "generate_workload",
+    "RuleBasedTranslator",
+    "LMTranslator",
+    "train_translator",
+    "SQLGrammarConstraint",
+    "allowed_continuations",
+    "EvaluationReport",
+    "evaluate_translator",
+    "execution_match",
+]

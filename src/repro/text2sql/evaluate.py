@@ -1,0 +1,93 @@
+"""Execution-accuracy evaluation for text-to-SQL translators."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.sql import Database
+from repro.text2sql.workload import (
+    HARDNESS_LEVELS,
+    Text2SQLExample,
+    Text2SQLWorkload,
+    sql_to_engine_dialect,
+)
+
+Translator = Callable[[str], str]
+
+
+@dataclass
+class EvaluationReport:
+    """Execution accuracy, overall and per hardness level."""
+
+    total: int = 0
+    correct: int = 0
+    valid_sql: int = 0
+    by_hardness: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+    @property
+    def validity_rate(self) -> float:
+        return self.valid_sql / self.total if self.total else 0.0
+
+    def hardness_accuracy(self, level: str) -> float:
+        correct, total = self.by_hardness.get(level, (0, 0))
+        return correct / total if total else 0.0
+
+    def rows(self) -> List[Tuple[str, float]]:
+        """Per-hardness accuracy rows for benchmark printouts."""
+        return [
+            (level, self.hardness_accuracy(level))
+            for level in HARDNESS_LEVELS
+            if level in self.by_hardness
+        ]
+
+
+def execution_match(db: Database, predicted_sql: str, gold_sql: str) -> bool:
+    """Run both queries; compare result multisets (order-insensitive
+    unless the gold query orders its output)."""
+    try:
+        predicted = db.execute(sql_to_engine_dialect(predicted_sql))
+    except ReproError:
+        return False
+    gold = db.execute(sql_to_engine_dialect(gold_sql))
+    ordered = "order by" in gold_sql.lower()
+    if ordered:
+        return predicted.rows == gold.rows
+    return Counter(predicted.rows) == Counter(gold.rows)
+
+
+def is_valid_sql(db: Database, sql: str) -> bool:
+    """True if the engine can parse and execute the query."""
+    try:
+        db.execute(sql_to_engine_dialect(sql))
+        return True
+    except ReproError:
+        return False
+
+
+def evaluate_translator(
+    translate: Translator,
+    workload: Text2SQLWorkload,
+    examples: Sequence[Text2SQLExample],
+) -> EvaluationReport:
+    """Score a translator by execution accuracy on ``examples``."""
+    report = EvaluationReport()
+    counts: Dict[str, List[int]] = {}
+    for example in examples:
+        predicted = translate(example.question)
+        ok = bool(predicted) and execution_match(workload.db, predicted, example.sql)
+        valid = bool(predicted) and is_valid_sql(workload.db, predicted)
+        report.total += 1
+        report.correct += int(ok)
+        report.valid_sql += int(valid)
+        bucket = counts.setdefault(example.hardness, [0, 0])
+        bucket[0] += int(ok)
+        bucket[1] += 1
+    report.by_hardness = {k: (v[0], v[1]) for k, v in counts.items()}
+    return report

@@ -1,0 +1,76 @@
+"""Save and load trained tokenizers as JSON files."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import TokenizerError
+from repro.tokenizers.base import Tokenizer
+from repro.tokenizers.bpe import BPETokenizer
+from repro.tokenizers.vocab import SpecialTokens, Vocabulary
+from repro.tokenizers.whitespace import WhitespaceTokenizer
+from repro.tokenizers.wordpiece import WordPieceTokenizer
+
+_CLASSES = {
+    "BPETokenizer": BPETokenizer,
+    "WordPieceTokenizer": WordPieceTokenizer,
+    "WhitespaceTokenizer": WhitespaceTokenizer,
+}
+
+
+def save_tokenizer(tokenizer: Tokenizer, path: Union[str, Path]) -> Path:
+    """Serialize a trained tokenizer (vocabulary, merges, options)."""
+    if not tokenizer.is_trained:
+        raise TokenizerError("cannot save an untrained tokenizer")
+    path = Path(path)
+    if path.suffix != ".json":
+        path = path.with_suffix(".json")
+    payload: dict = {
+        "class": type(tokenizer).__name__,
+        "tokens": tokenizer.vocab.tokens(),
+    }
+    if isinstance(tokenizer, BPETokenizer):
+        payload["merges"] = [
+            [left, right, rank] for (left, right), rank in tokenizer.merges.items()
+        ]
+    if isinstance(tokenizer, (WordPieceTokenizer, WhitespaceTokenizer)):
+        payload["lowercase"] = tokenizer.lowercase
+    if isinstance(tokenizer, WordPieceTokenizer):
+        payload["max_subword_len"] = tokenizer.max_subword_len
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+def load_tokenizer(path: Union[str, Path]) -> Tokenizer:
+    """Reconstruct a tokenizer saved by :func:`save_tokenizer`."""
+    path = Path(path)
+    if not path.exists():
+        raise TokenizerError(f"tokenizer file not found: {path}")
+    with open(path) as handle:
+        payload = json.load(handle)
+    cls = _CLASSES.get(payload.get("class", ""))
+    if cls is None:
+        raise TokenizerError(f"unknown tokenizer class {payload.get('class')!r}")
+
+    kwargs = {}
+    if "lowercase" in payload and cls in (WordPieceTokenizer, WhitespaceTokenizer):
+        kwargs["lowercase"] = payload["lowercase"]
+    if "max_subword_len" in payload and cls is WordPieceTokenizer:
+        kwargs["max_subword_len"] = payload["max_subword_len"]
+    tokenizer = cls(**kwargs)
+
+    specials = SpecialTokens()
+    tokens = payload["tokens"]
+    if tokens[: len(specials.all())] != specials.all():
+        raise TokenizerError("tokenizer file has unexpected special tokens")
+    tokenizer.vocab = Vocabulary(specials=specials)
+    tokenizer.vocab.add_all(tokens)
+    if isinstance(tokenizer, BPETokenizer):
+        tokenizer.merges = {
+            (left, right): rank for left, right, rank in payload.get("merges", [])
+        }
+    tokenizer._trained = True
+    return tokenizer

@@ -1,0 +1,141 @@
+"""Vocabulary: a bidirectional token <-> id mapping with special tokens."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import TokenizerError
+
+
+@dataclass(frozen=True)
+class SpecialTokens:
+    """Names of the reserved tokens every vocabulary carries.
+
+    The defaults follow the BERT/GPT conventions the tutorial's audience
+    would recognize: ``[PAD]`` for padding, ``[UNK]`` for out-of-vocabulary
+    tokens, ``[CLS]``/``[SEP]`` for sequence classification inputs,
+    ``[MASK]`` for masked language modeling, and ``[BOS]``/``[EOS]`` for
+    generative models.
+    """
+
+    pad: str = "[PAD]"
+    unk: str = "[UNK]"
+    cls: str = "[CLS]"
+    sep: str = "[SEP]"
+    mask: str = "[MASK]"
+    bos: str = "[BOS]"
+    eos: str = "[EOS]"
+
+    def all(self) -> List[str]:
+        """Return all special tokens in a fixed, id-stable order."""
+        return [self.pad, self.unk, self.cls, self.sep, self.mask, self.bos, self.eos]
+
+
+@dataclass
+class Vocabulary:
+    """Bidirectional mapping between string tokens and integer ids.
+
+    Ids are assigned densely starting at 0; the special tokens always
+    occupy the first ids so that e.g. padding id is stable across runs.
+    """
+
+    specials: SpecialTokens = field(default_factory=SpecialTokens)
+    _token_to_id: Dict[str, int] = field(default_factory=dict)
+    _id_to_token: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self._token_to_id:
+            for token in self.specials.all():
+                self.add(token)
+
+    # -- mutation ---------------------------------------------------------
+    def add(self, token: str) -> int:
+        """Add a token if absent; return its id either way."""
+        existing = self._token_to_id.get(token)
+        if existing is not None:
+            return existing
+        token_id = len(self._id_to_token)
+        self._token_to_id[token] = token_id
+        self._id_to_token.append(token)
+        return token_id
+
+    def add_all(self, tokens: Iterable[str]) -> None:
+        """Add every token in ``tokens`` (duplicates are ignored)."""
+        for token in tokens:
+            self.add(token)
+
+    # -- lookup -------------------------------------------------------------
+    def id_of(self, token: str) -> int:
+        """Return the id of ``token``, or the ``[UNK]`` id if unknown."""
+        return self._token_to_id.get(token, self._token_to_id[self.specials.unk])
+
+    def strict_id_of(self, token: str) -> int:
+        """Return the id of ``token``; raise if the token is unknown."""
+        try:
+            return self._token_to_id[token]
+        except KeyError:
+            raise TokenizerError(f"unknown token: {token!r}") from None
+
+    def token_of(self, token_id: int) -> str:
+        """Return the token string for an id; raise on out-of-range ids."""
+        if not 0 <= token_id < len(self._id_to_token):
+            raise TokenizerError(f"token id out of range: {token_id}")
+        return self._id_to_token[token_id]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    # -- convenience ids ------------------------------------------------------
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[self.specials.pad]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[self.specials.unk]
+
+    @property
+    def cls_id(self) -> int:
+        return self._token_to_id[self.specials.cls]
+
+    @property
+    def sep_id(self) -> int:
+        return self._token_to_id[self.specials.sep]
+
+    @property
+    def mask_id(self) -> int:
+        return self._token_to_id[self.specials.mask]
+
+    @property
+    def bos_id(self) -> int:
+        return self._token_to_id[self.specials.bos]
+
+    @property
+    def eos_id(self) -> int:
+        return self._token_to_id[self.specials.eos]
+
+    def special_ids(self) -> List[int]:
+        """Return the ids of all special tokens."""
+        return [self._token_to_id[t] for t in self.specials.all()]
+
+    def tokens(self) -> List[str]:
+        """Return all tokens in id order (a copy)."""
+        return list(self._id_to_token)
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, int]:
+        """Return the token -> id mapping (a copy)."""
+        return dict(self._token_to_id)
+
+    @classmethod
+    def from_tokens(
+        cls, tokens: Iterable[str], specials: Optional[SpecialTokens] = None
+    ) -> "Vocabulary":
+        """Build a vocabulary from an iterable of (non-special) tokens."""
+        vocab = cls(specials=specials or SpecialTokens())
+        vocab.add_all(tokens)
+        return vocab

@@ -1,0 +1,53 @@
+"""Training: optimizers, schedules, pre-training and fine-tuning loops."""
+
+from repro.training.optim import SGD, Adam, AdamW, Optimizer
+from repro.training.schedule import (
+    ConstantSchedule,
+    CosineSchedule,
+    LinearWarmupSchedule,
+)
+from repro.training.data import (
+    LabeledExample,
+    make_clm_batch,
+    make_mlm_batch,
+    pack_corpus,
+    train_test_split,
+)
+from repro.training.metrics import accuracy, f1_score, perplexity, precision_recall_f1
+from repro.training.pretrain import PretrainReport, pretrain_clm, pretrain_mlm
+from repro.training.finetune import FinetuneReport, evaluate_classifier, finetune_classifier
+from repro.training.adapters import (
+    LoRALinear,
+    inject_adapters,
+    merge_adapters,
+    trainable_parameter_count,
+)
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "ConstantSchedule",
+    "CosineSchedule",
+    "LinearWarmupSchedule",
+    "LabeledExample",
+    "pack_corpus",
+    "make_mlm_batch",
+    "make_clm_batch",
+    "train_test_split",
+    "accuracy",
+    "f1_score",
+    "precision_recall_f1",
+    "perplexity",
+    "pretrain_mlm",
+    "pretrain_clm",
+    "PretrainReport",
+    "finetune_classifier",
+    "evaluate_classifier",
+    "FinetuneReport",
+    "LoRALinear",
+    "inject_adapters",
+    "merge_adapters",
+    "trainable_parameter_count",
+]

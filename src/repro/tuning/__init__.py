@@ -1,0 +1,32 @@
+"""NLP-enhanced database tuning (§2.5: DB-BERT [85], [80]).
+
+A simulated DBMS exposes tuning knobs whose good values are described —
+in prose — in a synthetic manual. Hint extractors (a regex baseline and
+a fine-tuned LM classifier) recover (knob, value) recommendations from
+the text; a greedy tuner applies them and keeps improvements, closing
+the "read the manual -> faster database" loop end to end.
+"""
+
+from repro.tuning.simulator import DBMSConfig, SimulatedDBMS, Workload
+from repro.tuning.manuals import ManualSentence, generate_manual
+from repro.tuning.extractor import (
+    Hint,
+    LMHintExtractor,
+    RegexHintExtractor,
+    train_lm_extractor,
+)
+from repro.tuning.tuner import TuningReport, tune
+
+__all__ = [
+    "DBMSConfig",
+    "SimulatedDBMS",
+    "Workload",
+    "ManualSentence",
+    "generate_manual",
+    "Hint",
+    "RegexHintExtractor",
+    "LMHintExtractor",
+    "train_lm_extractor",
+    "TuningReport",
+    "tune",
+]

@@ -1,0 +1,59 @@
+"""The tuning loop: apply extracted hints greedily, keep improvements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.tuning.extractor import Hint
+from repro.tuning.simulator import DBMSConfig, SimulatedDBMS
+
+
+@dataclass
+class TuningReport:
+    """Before/after throughput and the hints that were kept."""
+
+    initial_config: DBMSConfig
+    final_config: DBMSConfig
+    initial_throughput: float
+    final_throughput: float
+    applied_hints: List[Hint] = field(default_factory=list)
+    rejected_hints: List[Hint] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        return self.final_throughput / self.initial_throughput
+
+
+def tune(
+    dbms: SimulatedDBMS,
+    hints: Sequence[Hint],
+    initial: DBMSConfig = DBMSConfig(),
+) -> TuningReport:
+    """Greedy hill-climbing over hints: apply each, keep if it helps.
+
+    This replaces DB-BERT's reinforcement-learning loop with its greedy
+    core: hints are candidate actions, the simulator is the environment,
+    and only actions that improve measured throughput survive.
+    """
+    config = initial
+    best = dbms.throughput(config)
+    report = TuningReport(
+        initial_config=initial,
+        final_config=initial,
+        initial_throughput=best,
+        final_throughput=best,
+    )
+    for hint in hints:
+        value = bool(hint.value) if hint.knob == "compression" else hint.value
+        candidate = config.with_knob(hint.knob, value)
+        throughput = dbms.throughput(candidate)
+        if throughput > best:
+            config = candidate
+            best = throughput
+            report.applied_hints.append(hint)
+        else:
+            report.rejected_hints.append(hint)
+    report.final_config = config
+    report.final_throughput = best
+    return report

@@ -1,0 +1,17 @@
+"""Reproduction of the paper's Table 1: the runnable tutorial."""
+
+from repro.tutorial.driver import (
+    TUTORIAL_PARTS,
+    TutorialPart,
+    render_table1,
+    run_tutorial,
+    total_duration_minutes,
+)
+
+__all__ = [
+    "TutorialPart",
+    "TUTORIAL_PARTS",
+    "render_table1",
+    "run_tutorial",
+    "total_duration_minutes",
+]

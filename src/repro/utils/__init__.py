@@ -1,0 +1,22 @@
+"""Shared utilities: seeded randomness, text helpers, and timing."""
+
+from repro.utils.rng import SeededRNG, spawn_rng
+from repro.utils.text import (
+    normalize_whitespace,
+    sentence_split,
+    simple_word_tokenize,
+    levenshtein,
+    jaccard,
+)
+from repro.utils.timing import Timer
+
+__all__ = [
+    "SeededRNG",
+    "spawn_rng",
+    "normalize_whitespace",
+    "sentence_split",
+    "simple_word_tokenize",
+    "levenshtein",
+    "jaccard",
+    "Timer",
+]

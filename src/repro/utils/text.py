@@ -1,0 +1,55 @@
+"""Small text-processing helpers used across subsystems."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_WHITESPACE_RE = re.compile(r"\s+")
+_SENTENCE_RE = re.compile(r"(?<=[.!?])\s+")
+_WORD_RE = re.compile(r"[A-Za-z0-9_']+|[^\sA-Za-z0-9_']")
+
+
+def normalize_whitespace(text: str) -> str:
+    """Collapse runs of whitespace to single spaces and strip the ends."""
+    return _WHITESPACE_RE.sub(" ", text).strip()
+
+
+def sentence_split(text: str) -> List[str]:
+    """Split text into sentences on ``.!?`` boundaries (best effort)."""
+    text = normalize_whitespace(text)
+    if not text:
+        return []
+    return [s for s in _SENTENCE_RE.split(text) if s]
+
+
+def simple_word_tokenize(text: str) -> List[str]:
+    """Split text into words and single punctuation marks."""
+    return _WORD_RE.findall(text)
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Return the edit distance between two strings (iterative DP)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def jaccard(a: str, b: str) -> float:
+    """Return the Jaccard similarity of the word sets of two strings."""
+    sa = set(simple_word_tokenize(a.lower()))
+    sb = set(simple_word_tokenize(b.lower()))
+    if not sa and not sb:
+        return 1.0
+    return len(sa & sb) / len(sa | sb)

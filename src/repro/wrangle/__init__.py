@@ -1,0 +1,72 @@
+"""Data wrangling with language models (§2.5: data preparation [59, 75]).
+
+Three canonical wrangling tasks, each with a classical baseline, a
+fine-tuned-LM solution, and a few-shot-prompting solution:
+
+* **entity matching** — do two records describe the same real-world
+  entity? (the Ditto / "Can Foundation Models Wrangle Your Data?" task)
+* **error detection** — which cells violate the column's domain?
+* **data imputation** — fill a missing categorical value from the rest
+  of the record.
+"""
+
+from repro.wrangle.data import (
+    EntityPair,
+    ErrorDetectionExample,
+    ImputationExample,
+    generate_matching_dataset,
+    generate_error_dataset,
+    generate_imputation_dataset,
+)
+from repro.wrangle.serialize import serialize_record, serialize_pair
+from repro.wrangle.matching import (
+    FinetunedMatcher,
+    PromptMatcher,
+    SimilarityMatcher,
+    evaluate_matcher,
+)
+from repro.wrangle.errors_task import (
+    RuleErrorDetector,
+    FinetunedErrorDetector,
+    evaluate_detector,
+)
+from repro.wrangle.imputation import (
+    MajorityImputer,
+    FinetunedImputer,
+    evaluate_imputer,
+)
+from repro.wrangle.schema_match import (
+    ColumnProfile,
+    EmbeddingSchemaMatcher,
+    NameSimilarityMatcher,
+    SchemaMatchTask,
+    generate_schema_match_task,
+    matching_accuracy,
+)
+
+__all__ = [
+    "EntityPair",
+    "ErrorDetectionExample",
+    "ImputationExample",
+    "generate_matching_dataset",
+    "generate_error_dataset",
+    "generate_imputation_dataset",
+    "serialize_record",
+    "serialize_pair",
+    "SimilarityMatcher",
+    "FinetunedMatcher",
+    "PromptMatcher",
+    "evaluate_matcher",
+    "RuleErrorDetector",
+    "FinetunedErrorDetector",
+    "evaluate_detector",
+    "MajorityImputer",
+    "FinetunedImputer",
+    "evaluate_imputer",
+    "ColumnProfile",
+    "SchemaMatchTask",
+    "generate_schema_match_task",
+    "NameSimilarityMatcher",
+    "EmbeddingSchemaMatcher",
+    "matching_accuracy",
+]

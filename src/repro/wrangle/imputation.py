@@ -1,0 +1,108 @@
+"""Data imputation: restore a hidden categorical value from the record."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WrangleError
+from repro.models import BERTModel, ModelConfig, SequenceClassifier
+from repro.tokenizers import Tokenizer, WhitespaceTokenizer
+from repro.training import LabeledExample, finetune_classifier
+from repro.training.metrics import accuracy
+from repro.wrangle.data import ImputationExample, imputation_classes
+from repro.wrangle.serialize import serialize_record
+
+
+class MajorityImputer:
+    """Baseline: always predict the most frequent training value."""
+
+    def __init__(self) -> None:
+        self._majority: Optional[str] = None
+
+    def fit(self, examples: Sequence[ImputationExample]) -> "MajorityImputer":
+        if not examples:
+            raise WrangleError("cannot fit on zero examples")
+        counts = Counter(e.target_value for e in examples)
+        self._majority = counts.most_common(1)[0][0]
+        return self
+
+    def predict(self, example: ImputationExample) -> str:
+        if self._majority is None:
+            raise WrangleError("imputer is not fitted")
+        return self._majority
+
+
+class FinetunedImputer:
+    """LM path: classify the hidden value from the serialized record."""
+
+    def __init__(self, dim: int = 32, seed: int = 0) -> None:
+        self.seed = seed
+        self._dim = dim
+        self.classes: List[str] = []
+        self.tokenizer: Optional[Tokenizer] = None
+        self.classifier: Optional[SequenceClassifier] = None
+        self._max_len = 0
+
+    def fit(
+        self, examples: Sequence[ImputationExample], epochs: int = 6
+    ) -> "FinetunedImputer":
+        if not examples:
+            raise WrangleError("cannot fit on zero examples")
+        self.classes = sorted({e.target_value for e in examples})
+        texts = [self._text(e) for e in examples]
+        tokenizer = WhitespaceTokenizer(lowercase=True)
+        tokenizer.train(texts, vocab_size=512)
+        self._max_len = max(len(tokenizer.encode(t).ids) for t in texts) + 2
+
+        config = ModelConfig(
+            vocab_size=tokenizer.vocab_size,
+            max_seq_len=self._max_len,
+            dim=self._dim,
+            num_layers=2,
+            num_heads=2,
+            ff_dim=4 * self._dim,
+            causal=False,
+        )
+        classifier = SequenceClassifier(
+            BERTModel(config, seed=self.seed), len(self.classes), seed=self.seed
+        )
+        labeled = [
+            LabeledExample(text=t, label=self.classes.index(e.target_value))
+            for t, e in zip(texts, examples)
+        ]
+        finetune_classifier(
+            classifier, tokenizer, labeled,
+            epochs=epochs, lr=2e-3, max_length=self._max_len, seed=self.seed,
+        )
+        self.tokenizer = tokenizer
+        self.classifier = classifier
+        return self
+
+    def predict(self, example: ImputationExample) -> str:
+        if self.classifier is None or self.tokenizer is None:
+            raise WrangleError("imputer is not fitted")
+        encoding = self.tokenizer.encode(
+            self._text(example), max_length=self._max_len, pad_to=self._max_len
+        )
+        prediction = self.classifier.predict(
+            np.array([encoding.ids]), np.array([encoding.attention_mask])
+        )
+        return self.classes[int(prediction[0])]
+
+    @staticmethod
+    def _text(example: ImputationExample) -> str:
+        visible = {
+            k: v for k, v in example.record.items()
+            if k not in ("id", example.target_column)
+        }
+        return serialize_record(visible)
+
+
+def evaluate_imputer(imputer, examples: Sequence[ImputationExample]) -> float:
+    """Exact-match accuracy of an imputer."""
+    predictions = [imputer.predict(e) for e in examples]
+    labels = [e.target_value for e in examples]
+    return sum(p == l for p, l in zip(predictions, labels)) / len(examples)

@@ -1,0 +1,77 @@
+"""Shared fixtures: corpora, tokenizers, and small pre-trained models.
+
+Expensive fixtures (trained models) are session-scoped so the suite
+stays fast while still exercising real training.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import BERTModel, GPTModel, ModelConfig
+from repro.tokenizers import BPETokenizer, WhitespaceTokenizer, WordPieceTokenizer
+from repro.training import pretrain_clm, pretrain_mlm
+from repro.utils.rng import SeededRNG
+
+
+def synthetic_corpus(num_docs: int = 60, seed: int = 7) -> list[str]:
+    """A tiny English-like corpus with learnable regularities."""
+    rng = SeededRNG(seed)
+    subjects = ["the database", "the table", "the index", "the query", "the model"]
+    verbs = ["stores", "scans", "joins", "returns", "updates"]
+    objects = ["rows", "columns", "tuples", "results", "records"]
+    adjectives = ["large", "small", "sorted", "cached", "empty"]
+    docs = []
+    for _ in range(num_docs):
+        sentences = []
+        for _ in range(rng.randint(2, 5)):
+            sentences.append(
+                f"{rng.choice(subjects)} {rng.choice(verbs)} "
+                f"{rng.choice(adjectives)} {rng.choice(objects)} ."
+            )
+        docs.append(" ".join(sentences))
+    return docs
+
+
+@pytest.fixture(scope="session")
+def corpus() -> list[str]:
+    return synthetic_corpus()
+
+
+@pytest.fixture(scope="session")
+def bpe_tokenizer(corpus) -> BPETokenizer:
+    tok = BPETokenizer()
+    tok.train(corpus, vocab_size=220)
+    return tok
+
+
+@pytest.fixture(scope="session")
+def wordpiece_tokenizer(corpus) -> WordPieceTokenizer:
+    tok = WordPieceTokenizer()
+    tok.train(corpus, vocab_size=200)
+    return tok
+
+
+@pytest.fixture(scope="session")
+def word_tokenizer(corpus) -> WhitespaceTokenizer:
+    tok = WhitespaceTokenizer(lowercase=True)
+    tok.train(corpus, vocab_size=500)
+    return tok
+
+
+@pytest.fixture(scope="session")
+def tiny_gpt(word_tokenizer, corpus) -> GPTModel:
+    """A GPT trained for a handful of steps on the synthetic corpus."""
+    config = ModelConfig.tiny(vocab_size=word_tokenizer.vocab_size, causal=True)
+    model = GPTModel(config, seed=3)
+    pretrain_clm(model, word_tokenizer, corpus, steps=60, batch_size=8, seed=3)
+    return model
+
+
+@pytest.fixture(scope="session")
+def tiny_bert(word_tokenizer, corpus) -> BERTModel:
+    """A BERT trained for a handful of MLM steps on the synthetic corpus."""
+    config = ModelConfig.tiny(vocab_size=word_tokenizer.vocab_size, causal=False)
+    model = BERTModel(config, seed=4)
+    pretrain_mlm(model, word_tokenizer, corpus, steps=60, batch_size=8, seed=4)
+    return model

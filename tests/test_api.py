@@ -1,0 +1,168 @@
+"""Tests for the model hub, pipelines, and the OpenAI-style client."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    CompletionClient,
+    FeatureExtractionPipeline,
+    FillMaskPipeline,
+    ModelHub,
+    TextGenerationPipeline,
+    pipeline,
+)
+from repro.errors import ModelError
+from repro.models import SequenceClassifier
+from repro.tokenizers import WhitespaceTokenizer
+
+
+@pytest.fixture(scope="module")
+def hub(tiny_gpt_module, tiny_bert_module, word_tokenizer_module):
+    hub = ModelHub()
+    hub.register("tiny-gpt", tiny_gpt_module, word_tokenizer_module)
+    hub.register("tiny-bert", tiny_bert_module, word_tokenizer_module)
+    return hub
+
+
+# Module-scope aliases of session fixtures (pytest cannot inject session
+# fixtures directly into module-scope fixtures defined before them).
+@pytest.fixture(scope="module")
+def tiny_gpt_module(tiny_gpt):
+    return tiny_gpt
+
+
+@pytest.fixture(scope="module")
+def tiny_bert_module(tiny_bert):
+    return tiny_bert
+
+
+@pytest.fixture(scope="module")
+def word_tokenizer_module(word_tokenizer):
+    return word_tokenizer
+
+
+class TestHub:
+    def test_get_unknown_raises(self, hub):
+        with pytest.raises(ModelError):
+            hub.get("gpt-17")
+
+    def test_names(self, hub):
+        assert hub.names() == ["tiny-bert", "tiny-gpt"]
+
+    def test_contains(self, hub):
+        assert "tiny-gpt" in hub
+        assert "missing" not in hub
+
+    def test_untrained_tokenizer_rejected(self, hub, tiny_gpt):
+        with pytest.raises(ModelError):
+            hub.register("bad", tiny_gpt, WhitespaceTokenizer())
+
+
+class TestPipelines:
+    def test_text_generation(self, hub):
+        entry = hub.get("tiny-gpt")
+        pipe = pipeline("text-generation", entry.model, entry.tokenizer)
+        out = pipe("the database", max_new_tokens=4)
+        assert isinstance(out, str) and out
+
+    def test_fill_mask_returns_ranked(self, hub):
+        entry = hub.get("tiny-bert")
+        pipe = pipeline("fill-mask", entry.model, entry.tokenizer)
+        fills = pipe("the database [MASK] sorted rows .", top_k=3)
+        assert len(fills) == 3
+        scores = [f.score for f in fills]
+        assert scores == sorted(scores, reverse=True)
+        assert all(0 <= f.score <= 1 for f in fills)
+
+    def test_fill_mask_requires_mask(self, hub):
+        entry = hub.get("tiny-bert")
+        pipe = pipeline("fill-mask", entry.model, entry.tokenizer)
+        with pytest.raises(ModelError):
+            pipe("no mask here")
+
+    def test_feature_extraction_shapes(self, hub):
+        entry = hub.get("tiny-bert")
+        pipe = pipeline("feature-extraction", entry.model, entry.tokenizer)
+        vectors = pipe(["the database stores rows .", "the index scans keys ."])
+        assert vectors.shape == (2, entry.model.config.dim)
+
+    def test_feature_extraction_single_string(self, hub):
+        entry = hub.get("tiny-bert")
+        pipe = pipeline("feature-extraction", entry.model, entry.tokenizer)
+        assert pipe("the database stores rows .").shape[0] == 1
+
+    def test_text_classification_pipeline(self, hub):
+        entry = hub.get("tiny-bert")
+        clf = SequenceClassifier(entry.model, num_classes=2)
+        pipe = pipeline(
+            "text-classification", clf, entry.tokenizer, labels=["neg", "pos"]
+        )
+        out = pipe("the database stores rows .")
+        assert out["label"] in ("neg", "pos")
+        assert 0.0 <= out["score"] <= 1.0
+
+    def test_unknown_task_raises(self, hub):
+        entry = hub.get("tiny-gpt")
+        with pytest.raises(ModelError):
+            pipeline("translation", entry.model, entry.tokenizer)
+
+    def test_wrong_model_type_raises(self, hub):
+        entry = hub.get("tiny-bert")
+        with pytest.raises(ModelError):
+            pipeline("text-generation", entry.model, entry.tokenizer)
+
+    def test_label_count_mismatch_raises(self, hub):
+        entry = hub.get("tiny-bert")
+        clf = SequenceClassifier(entry.model, num_classes=3)
+        with pytest.raises(ModelError):
+            pipeline("text-classification", clf, entry.tokenizer, labels=["a"])
+
+
+class TestCompletionClient:
+    def test_greedy_completion(self, hub):
+        client = CompletionClient(hub)
+        response = client.complete("tiny-gpt", "the database", max_tokens=4)
+        assert response.engine == "tiny-gpt"
+        assert isinstance(response.text, str)
+        assert response.usage.prompt_tokens > 0
+        assert response.usage.total_tokens >= response.usage.prompt_tokens
+
+    def test_n_choices(self, hub):
+        client = CompletionClient(hub)
+        response = client.complete(
+            "tiny-gpt", "the table", max_tokens=4, temperature=1.5, n=3
+        )
+        assert len(response.choices) == 3
+        assert [c.index for c in response.choices] == [0, 1, 2]
+
+    def test_stop_string_truncates(self, hub):
+        client = CompletionClient(hub)
+        full = client.complete("tiny-gpt", "the database", max_tokens=8).text
+        if " " in full:
+            stop_word = full.split()[1]
+            cut = client.complete(
+                "tiny-gpt", "the database", max_tokens=8, stop=[stop_word]
+            ).text
+            assert stop_word not in cut
+
+    def test_completion_is_deterministic_at_temp0(self, hub):
+        client = CompletionClient(hub)
+        a = client.complete("tiny-gpt", "the index", max_tokens=5).text
+        b = client.complete("tiny-gpt", "the index", max_tokens=5).text
+        assert a == b
+
+    def test_bert_engine_rejected_for_completion(self, hub):
+        client = CompletionClient(hub)
+        with pytest.raises(ModelError):
+            client.complete("tiny-bert", "prompt")
+
+    def test_invalid_n(self, hub):
+        client = CompletionClient(hub)
+        with pytest.raises(ModelError):
+            client.complete("tiny-gpt", "prompt", n=0)
+
+    def test_requests_counter(self, hub):
+        client = CompletionClient(hub)
+        client.complete("tiny-gpt", "a b", max_tokens=2)
+        client.complete("tiny-gpt", "a b", max_tokens=2)
+        assert client.requests_served == 2

@@ -1,0 +1,294 @@
+"""Tests for the autograd engine, including finite-difference checks."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    concat,
+    cross_entropy,
+    dropout,
+    embedding,
+    gelu,
+    layer_norm,
+    log_softmax,
+    no_grad,
+    relu,
+    sigmoid,
+    softmax,
+    tanh,
+)
+from repro.errors import ShapeError
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` w.r.t. array ``x``."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss, shape, seed=0, tol=1e-5):
+    """Compare autograd gradient against finite differences."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=shape)
+
+    t = Tensor(x.copy(), requires_grad=True)
+    loss = build_loss(t)
+    loss.backward()
+    analytic = t.grad
+
+    numeric = numeric_grad(lambda arr: build_loss(Tensor(arr)).item(), x.copy())
+    np.testing.assert_allclose(analytic, numeric, rtol=tol, atol=tol)
+
+
+class TestBasicOps:
+    def test_add_and_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_array_equal(a.grad, [1.0, 1.0])
+        np.testing.assert_array_equal(b.grad, [1.0, 1.0])
+
+    def test_mul_grad(self):
+        check_gradient(lambda t: (t * t * 3.0).sum(), (4, 3))
+
+    def test_div_grad(self):
+        check_gradient(lambda t: (t / 2.5 + 1.0 / (t + 10.0)).sum(), (3, 3))
+
+    def test_pow_grad(self):
+        check_gradient(lambda t: ((t + 5.0) ** 3).sum(), (5,))
+
+    def test_neg_sub(self):
+        a = Tensor([2.0], requires_grad=True)
+        (5.0 - a).backward()
+        np.testing.assert_array_equal(a.grad, [-1.0])
+
+    def test_matmul_grad(self):
+        rng = np.random.default_rng(1)
+        w = rng.normal(size=(3, 2))
+        check_gradient(lambda t: (t @ Tensor(w)).sum(), (4, 3))
+
+    def test_batched_matmul_grad(self):
+        rng = np.random.default_rng(2)
+        w = rng.normal(size=(2, 4, 3))
+        check_gradient(lambda t: (t @ Tensor(w)).sum(), (2, 5, 4))
+
+    def test_broadcast_add_grad(self):
+        rng = np.random.default_rng(3)
+        b = rng.normal(size=(3,))
+        check_gradient(lambda t: ((t + Tensor(b)) ** 2).sum(), (4, 3))
+
+    def test_broadcast_bias_receives_summed_grad(self):
+        x = Tensor(np.ones((4, 3)), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        (x + b).sum().backward()
+        np.testing.assert_array_equal(b.grad, [4.0, 4.0, 4.0])
+
+    def test_exp_log_grad(self):
+        check_gradient(lambda t: (t.exp() + (t + 10.0).log()).sum(), (6,))
+
+    def test_sum_axis_keepdims(self):
+        check_gradient(lambda t: (t.sum(axis=1, keepdims=True) ** 2).sum(), (3, 4))
+
+    def test_mean_grad(self):
+        check_gradient(lambda t: (t.mean(axis=0) ** 2).sum(), (5, 2))
+
+    def test_reshape_transpose_grad(self):
+        check_gradient(
+            lambda t: (t.reshape(2, 6).transpose(1, 0) ** 2).sum(), (3, 4)
+        )
+
+    def test_getitem_grad(self):
+        check_gradient(lambda t: (t[1:3] ** 2).sum(), (5, 2))
+
+    def test_masked_fill(self):
+        x = Tensor(np.arange(4.0), requires_grad=True)
+        mask = np.array([True, False, True, False])
+        out = x.masked_fill(mask, -99.0)
+        np.testing.assert_array_equal(out.data, [-99.0, 1.0, -99.0, 3.0])
+        out.sum().backward()
+        np.testing.assert_array_equal(x.grad, [0.0, 1.0, 0.0, 1.0])
+
+    def test_max_along(self):
+        check_gradient(lambda t: (t.max_along(axis=1) ** 2).sum(), (4, 5))
+
+    def test_diamond_graph_accumulates(self):
+        # x used twice: grad must be the sum of both paths.
+        x = Tensor([3.0], requires_grad=True)
+        y = x * 2.0
+        z = x * 5.0
+        (y + z).backward()
+        np.testing.assert_array_equal(x.grad, [7.0])
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).backward()
+        (x * 3.0).backward()
+        np.testing.assert_array_equal(x.grad, [5.0])
+        x.zero_grad()
+        assert x.grad is None
+
+
+class TestFunctional:
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 7)))
+        out = softmax(x)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(3))
+
+    def test_softmax_grad(self):
+        rng = np.random.default_rng(4)
+        w = rng.normal(size=(5,))
+        check_gradient(lambda t: (softmax(t) * Tensor(w)).sum(), (3, 5))
+
+    def test_softmax_stability_large_values(self):
+        x = Tensor(np.array([[1000.0, 1000.0, 999.0]]))
+        out = softmax(x)
+        assert np.isfinite(out.data).all()
+
+    def test_log_softmax_grad(self):
+        rng = np.random.default_rng(5)
+        w = rng.normal(size=(4,))
+        check_gradient(lambda t: (log_softmax(t) * Tensor(w)).sum(), (2, 4))
+
+    def test_cross_entropy_matches_manual(self):
+        logits = Tensor(np.array([[2.0, 0.0], [0.0, 2.0]]))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        expected = -np.log(np.exp(2) / (np.exp(2) + 1))
+        np.testing.assert_allclose(loss.item(), expected, rtol=1e-9)
+
+    def test_cross_entropy_grad(self):
+        targets = np.array([0, 2, 1])
+        check_gradient(lambda t: cross_entropy(t, targets), (3, 4))
+
+    def test_cross_entropy_ignore_index(self):
+        targets = np.array([0, -100, 1])
+        logits_data = np.random.default_rng(6).normal(size=(3, 4))
+        t = Tensor(logits_data, requires_grad=True)
+        loss = cross_entropy(t, targets, ignore_index=-100)
+        loss.backward()
+        # Ignored row gets zero gradient.
+        np.testing.assert_array_equal(t.grad[1], np.zeros(4))
+
+    def test_cross_entropy_all_ignored_raises(self):
+        with pytest.raises(ShapeError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([-1, -1]), ignore_index=-1)
+
+    def test_cross_entropy_bad_shapes(self):
+        with pytest.raises(ShapeError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 1, 2]))
+
+    def test_layer_norm_output_stats(self):
+        x = Tensor(np.random.default_rng(7).normal(5.0, 3.0, size=(4, 8)))
+        w = Tensor(np.ones(8))
+        b = Tensor(np.zeros(8))
+        out = layer_norm(x, w, b)
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(4), atol=1e-9)
+        np.testing.assert_allclose(out.data.std(axis=-1), np.ones(4), atol=1e-3)
+
+    def test_layer_norm_grad(self):
+        w = np.random.default_rng(8).normal(size=(6,))
+        b = np.random.default_rng(9).normal(size=(6,))
+        check_gradient(
+            lambda t: (layer_norm(t, Tensor(w), Tensor(b)) ** 2).sum(), (3, 6)
+        )
+
+    def test_embedding_forward(self):
+        weight = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        ids = np.array([[0, 2], [1, 1]])
+        out = embedding(weight, ids)
+        assert out.shape == (2, 2, 3)
+        np.testing.assert_array_equal(out.data[0, 1], [6.0, 7.0, 8.0])
+
+    def test_embedding_grad_scatter(self):
+        weight = Tensor(np.zeros((4, 2)), requires_grad=True)
+        ids = np.array([1, 1, 3])
+        embedding(weight, ids).sum().backward()
+        np.testing.assert_array_equal(weight.grad[1], [2.0, 2.0])
+        np.testing.assert_array_equal(weight.grad[3], [1.0, 1.0])
+        np.testing.assert_array_equal(weight.grad[0], [0.0, 0.0])
+
+    def test_embedding_out_of_range(self):
+        with pytest.raises(ShapeError):
+            embedding(Tensor(np.zeros((3, 2))), np.array([5]))
+
+    @pytest.mark.parametrize("fn", [tanh, sigmoid, relu, gelu])
+    def test_activation_grads(self, fn):
+        check_gradient(lambda t: (fn(t) ** 2).sum(), (4, 3))
+
+    def test_dropout_eval_is_identity(self):
+        x = Tensor(np.ones((10, 10)))
+        rng = np.random.default_rng(0)
+        out = dropout(x, 0.5, rng, training=False)
+        np.testing.assert_array_equal(out.data, x.data)
+
+    def test_dropout_training_scales(self):
+        x = Tensor(np.ones((200, 200)))
+        rng = np.random.default_rng(0)
+        out = dropout(x, 0.25, rng, training=True)
+        # Inverted dropout keeps the expectation ~1.
+        assert abs(out.data.mean() - 1.0) < 0.02
+        kept = out.data != 0
+        assert abs(kept.mean() - 0.75) < 0.02
+
+    def test_concat_grad(self):
+        rng = np.random.default_rng(10)
+        other = rng.normal(size=(3, 2))
+        check_gradient(
+            lambda t: (concat([t, Tensor(other)], axis=1) ** 2).sum(), (3, 4)
+        )
+
+    def test_concat_axis0(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((1, 3)), requires_grad=True)
+        concat([a, b], axis=0).sum().backward()
+        np.testing.assert_array_equal(a.grad, np.ones((2, 3)))
+        np.testing.assert_array_equal(b.grad, np.ones((1, 3)))
+
+
+class TestGraphMechanics:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_backward_on_non_grad_raises(self):
+        with pytest.raises(ShapeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_on_vector_without_grad_raises(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ShapeError):
+            (x * 2).backward()
+
+    def test_backward_vector_with_explicit_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 3.0).backward(np.array([1.0, 10.0]))
+        np.testing.assert_array_equal(x.grad, [3.0, 30.0])
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = (x * 3.0).detach()
+        assert not y.requires_grad
+
+    def test_item_requires_scalar(self):
+        with pytest.raises(ShapeError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.0
+        y.backward()
+        np.testing.assert_array_equal(x.grad, [1.0])

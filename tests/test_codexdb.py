@@ -1,0 +1,190 @@
+"""Tests for CodexDB: planning, codegen, sandbox, and the retry loop."""
+
+import pytest
+
+from repro.codexdb import (
+    CodeGenOptions,
+    CodexDB,
+    SimulatedCodex,
+    evaluate_codexdb,
+    generate_python,
+    plan_query,
+    run_generated_code,
+)
+from repro.errors import CodexDBError
+from repro.sql import Database
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    database.execute("CREATE TABLE emp (name TEXT, dept TEXT, salary INT)")
+    database.execute(
+        "INSERT INTO emp VALUES ('a', 'eng', 100), ('b', 'eng', 80), "
+        "('c', 'sales', 90), ('d', 'sales', NULL)"
+    )
+    database.execute("CREATE TABLE dept (dept TEXT, building TEXT)")
+    database.execute("INSERT INTO dept VALUES ('eng', 'A'), ('sales', 'B')")
+    return database
+
+
+def run_sql_via_codegen(db, sql, options=None):
+    steps = plan_query(sql)
+    code = generate_python(steps, options or CodeGenOptions())
+    tables = {name: db.table(name) for name in db.table_names()}
+    return run_generated_code(code, tables)
+
+
+class TestPlanner:
+    def test_simple_plan_steps(self):
+        steps = plan_query("SELECT name FROM emp WHERE salary > 50")
+        assert [s.kind for s in steps] == ["load", "filter", "project"]
+
+    def test_aggregate_plan(self):
+        steps = plan_query("SELECT dept, COUNT(*) FROM emp GROUP BY dept")
+        assert [s.kind for s in steps] == ["load", "group"]
+
+    def test_join_plan(self):
+        steps = plan_query(
+            "SELECT e.name FROM emp e JOIN dept d ON e.dept = d.dept"
+        )
+        assert [s.kind for s in steps] == ["load", "join", "project"]
+
+    def test_argmax_orders_raw_rows(self):
+        steps = plan_query("SELECT name FROM emp ORDER BY salary DESC LIMIT 1")
+        kinds = [s.kind for s in steps]
+        assert kinds == ["load", "order", "project", "limit"]
+        assert steps[1].args["on_raw"] is True
+
+    def test_left_join_unsupported(self):
+        with pytest.raises(CodexDBError):
+            plan_query("SELECT e.name FROM emp e LEFT JOIN dept d ON e.dept = d.dept")
+
+    def test_non_select_rejected(self):
+        with pytest.raises(CodexDBError):
+            plan_query("CREATE TABLE t (x INT)")
+
+
+class TestCodegenEquivalence:
+    """Generated programs must agree with the native engine."""
+
+    QUERIES = [
+        "SELECT name FROM emp",
+        "SELECT name FROM emp WHERE salary > 85",
+        "SELECT name FROM emp WHERE dept = 'eng' AND salary >= 80",
+        "SELECT COUNT(*) FROM emp",
+        "SELECT COUNT(*) FROM emp WHERE salary > 85",
+        "SELECT AVG(salary) FROM emp",
+        "SELECT MAX(salary) FROM emp WHERE dept = 'eng'",
+        "SELECT dept, COUNT(*) FROM emp GROUP BY dept",
+        "SELECT dept, AVG(salary) FROM emp GROUP BY dept",
+        "SELECT name FROM emp ORDER BY salary DESC LIMIT 1",
+        "SELECT DISTINCT dept FROM emp",
+        "SELECT e.name FROM emp e JOIN dept d ON e.dept = d.dept "
+        "WHERE d.building = 'B'",
+        "SELECT name FROM emp WHERE salary IS NULL",
+        "SELECT name FROM emp WHERE salary BETWEEN 80 AND 95",
+        "SELECT name FROM emp WHERE dept IN ('eng')",
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_matches_engine(self, db, sql):
+        outcome = run_sql_via_codegen(db, sql)
+        reference = db.execute(sql)
+        assert sorted(map(repr, outcome.rows)) == sorted(map(repr, reference.rows))
+
+    def test_null_comparison_excluded(self, db):
+        outcome = run_sql_via_codegen(db, "SELECT name FROM emp WHERE salary > 0")
+        assert ("d",) not in outcome.rows
+
+
+class TestCustomizations:
+    def test_logging(self, db):
+        outcome = run_sql_via_codegen(
+            db, "SELECT name FROM emp WHERE salary > 85",
+            CodeGenOptions(logging=True),
+        )
+        assert any("loaded emp" in line for line in outcome.logs)
+        assert any("filtered" in line for line in outcome.logs)
+
+    def test_profile(self, db):
+        outcome = run_sql_via_codegen(
+            db, "SELECT name FROM emp", CodeGenOptions(profile=True)
+        )
+        assert outcome.profile
+        assert all(v >= 0 for v in outcome.profile.values())
+
+    def test_comments_in_code(self):
+        steps = plan_query("SELECT name FROM emp")
+        code = generate_python(steps, CodeGenOptions(comments=True))
+        assert "# load table emp" in code
+
+    def test_no_custom_no_logs(self, db):
+        outcome = run_sql_via_codegen(db, "SELECT name FROM emp")
+        assert outcome.logs == []
+        assert outcome.profile == {}
+
+
+class TestSandbox:
+    def test_crash_is_wrapped(self, db):
+        tables = {name: db.table(name) for name in db.table_names()}
+        with pytest.raises(CodexDBError):
+            run_generated_code("result = undefined_name\ncolumns = []", tables)
+
+    def test_missing_contract_rejected(self, db):
+        tables = {name: db.table(name) for name in db.table_names()}
+        with pytest.raises(CodexDBError):
+            run_generated_code("x = 1", tables)
+
+    def test_restricted_builtins(self, db):
+        tables = {name: db.table(name) for name in db.table_names()}
+        with pytest.raises(CodexDBError):
+            run_generated_code(
+                "result = open('/etc/passwd').read()\ncolumns = []", tables
+            )
+
+
+class TestRetryLoop:
+    def test_error_free_codex_always_succeeds(self, db):
+        report = evaluate_codexdb(
+            db, ["SELECT COUNT(*) FROM emp", "SELECT name FROM emp"],
+            max_attempts=1, error_rate=0.0,
+        )
+        assert report.success_rate == 1.0
+        assert report.mean_attempts == 1.0
+
+    def test_retries_recover_from_errors(self, db):
+        queries = [
+            "SELECT name FROM emp WHERE salary > 85",
+            "SELECT COUNT(*) FROM emp WHERE salary > 85",
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept",
+        ] * 3
+        at_one = evaluate_codexdb(
+            db, queries, max_attempts=1, error_rate=0.5, seed=3
+        )
+        at_five = evaluate_codexdb(
+            db, queries, max_attempts=5, error_rate=0.5, seed=3
+        )
+        assert at_five.success_rate >= at_one.success_rate
+        assert at_five.success_rate > 0.8
+
+    def test_validation_catches_wrong_results(self, db):
+        # A corrupted program that *runs* but returns wrong rows must
+        # not count as success.
+        codex = SimulatedCodex(error_rate=0.99, seed=0)
+        system = CodexDB(db, codex)
+        result = system.run("SELECT name FROM emp WHERE salary > 85", max_attempts=1)
+        if result.succeeded:  # the 1% lucky clean sample
+            assert result.outcome is not None
+        else:
+            assert result.outcome is None
+
+    def test_invalid_error_rate(self):
+        with pytest.raises(CodexDBError):
+            SimulatedCodex(error_rate=1.0)
+
+    def test_samples_counter(self, db):
+        codex = SimulatedCodex(error_rate=0.0)
+        system = CodexDB(db, codex)
+        system.run("SELECT COUNT(*) FROM emp")
+        assert codex.samples_served == 1

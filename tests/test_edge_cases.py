@@ -1,0 +1,145 @@
+"""Edge-case coverage: empty inputs, degenerate shapes, boundary values."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    GenerationError,
+    SQLAnalysisError,
+    SQLExecutionError,
+    TokenizerError,
+)
+from repro.generation import GenerationConfig, generate
+from repro.models import GPTModel, ModelConfig
+from repro.sql import Database
+
+
+@pytest.fixture
+def empty_db():
+    db = Database()
+    db.execute("CREATE TABLE t (id INT, v INT, tag TEXT)")
+    return db
+
+
+class TestEmptyTables:
+    def test_select_star_empty(self, empty_db):
+        result = empty_db.execute("SELECT * FROM t")
+        assert result.rows == []
+
+    def test_count_empty_is_zero(self, empty_db):
+        assert empty_db.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_aggregates_empty_are_null(self, empty_db):
+        row = empty_db.execute("SELECT SUM(v), AVG(v), MIN(v), MAX(v) FROM t").rows[0]
+        assert row == (None, None, None, None)
+
+    def test_group_by_empty_produces_no_groups(self, empty_db):
+        result = empty_db.execute("SELECT tag, COUNT(*) FROM t GROUP BY tag")
+        assert result.rows == []
+
+    def test_join_with_empty_side(self, empty_db):
+        empty_db.execute("CREATE TABLE u (id INT)")
+        empty_db.execute("INSERT INTO u VALUES (1), (2)")
+        inner = empty_db.execute("SELECT * FROM u JOIN t ON u.id = t.id")
+        assert inner.rows == []
+        left = empty_db.execute(
+            "SELECT u.id, t.v FROM u LEFT JOIN t ON u.id = t.id ORDER BY u.id"
+        )
+        assert left.rows == [(1, None), (2, None)]
+
+    def test_order_limit_distinct_empty(self, empty_db):
+        result = empty_db.execute(
+            "SELECT DISTINCT v FROM t ORDER BY v DESC LIMIT 3"
+        )
+        assert result.rows == []
+
+    def test_update_delete_empty(self, empty_db):
+        assert empty_db.execute("UPDATE t SET v = 1").rowcount == 0
+        assert empty_db.execute("DELETE FROM t").rowcount == 0
+
+    def test_index_on_empty_table(self, empty_db):
+        empty_db.execute("CREATE INDEX i ON t (tag)")
+        result = empty_db.execute("SELECT * FROM t WHERE tag = 'x'")
+        assert result.rows == []
+
+
+class TestBoundaryValues:
+    def test_limit_zero(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INT)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        assert db.execute("SELECT id FROM t LIMIT 0").rows == []
+
+    def test_single_row_single_column(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INT)")
+        db.execute("INSERT INTO t VALUES (42)")
+        assert db.execute("SELECT id FROM t").scalar() == 42
+
+    def test_all_null_column_aggregation(self):
+        db = Database()
+        db.execute("CREATE TABLE t (v INT)")
+        db.execute("INSERT INTO t VALUES (NULL), (NULL)")
+        assert db.execute("SELECT COUNT(v) FROM t").scalar() == 0
+        assert db.execute("SELECT SUM(v) FROM t").scalar() is None
+
+    def test_negative_numbers_in_where(self):
+        db = Database()
+        db.execute("CREATE TABLE t (v INT)")
+        db.execute("INSERT INTO t VALUES (-5), (5)")
+        assert db.execute("SELECT COUNT(*) FROM t WHERE v < -1").scalar() == 1
+
+    def test_string_with_quote(self):
+        db = Database()
+        db.execute("CREATE TABLE t (s TEXT)")
+        db.execute("INSERT INTO t VALUES ('it''s')")
+        assert db.execute("SELECT s FROM t").scalar() == "it's"
+
+    def test_duplicate_alias_columns_allowed_in_output(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        result = db.execute("SELECT a AS x, a AS x FROM t")
+        assert result.columns == ["x", "x"]
+
+
+class TestGenerationEdges:
+    def test_max_one_token(self):
+        model = GPTModel(ModelConfig.tiny(vocab_size=16), seed=0)
+        out = generate(model, [1], GenerationConfig(max_new_tokens=1))
+        assert len(out) <= 1
+
+    def test_prompt_at_exact_window(self):
+        config = ModelConfig(vocab_size=16, max_seq_len=4, dim=16,
+                             num_layers=1, num_heads=2, ff_dim=32)
+        model = GPTModel(config, seed=0)
+        out = generate(model, [1, 2, 3, 4], GenerationConfig(max_new_tokens=3))
+        assert len(out) <= 3
+
+    def test_vocab_boundary_ids(self):
+        model = GPTModel(ModelConfig.tiny(vocab_size=16), seed=0)
+        logits = model(np.array([[15]]))  # the last valid id
+        assert logits.shape[-1] == 16
+        from repro.errors import ShapeError
+
+        with pytest.raises(ShapeError):
+            model(np.array([[16]]))
+
+
+class TestTokenizerEdges:
+    def test_encode_empty_string(self, word_tokenizer):
+        encoding = word_tokenizer.encode("")
+        assert encoding.ids == []
+        padded = word_tokenizer.encode("", pad_to=4)
+        assert padded.ids == [word_tokenizer.vocab.pad_id] * 4
+        assert sum(padded.attention_mask) == 0
+
+    def test_decode_empty(self, word_tokenizer):
+        assert word_tokenizer.decode([]) == ""
+
+    def test_whitespace_only_input(self, word_tokenizer):
+        assert word_tokenizer.encode("   \t\n ").ids == []
+
+    def test_max_length_zero_tokens(self, word_tokenizer):
+        encoding = word_tokenizer.encode("the database", max_length=0)
+        assert encoding.ids == []

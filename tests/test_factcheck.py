@@ -1,0 +1,137 @@
+"""Tests for the fact-checking pipeline."""
+
+import pytest
+
+from repro.errors import FactCheckError
+from repro.factcheck import (
+    CandidateQuery,
+    FactChecker,
+    KeywordRanker,
+    Verdict,
+    enumerate_candidates,
+    evaluate_checker,
+    generate_claim_workload,
+    train_lm_ranker,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_claim_workload(num_rows=30, num_claims=60, seed=0)
+
+
+@pytest.fixture(scope="module")
+def lm_checker(workload):
+    train, _ = workload.split(test_fraction=0.3, seed=1)
+    ranker = train_lm_ranker(workload, train, steps=150, seed=0)
+    return FactChecker(workload, ranker)
+
+
+class TestClaimGeneration:
+    def test_balanced_truthfulness(self, workload):
+        truthful = sum(c.truthful for c in workload.claims)
+        assert truthful == len(workload.claims) // 2
+
+    def test_true_claims_match_data(self, workload):
+        for claim in workload.claims:
+            if not claim.truthful:
+                continue
+            gold = CandidateQuery(
+                agg=claim.agg, column=claim.column, filter_value=claim.filter_value
+            )
+            assert gold.execute(workload) == pytest.approx(claim.claimed_value)
+
+    def test_false_claims_diverge(self, workload):
+        for claim in workload.claims:
+            if claim.truthful:
+                continue
+            gold = CandidateQuery(
+                agg=claim.agg, column=claim.column, filter_value=claim.filter_value
+            )
+            true_value = gold.execute(workload)
+            assert abs(claim.claimed_value - true_value) > 1.0
+
+    def test_deterministic(self):
+        a = generate_claim_workload(num_claims=10, seed=4)
+        b = generate_claim_workload(num_claims=10, seed=4)
+        assert [c.text for c in a.claims] == [c.text for c in b.claims]
+
+
+class TestCandidates:
+    def test_enumeration_size(self, workload):
+        # (1 count + 4 aggs * 2 cols) per (no-filter + 4 filters) = 45.
+        assert len(enumerate_candidates(workload)) == 45
+
+    def test_all_candidates_execute(self, workload):
+        for candidate in enumerate_candidates(workload):
+            value = candidate.execute(workload)
+            assert isinstance(value, float)
+
+    def test_description_is_stable(self):
+        c = CandidateQuery(agg="avg", column="salary", filter_value="sales")
+        assert c.description() == "avg salary where sales"
+
+    def test_sql_shape(self, workload):
+        c = CandidateQuery(agg="count", column=None, filter_value="sales")
+        assert "COUNT(*)" in c.sql(workload)
+        assert "WHERE" in c.sql(workload)
+
+
+class TestKeywordRanker:
+    def test_transparent_claim_resolved(self, workload):
+        ranker = KeywordRanker()
+        candidates = enumerate_candidates(workload)
+        best = ranker.best(
+            "the average salary of sales employees is 100", candidates
+        )
+        assert best.agg == "avg"
+        assert best.column == "salary"
+        assert best.filter_value == "sales"
+
+    def test_rank_returns_all_candidates(self, workload):
+        ranker = KeywordRanker()
+        candidates = enumerate_candidates(workload)
+        ranked = ranker.rank("there are 12 employees in sales", candidates)
+        assert len(ranked) == len(candidates)
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestLMChecker:
+    def test_verdicts_are_verdicts(self, workload, lm_checker):
+        result = lm_checker.verify(workload.claims[0])
+        assert result.verdict in (Verdict.SUPPORTED, Verdict.REFUTED)
+
+    def test_lm_beats_keyword_ranker(self, workload, lm_checker):
+        _, test = workload.split(test_fraction=0.3, seed=1)
+        keyword = evaluate_checker(FactChecker(workload, KeywordRanker()), test)
+        lm = evaluate_checker(lm_checker, test)
+        assert lm["interpretation_accuracy"] >= keyword["interpretation_accuracy"]
+        assert lm["verdict_accuracy"] >= keyword["verdict_accuracy"]
+
+    def test_lm_verdict_accuracy_high(self, workload, lm_checker):
+        _, test = workload.split(test_fraction=0.3, seed=1)
+        metrics = evaluate_checker(lm_checker, test)
+        assert metrics["verdict_accuracy"] >= 0.8
+
+    def test_empty_training_raises(self, workload):
+        with pytest.raises(FactCheckError):
+            train_lm_ranker(workload, [], steps=1)
+
+
+class TestVerificationMechanics:
+    def test_tolerance_accepts_rounding(self, workload):
+        checker = FactChecker(workload, KeywordRanker(), tolerance=0.05)
+        # A claim value within 5% of computed counts as supported.
+        candidates = enumerate_candidates(workload)
+        gold = candidates[0]
+        computed = gold.execute(workload)
+        assert checker._values_match(computed * 1.01, computed)
+        assert not checker._values_match(computed * 1.5, computed)
+
+    def test_result_metadata(self, workload, lm_checker):
+        claim = workload.claims[0]
+        result = lm_checker.verify(claim)
+        assert result.claim is claim
+        assert isinstance(result.computed_value, float)
+        assert isinstance(result.interpreted_correctly, bool)

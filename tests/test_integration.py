@@ -1,0 +1,146 @@
+"""Cross-subsystem integration tests: the library as a user would wire it.
+
+Each test composes several packages — the adoption paths a downstream
+user actually follows — rather than exercising one module in isolation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import CompletionClient, ModelHub, bootstrap_hub, pipeline
+from repro.codexdb import CodeGenOptions, CodexDB, SimulatedCodex
+from repro.generation import GenerationConfig, generate
+from repro.models import load_model, save_model
+from repro.sql import Database
+from repro.text2sql import (
+    SQLGrammarConstraint,
+    generate_workload,
+    train_translator,
+)
+from repro.text2sql.workload import sql_to_engine_dialect
+from repro.tokenizers import load_tokenizer, save_tokenizer
+
+
+@pytest.fixture(scope="module")
+def hub():
+    return bootstrap_hub(seed=0, steps=50, corpus_docs=50)
+
+
+class TestHubRoundtripThroughDisk:
+    def test_save_reload_and_serve(self, hub, tmp_path_factory):
+        """Persist the hub, reload it, and serve completions from the copy."""
+        directory = tmp_path_factory.mktemp("hub")
+        hub.save(directory)
+        restored = ModelHub.load(directory)
+        client = CompletionClient(restored)
+        original_client = CompletionClient(hub)
+        prompt = "the database"
+        assert (
+            client.complete("tiny-gpt", prompt, max_tokens=6).text
+            == original_client.complete("tiny-gpt", prompt, max_tokens=6).text
+        )
+
+
+class TestTextToSQLToCodexDB:
+    """NL question -> (constrained LM) SQL -> synthesized Python program."""
+
+    def test_full_nl_to_code_pipeline(self):
+        workload = generate_workload(seed=0, examples_per_template=6)
+        train, test = workload.split(test_fraction=0.2, seed=1)
+        translator = train_translator(workload, train, steps=150, seed=0)
+
+        codex_system = CodexDB(
+            workload.db, SimulatedCodex(error_rate=0.0),
+            CodeGenOptions(logging=True),
+        )
+
+        successes = 0
+        attempted = 0
+        for example in test[:6]:
+            linearized = translator.translate(example.question, constrained=True)
+            if not linearized:
+                continue
+            sql = sql_to_engine_dialect(linearized)
+            attempted += 1
+            result = codex_system.run(sql)
+            if not result.succeeded:
+                continue
+            engine_rows = workload.db.execute(sql).rows
+            assert sorted(map(repr, result.outcome.rows)) == sorted(
+                map(repr, engine_rows)
+            )
+            assert result.outcome.logs  # customization flowed through
+            successes += 1
+        assert attempted >= 4
+        assert successes == attempted  # every valid SQL also synthesizes
+
+
+class TestSharedModelAcrossChannels:
+    def test_pipeline_and_client_agree(self, hub):
+        """Both §2.4 access channels produce identical greedy output."""
+        entry = hub.get("tiny-gpt")
+        text_pipeline = pipeline("text-generation", entry.model, entry.tokenizer)
+        client = CompletionClient(hub)
+        prompt = "the index"
+        assert (
+            text_pipeline(prompt, max_new_tokens=5)
+            == client.complete("tiny-gpt", prompt, max_tokens=5).text
+        )
+
+    def test_constrained_generation_through_client(self, hub):
+        """The OpenAI-style client accepts PICARD-style constraints."""
+        workload = generate_workload(seed=0, examples_per_template=1)
+        entry = hub.get("tiny-gpt")
+
+        class OnlyEOS:
+            def allowed_tokens(self, generated_ids):
+                return []  # force immediate stop
+
+        response = CompletionClient(hub).complete(
+            "tiny-gpt", "anything", max_tokens=5, constraint=OnlyEOS()
+        )
+        assert response.text == ""
+
+
+class TestCheckpointedModelKeepsGenerating:
+    def test_save_load_generate(self, hub, tmp_path):
+        entry = hub.get("tiny-gpt")
+        path = save_model(entry.model, tmp_path / "gpt.npz")
+        restored = load_model(path)
+        prompt_ids = entry.tokenizer.encode("the table", add_bos=True).ids
+        config = GenerationConfig(max_new_tokens=6)
+        assert generate(restored, prompt_ids, config) == generate(
+            entry.model, prompt_ids, config
+        )
+
+    def test_tokenizer_and_model_as_a_unit(self, hub, tmp_path):
+        entry = hub.get("tiny-bert")
+        model_path = save_model(entry.model, tmp_path / "bert.npz")
+        tokenizer_path = save_tokenizer(entry.tokenizer, tmp_path / "tok.json")
+        model = load_model(model_path)
+        tokenizer = load_tokenizer(tokenizer_path)
+        filler = pipeline("fill-mask", model, tokenizer)
+        fills = filler("the database [MASK] sorted rows .", top_k=2)
+        assert len(fills) == 2
+
+
+class TestSQLSubsystemsCompose:
+    def test_semantic_predicate_over_indexed_table(self):
+        """NL predicates, hash indexes, and DML interact correctly."""
+        from repro.semantic import SemanticDatabase, train_review_predicate
+        from repro.semantic.predicate import generate_review_table
+
+        db, gold = generate_review_table(num_rows=20, seed=3)
+        db.execute("CREATE INDEX idx_name ON products (name)")
+        predicate = train_review_predicate(epochs=6, seed=0)
+        sdb = SemanticDatabase(db, predicate)
+
+        before = sdb.execute(
+            "SELECT COUNT(*) FROM products WHERE NL(review, 'the review is positive')"
+        ).scalar()
+        assert before == sum(gold.values())
+
+        # DML after predicate compilation: the engine stays consistent.
+        db.execute("DELETE FROM products WHERE id < 4")
+        remaining = db.execute("SELECT COUNT(*) FROM products").scalar()
+        assert remaining == 16

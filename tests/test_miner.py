@@ -1,0 +1,132 @@
+"""Tests for NL pattern mining (BABOONS/NaturalMiner-style)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.miner import (
+    KeywordRelevanceScorer,
+    enumerate_facts,
+    exhaustive_summary,
+    generate_sales_table,
+    greedy_summary,
+    sampled_summary,
+    train_relevance_scorer,
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_sales_table(num_rows=80, seed=0)
+
+
+@pytest.fixture(scope="module")
+def facts(db):
+    return enumerate_facts(db, "sales", ["category", "region"], ["price", "revenue"])
+
+
+@pytest.fixture(scope="module")
+def lm_scorer(facts):
+    return train_relevance_scorer(facts, steps=180, seed=0)
+
+
+class TestFactEnumeration:
+    def test_cardinality(self, facts):
+        # (4 categories + 4 regions) filters x 2 metrics x 2 aggs = 32.
+        assert len(facts) == 32
+
+    def test_planted_pattern_visible_in_facts(self, facts):
+        dairy_price = next(
+            f for f in facts
+            if f.filter_value == "dairy" and f.metric == "price" and f.agg == "avg"
+        )
+        assert dairy_price.direction == "higher than"
+        west_revenue = next(
+            f for f in facts
+            if f.filter_value == "west" and f.metric == "revenue" and f.agg == "avg"
+        )
+        assert west_revenue.direction == "lower than"
+
+    def test_sentences_are_readable(self, facts):
+        sentence = facts[0].sentence()
+        assert "overall" in sentence
+        assert facts[0].filter_value in sentence
+
+    def test_empty_enumeration_raises(self, db):
+        with pytest.raises(ReproError):
+            enumerate_facts(db, "sales", [], [])
+
+
+class TestScorers:
+    def test_keyword_counts_overlap(self, facts):
+        scorer = KeywordRelevanceScorer()
+        dairy_fact = next(f for f in facts if f.filter_value == "dairy")
+        other_fact = next(f for f in facts if f.filter_value == "north")
+        assert scorer.score("dairy price", dairy_fact) > scorer.score(
+            "dairy price", other_fact
+        )
+        assert scorer.calls == 2
+
+    def test_lm_scorer_ranks_planted_fact_first(self, lm_scorer, facts):
+        goal = "how does dairy differ on price"
+        ranked = sorted(facts, key=lambda f: -lm_scorer.score(goal, f))
+        assert ranked[0].filter_value == "dairy"
+        assert ranked[0].metric == "price"
+
+    def test_lm_scorer_generalizes_across_goals(self, lm_scorer, facts):
+        goal = "why is revenue unusual for west"
+        ranked = sorted(facts, key=lambda f: -lm_scorer.score(goal, f))
+        assert ranked[0].filter_value == "west"
+        assert ranked[0].metric == "revenue"
+
+    def test_empty_training_raises(self):
+        with pytest.raises(ReproError):
+            train_relevance_scorer([], steps=1)
+
+
+class TestSearch:
+    def test_greedy_summary_is_diverse(self, lm_scorer, facts):
+        result = greedy_summary(lm_scorer, "how does dairy differ on price", facts, k=3)
+        dims = [f.dimensions for f in result.facts]
+        assert len(set(dims)) == len(dims)
+        assert len(result.facts) == 3
+
+    def test_greedy_recovers_planted_pattern(self, lm_scorer, facts):
+        result = greedy_summary(lm_scorer, "how does dairy differ on price", facts, k=2)
+        assert result.facts[0].dimensions == ("category=dairy", "price")
+
+    def test_exhaustive_equals_greedy_quality(self, lm_scorer, facts):
+        goal = "tell me about revenue in the west group"
+        greedy = greedy_summary(lm_scorer, goal, facts, k=2)
+        exhaustive = exhaustive_summary(lm_scorer, goal, facts, k=2)
+        assert [f.dimensions for f in greedy.facts] == [
+            f.dimensions for f in exhaustive.facts
+        ]
+
+    def test_sampled_uses_fewer_calls(self, lm_scorer, facts):
+        goal = "how does dairy differ on price"
+        sampled = sampled_summary(lm_scorer, goal, facts, k=2, budget=6, seed=0)
+        full = greedy_summary(lm_scorer, goal, facts, k=2)
+        assert sampled.scorer_calls < full.scorer_calls
+        assert sampled.scorer_calls <= 6
+
+    def test_small_budget_can_miss_pattern(self, lm_scorer, facts):
+        goal = "how does dairy differ on price"
+        hits = 0
+        for seed in range(6):
+            result = sampled_summary(lm_scorer, goal, facts, k=2, budget=4, seed=seed)
+            hits += int(
+                any(f.dimensions == ("category=dairy", "price") for f in result.facts)
+            )
+        assert hits < 6  # with 4/32 facts scored, some runs miss it
+
+    def test_invalid_k_raises(self, lm_scorer, facts):
+        with pytest.raises(ReproError):
+            greedy_summary(lm_scorer, "goal", facts, k=0)
+
+    def test_invalid_budget_raises(self, lm_scorer, facts):
+        with pytest.raises(ReproError):
+            sampled_summary(lm_scorer, "goal", facts, budget=0)
+
+    def test_render_is_multiline(self, lm_scorer, facts):
+        result = greedy_summary(lm_scorer, "dairy price", facts, k=2)
+        assert result.render().count("\n") == 1

@@ -1,0 +1,162 @@
+"""Tests for the NeuralDB subsystem."""
+
+import pytest
+
+from repro.errors import NeuralDBError
+from repro.neuraldb import (
+    EmbeddingRetriever,
+    LexicalRetriever,
+    NeuralDatabase,
+    evaluate_neuraldb,
+    generate_fact_world,
+    train_reader,
+)
+from repro.neuraldb.facts import contrastive_pairs, training_qa_pairs
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_fact_world(num_people=10, seed=42)
+
+
+@pytest.fixture(scope="module")
+def reader():
+    return train_reader(training_qa_pairs(seed=0, num_worlds=4), steps=200, seed=0)
+
+
+@pytest.fixture(scope="module")
+def lexical_db(world, reader):
+    return NeuralDatabase(LexicalRetriever(world.facts), reader)
+
+
+class TestFactWorld:
+    def test_every_relation_has_a_fact(self, world):
+        assert len(world.facts) == len(world.works_in) + len(world.located_in)
+
+    def test_ground_truth_helpers(self, world):
+        person = world.people[0]
+        dept = world.works_in[person]
+        assert world.building_of_person(person) == world.located_in[dept]
+        total = sum(world.count_in_department(d) for d in world.departments)
+        assert total == len(world.works_in)
+
+    def test_deterministic(self):
+        a = generate_fact_world(seed=7)
+        b = generate_fact_world(seed=7)
+        assert a.facts == b.facts
+
+    def test_training_pairs_cover_generic_phrasing(self):
+        triples = training_qa_pairs(seed=0, num_worlds=1)
+        questions = {q for _, q, _ in triples}
+        assert "where does this person work ?" in questions
+
+
+class TestRetrievers:
+    def test_lexical_finds_person_fact(self, world):
+        retriever = LexicalRetriever(world.facts)
+        person = world.people[0]
+        hits = retriever.retrieve(f"where does {person} work ?", top_k=1)
+        assert person in hits[0][0]
+
+    def test_lexical_scores_sorted(self, world):
+        retriever = LexicalRetriever(world.facts)
+        hits = retriever.retrieve("where is engineering located ?", top_k=5)
+        scores = [s for _, s in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_empty_facts_raise(self):
+        with pytest.raises(NeuralDBError):
+            LexicalRetriever([])
+        with pytest.raises(NeuralDBError):
+            EmbeddingRetriever([])
+
+    def test_contrastive_training_improves_retrieval(self, world):
+        untrained = EmbeddingRetriever(world.facts, pretrain_steps=30, seed=0)
+
+        def hit_rate(retriever):
+            hits = 0
+            for person in world.people:
+                top = retriever.retrieve(f"where does {person} work ?", top_k=1)
+                hits += int(person in top[0][0])
+            return hits / len(world.people)
+
+        before = hit_rate(untrained)
+        untrained.train_contrastive(contrastive_pairs(seed=0, num_worlds=4), steps=100, seed=0)
+        after = hit_rate(untrained)
+        assert after > before
+        assert after >= 0.8
+
+    def test_contrastive_empty_raises(self, world):
+        retriever = EmbeddingRetriever(world.facts, pretrain_steps=5, seed=0)
+        with pytest.raises(NeuralDBError):
+            retriever.train_contrastive([])
+
+
+class TestReader:
+    def test_reads_department_from_fact(self, reader, world):
+        person = world.people[0]
+        dept = world.works_in[person]
+        fact = next(f for f in world.facts if person in f)
+        assert reader.read(fact, f"where does {person} work ?") == dept
+
+    def test_empty_training_raises(self):
+        with pytest.raises(NeuralDBError):
+            train_reader([], steps=1)
+
+
+class TestFactMutations:
+    def test_added_fact_becomes_retrievable(self, reader, world):
+        db = NeuralDatabase(LexicalRetriever(list(world.facts)), reader)
+        db.add_fact("zoe works in engineering .")
+        outcome = db.lookup("where does zoe work ?")
+        assert "zoe" in outcome.supporting_facts[0]
+
+    def test_removed_fact_is_gone(self, reader, world):
+        db = NeuralDatabase(LexicalRetriever(list(world.facts)), reader)
+        victim = world.facts[0]
+        db.remove_fact(victim)
+        assert victim not in db.facts
+
+    def test_remove_unknown_fact_raises(self, reader, world):
+        db = NeuralDatabase(LexicalRetriever(list(world.facts)), reader)
+        with pytest.raises(NeuralDBError):
+            db.remove_fact("this fact was never stored .")
+
+    def test_add_empty_fact_raises(self, reader, world):
+        db = NeuralDatabase(LexicalRetriever(list(world.facts)), reader)
+        with pytest.raises(NeuralDBError):
+            db.add_fact("   ")
+
+    def test_count_sees_added_fact(self, reader, world):
+        db = NeuralDatabase(LexicalRetriever(list(world.facts)), reader)
+        dept = world.departments[0]
+        before = db.count_department(dept).answer
+        db.add_fact(f"zoe works in {dept} .")
+        after = db.count_department(dept).answer
+        assert after == before + 1
+
+
+class TestNeuralDatabase:
+    def test_lookup_returns_provenance(self, lexical_db, world):
+        person = world.people[0]
+        outcome = lexical_db.lookup(f"where does {person} work ?")
+        assert outcome.supporting_facts
+        assert str(outcome.answer) in world.departments or outcome.answer
+
+    def test_lookup_accuracy_high(self, lexical_db, world):
+        report = evaluate_neuraldb(lexical_db, world)
+        assert report.lookup_accuracy >= 0.8
+
+    def test_count_matches_ground_truth(self, lexical_db, world):
+        report = evaluate_neuraldb(lexical_db, world)
+        assert report.count_accuracy >= 0.75
+
+    def test_join_composes_two_lookups(self, lexical_db, world):
+        person = world.people[0]
+        outcome = lexical_db.join_lookup(person)
+        assert len(outcome.supporting_facts) == 2
+
+    def test_overall_report(self, lexical_db, world):
+        report = evaluate_neuraldb(lexical_db, world)
+        assert 0.0 <= report.overall() <= 1.0
+        assert report.overall() > 0.6

@@ -1,0 +1,99 @@
+"""Tests for NLP-enhanced data profiling (correlation from column names)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.profiling import (
+    TokenOverlapBaseline,
+    evaluate_predictor,
+    generate_schema_corpus,
+    measure_correlation,
+    profiling_recall_at_budget,
+    train_name_pair_classifier,
+)
+
+
+@pytest.fixture(scope="module")
+def corpora():
+    train = generate_schema_corpus(num_schemas=16, seed=1)
+    test = generate_schema_corpus(num_schemas=8, seed=2)
+    return train, test
+
+
+@pytest.fixture(scope="module")
+def classifier(corpora):
+    train, _ = corpora
+    return train_name_pair_classifier(train.pairs, epochs=12, seed=0)
+
+
+class TestCorpus:
+    def test_labels_match_measured_correlations(self, corpora):
+        _, test = corpora
+        for pair in test.pairs:
+            r = measure_correlation(test, pair)
+            if pair.correlated:
+                assert r > 0.7, f"{pair} should correlate, measured {r:.2f}"
+            else:
+                assert r < 0.6, f"{pair} should not correlate, measured {r:.2f}"
+
+    def test_synonym_pairs_share_no_tokens(self, corpora):
+        _, test = corpora
+        for pair in test.pairs:
+            if pair.correlated:
+                left = set(pair.left_name.split("_")[:-1])
+                right = set(pair.right_name.split("_")[:-1])
+                assert not (left & right)
+
+    def test_deterministic(self):
+        a = generate_schema_corpus(num_schemas=3, seed=5)
+        b = generate_schema_corpus(num_schemas=3, seed=5)
+        assert a.pairs == b.pairs
+
+
+class TestPredictors:
+    def test_overlap_baseline_blind_to_synonyms(self, corpora):
+        _, test = corpora
+        metrics = evaluate_predictor(TokenOverlapBaseline(), test.pairs)
+        assert metrics["recall"] == 0.0
+
+    def test_lm_classifier_learns_synonyms(self, classifier, corpora):
+        _, test = corpora
+        metrics = evaluate_predictor(classifier, test.pairs)
+        assert metrics["f1"] > 0.6
+        assert metrics["recall"] > 0.7
+
+    def test_lm_beats_baseline(self, classifier, corpora):
+        _, test = corpora
+        lm = evaluate_predictor(classifier, test.pairs)
+        baseline = evaluate_predictor(TokenOverlapBaseline(), test.pairs)
+        assert lm["f1"] > baseline["f1"]
+
+    def test_probability_in_unit_interval(self, classifier, corpora):
+        _, test = corpora
+        for pair in test.pairs[:10]:
+            assert 0.0 <= classifier.probability(pair) <= 1.0
+
+    def test_empty_training_raises(self):
+        with pytest.raises(ReproError):
+            train_name_pair_classifier([], epochs=1)
+
+
+class TestBudgetedProfiling:
+    def test_recall_rises_with_budget(self, classifier, corpora):
+        _, test = corpora
+        small, _ = profiling_recall_at_budget(classifier, test, test.pairs, budget=6)
+        large, _ = profiling_recall_at_budget(classifier, test, test.pairs, budget=24)
+        assert large >= small
+
+    def test_lm_profiler_beats_baseline_at_budget(self, classifier, corpora):
+        _, test = corpora
+        lm, _ = profiling_recall_at_budget(classifier, test, test.pairs, budget=24)
+        baseline, _ = profiling_recall_at_budget(
+            TokenOverlapBaseline(), test, test.pairs, budget=24
+        )
+        assert lm > baseline
+
+    def test_invalid_budget_raises(self, classifier, corpora):
+        _, test = corpora
+        with pytest.raises(ReproError):
+            profiling_recall_at_budget(classifier, test, test.pairs, budget=0)

@@ -1,0 +1,161 @@
+"""Tests for prompt templates, few-shot prompts, scoring, and parsers."""
+
+import pytest
+
+from repro.errors import PromptError
+from repro.prompting import (
+    FewShotPrompt,
+    PromptClassifier,
+    PromptTemplate,
+    parse_final_line,
+    parse_key_value,
+    parse_label,
+    score_continuation,
+)
+
+
+class TestTemplate:
+    def test_fields_extracted_in_order(self):
+        t = PromptTemplate("Q: {question}\nContext: {context}\nA: {question}")
+        assert t.fields == ["question", "context"]
+
+    def test_render(self):
+        t = PromptTemplate("Hello {name}!")
+        assert t.render(name="world") == "Hello world!"
+
+    def test_missing_field_raises(self):
+        with pytest.raises(PromptError):
+            PromptTemplate("{a} {b}").render(a="x")
+
+    def test_extra_field_raises(self):
+        with pytest.raises(PromptError):
+            PromptTemplate("{a}").render(a="x", b="y")
+
+    def test_partial(self):
+        t = PromptTemplate("{a} and {b}").partial(a="left")
+        assert t.fields == ["b"]
+        assert t.render(b="right") == "left and right"
+
+    def test_partial_unknown_raises(self):
+        with pytest.raises(PromptError):
+            PromptTemplate("{a}").partial(z="?")
+
+
+class TestFewShot:
+    def make_prompt(self):
+        template = PromptTemplate("Review: {text}")
+        prompt = FewShotPrompt(template, instructions="Classify the sentiment.")
+        prompt.add_example("positive", text="great product")
+        prompt.add_example("negative", text="terrible quality")
+        return prompt
+
+    def test_full_layout(self):
+        rendered = self.make_prompt().build(text="works fine")
+        assert rendered.startswith("Classify the sentiment.")
+        assert "Review: great product\nAnswer: positive" in rendered
+        assert rendered.endswith("Review: works fine\nAnswer:")
+
+    def test_zero_shot(self):
+        template = PromptTemplate("Review: {text}")
+        prompt = FewShotPrompt(template, instructions="Classify.")
+        rendered = prompt.build(text="x")
+        assert "Answer: " not in rendered  # no worked examples
+        assert rendered.endswith("Answer:")
+
+    def test_max_shots_truncates(self):
+        rendered = self.make_prompt().build(max_shots=1, text="x")
+        assert "great product" in rendered
+        assert "terrible quality" not in rendered
+
+    def test_invalid_example_fields_raise(self):
+        prompt = FewShotPrompt(PromptTemplate("{text}"))
+        with pytest.raises(PromptError):
+            prompt.add_example("label", wrong_field="x")
+
+    def test_num_shots(self):
+        assert self.make_prompt().num_shots == 2
+
+
+class TestScoring:
+    def test_score_is_negative_logprob_sum(self, tiny_gpt, word_tokenizer):
+        score = score_continuation(tiny_gpt, word_tokenizer, "the database", "stores")
+        assert score < 0.0
+
+    def test_trained_model_prefers_grammatical_continuation(
+        self, tiny_gpt, word_tokenizer
+    ):
+        """After CLM pre-training on SVO sentences, a verb continuation
+        should outscore an implausible determiner continuation."""
+        plausible = score_continuation(tiny_gpt, word_tokenizer, "the database", "stores")
+        implausible = score_continuation(tiny_gpt, word_tokenizer, "the database", "the")
+        assert plausible > implausible
+
+    def test_empty_continuation_raises(self, tiny_gpt, word_tokenizer):
+        with pytest.raises(PromptError):
+            score_continuation(tiny_gpt, word_tokenizer, "prompt", "")
+
+
+class TestPromptClassifier:
+    def test_predict_returns_known_class(self, tiny_gpt, word_tokenizer):
+        template = PromptTemplate("Sentence: {text}")
+        prompt = FewShotPrompt(template, instructions="Does the sentence mention rows?")
+        prompt.add_example("rows", text="the table stores sorted rows .")
+        prompt.add_example("columns", text="the table stores sorted columns .")
+        clf = PromptClassifier(
+            tiny_gpt, word_tokenizer, prompt, verbalizers={0: "columns", 1: "rows"}
+        )
+        pred = clf.predict(text="the index returns cached rows .")
+        assert pred in (0, 1)
+        scores = clf.scores(text="the index returns cached rows .")
+        assert set(scores) == {0, 1}
+
+    def test_single_class_raises(self, tiny_gpt, word_tokenizer):
+        prompt = FewShotPrompt(PromptTemplate("{text}"))
+        with pytest.raises(PromptError):
+            PromptClassifier(tiny_gpt, word_tokenizer, prompt, verbalizers={0: "x"})
+
+    def test_calibration_centers_bias(self, tiny_gpt, word_tokenizer):
+        prompt = FewShotPrompt(PromptTemplate("sentence : {text}"))
+        clf = PromptClassifier(
+            tiny_gpt, word_tokenizer, prompt, verbalizers={0: "columns", 1: "rows"}
+        )
+        assert not clf.is_calibrated
+        bias = clf.calibrate()
+        assert clf.is_calibrated
+        assert abs(sum(bias.values())) < 1e-9  # centered
+        # Scores shift by exactly the (centered) bias.
+        clf_raw = PromptClassifier(
+            tiny_gpt, word_tokenizer,
+            FewShotPrompt(PromptTemplate("sentence : {text}")),
+            verbalizers={0: "columns", 1: "rows"},
+        )
+        raw = clf_raw.scores(text="the table stores rows .")
+        calibrated = clf.scores(text="the table stores rows .")
+        for label in (0, 1):
+            assert calibrated[label] == pytest.approx(raw[label] - bias[label])
+
+
+class TestParsers:
+    def test_parse_label_first_occurrence(self):
+        assert parse_label("I think it is positive, not negative", ["negative", "positive"]) == "positive"
+
+    def test_parse_label_case_insensitive(self):
+        assert parse_label("POSITIVE!", ["positive"]) == "positive"
+
+    def test_parse_label_default(self):
+        assert parse_label("no label here", ["yes"], default="yes") == "yes"
+
+    def test_parse_label_missing_raises(self):
+        with pytest.raises(PromptError):
+            parse_label("nothing", ["yes", "no"])
+
+    def test_parse_final_line(self):
+        assert parse_final_line("a\nb\n\n  c  \n") == "c"
+
+    def test_parse_final_line_empty_raises(self):
+        with pytest.raises(PromptError):
+            parse_final_line("  \n ")
+
+    def test_parse_key_value(self):
+        parsed = parse_key_value("buffer_size: 128MB\nmax connections = 10\nnoise")
+        assert parsed == {"buffer_size": "128MB", "max connections": "10"}

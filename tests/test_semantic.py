@@ -1,0 +1,173 @@
+"""Tests for NL predicates inside SQL (the semantic-operator extension)."""
+
+import pytest
+
+from repro.semantic import (
+    FinetunedPredicate,
+    KeywordPredicate,
+    SemanticDatabase,
+    extract_nl_calls,
+    generate_review_table,
+    rewrite_expression,
+    train_review_predicate,
+)
+from repro.semantic.rewrite import SemanticError, nl_call_parts
+from repro.sql import Database
+from repro.sql.parser import parse_sql
+from repro.sql.ast import FuncCall, InList, Literal
+
+
+@pytest.fixture(scope="module")
+def review_db():
+    return generate_review_table(num_rows=30, seed=0)
+
+
+@pytest.fixture(scope="module")
+def lm_predicate():
+    return train_review_predicate(epochs=8, seed=0)
+
+
+class TestRewrite:
+    def test_extract_finds_nl_calls(self):
+        query = parse_sql(
+            "SELECT id FROM t WHERE NL(review, 'positive') AND price > 5"
+        )
+        calls = extract_nl_calls(query.where)
+        assert len(calls) == 1
+        column, description = nl_call_parts(calls[0])
+        assert column.name == "review"
+        assert description == "positive"
+
+    def test_extract_nested(self):
+        query = parse_sql(
+            "SELECT id FROM t WHERE NOT (NL(a, 'x') OR NL(b, 'y'))"
+        )
+        assert len(extract_nl_calls(query.where)) == 2
+
+    def test_malformed_arity_raises(self):
+        query = parse_sql("SELECT id FROM t WHERE NL(review)")
+        with pytest.raises(SemanticError):
+            extract_nl_calls(query.where)
+
+    def test_malformed_argument_types_raise(self):
+        query = parse_sql("SELECT id FROM t WHERE NL('text', 'desc')")
+        with pytest.raises(SemanticError):
+            extract_nl_calls(query.where)
+
+    def test_rewrite_replaces_only_nl(self):
+        query = parse_sql(
+            "SELECT id FROM t WHERE NL(review, 'positive') AND LENGTH(review) > 3"
+        )
+        rewritten = rewrite_expression(
+            query.where, lambda call: Literal(True)
+        )
+        assert not extract_nl_calls(rewritten)
+        assert "LENGTH" in rewritten.sql()
+
+
+class TestKeywordPredicate:
+    def test_matches_on_shared_content_word(self):
+        predicate = KeywordPredicate()
+        assert predicate.matches("utterly fantastic product", "fantastic quality")
+        assert not predicate.matches("terrible product", "fantastic quality")
+
+
+class TestSemanticDatabase:
+    def test_lm_predicate_filters_accurately(self, review_db, lm_predicate):
+        db, gold = review_db
+        sdb = SemanticDatabase(db, lm_predicate)
+        result = sdb.execute(
+            "SELECT id FROM products WHERE NL(review, 'the review is positive')"
+        )
+        predicted_positive = {row[0] for row in result.rows}
+        gold_positive = {i for i, positive in gold.items() if positive}
+        accuracy = len(predicted_positive & gold_positive) / max(len(gold_positive), 1)
+        assert accuracy >= 0.9
+
+    def test_negative_description_inverts(self, review_db, lm_predicate):
+        db, gold = review_db
+        sdb = SemanticDatabase(db, lm_predicate)
+        positive = sdb.execute(
+            "SELECT COUNT(*) FROM products WHERE NL(review, 'the review is positive')"
+        ).scalar()
+        negative = sdb.execute(
+            "SELECT COUNT(*) FROM products WHERE NL(review, 'the review is negative')"
+        ).scalar()
+        assert positive + negative == len(gold)
+
+    def test_nl_composes_with_relational_predicates(self, review_db, lm_predicate):
+        db, _ = review_db
+        sdb = SemanticDatabase(db, lm_predicate)
+        result = sdb.execute(
+            "SELECT id FROM products "
+            "WHERE NL(review, 'the review is positive') AND id < 10"
+        )
+        assert all(row[0] < 10 for row in result.rows)
+
+    def test_nl_in_aggregate_query(self, review_db, lm_predicate):
+        db, _ = review_db
+        sdb = SemanticDatabase(db, lm_predicate)
+        result = sdb.execute(
+            "SELECT name, COUNT(*) FROM products "
+            "WHERE NL(review, 'the review is positive') GROUP BY name"
+        )
+        assert result.rows  # grouped output exists
+
+    def test_dictionary_evaluation_bounds_classifier_calls(self, review_db, lm_predicate):
+        db, _ = review_db
+        sdb = SemanticDatabase(db, lm_predicate)
+        sdb.execute(
+            "SELECT COUNT(*) FROM products WHERE NL(review, 'the review is positive')"
+        )
+        distinct_reviews = db.execute(
+            "SELECT COUNT(DISTINCT review) FROM products"
+        ).scalar()
+        assert sdb.predicate_evaluations == distinct_reviews
+
+    def test_predicate_cache_hits_on_repeat(self, review_db, lm_predicate):
+        db, _ = review_db
+        sdb = SemanticDatabase(db, lm_predicate)
+        sql = "SELECT COUNT(*) FROM products WHERE NL(review, 'the review is positive')"
+        sdb.execute(sql)
+        first = sdb.predicate_evaluations
+        sdb.execute(sql)
+        assert sdb.predicate_evaluations == first  # cached
+
+    def test_query_without_nl_passes_through(self, review_db, lm_predicate):
+        db, _ = review_db
+        sdb = SemanticDatabase(db, lm_predicate)
+        assert sdb.execute("SELECT COUNT(*) FROM products").scalar() == 30
+
+    def test_no_matches_compiles_to_false(self, lm_predicate):
+        db = Database()
+        db.execute("CREATE TABLE t (id INT, note TEXT)")
+        db.execute("INSERT INTO t VALUES (1, NULL)")  # no string values at all
+        sdb = SemanticDatabase(db, lm_predicate)
+        result = sdb.execute("SELECT id FROM t WHERE NL(note, 'positive')")
+        assert len(result) == 0
+
+    def test_unknown_column_raises(self, review_db, lm_predicate):
+        db, _ = review_db
+        sdb = SemanticDatabase(db, lm_predicate)
+        with pytest.raises(SemanticError):
+            sdb.execute("SELECT id FROM products WHERE NL(ghost, 'positive')")
+
+    def test_keyword_baseline_is_weaker(self, review_db, lm_predicate):
+        db, gold = review_db
+        gold_positive = {i for i, positive in gold.items() if positive}
+
+        def f1_of(predicate):
+            sdb = SemanticDatabase(db, predicate)
+            rows = sdb.execute(
+                "SELECT id FROM products WHERE NL(review, 'the review is positive')"
+            ).rows
+            predicted = {r[0] for r in rows}
+            if not predicted:
+                return 0.0
+            precision = len(predicted & gold_positive) / len(predicted)
+            recall = len(predicted & gold_positive) / len(gold_positive)
+            if precision + recall == 0:
+                return 0.0
+            return 2 * precision * recall / (precision + recall)
+
+        assert f1_of(lm_predicate) > f1_of(KeywordPredicate())

@@ -1,0 +1,87 @@
+"""Tests for tokenizer and model-hub persistence."""
+
+import numpy as np
+import pytest
+
+from repro.api import ModelHub
+from repro.errors import ModelError, TokenizerError
+from repro.tokenizers import (
+    BPETokenizer,
+    WhitespaceTokenizer,
+    WordPieceTokenizer,
+    load_tokenizer,
+    save_tokenizer,
+)
+
+CORPUS = [
+    "the quick brown fox jumps over the lazy dog",
+    "databases store rows and columns of data",
+]
+
+
+class TestTokenizerSerialization:
+    @pytest.mark.parametrize("cls,kwargs", [
+        (BPETokenizer, {}),
+        (WordPieceTokenizer, {"lowercase": True, "max_subword_len": 8}),
+        (WhitespaceTokenizer, {"lowercase": False}),
+    ])
+    def test_roundtrip_encodes_identically(self, tmp_path, cls, kwargs):
+        tokenizer = cls(**kwargs)
+        tokenizer.train(CORPUS, vocab_size=150)
+        path = save_tokenizer(tokenizer, tmp_path / "tok")
+        restored = load_tokenizer(path)
+        assert type(restored) is cls
+        for doc in CORPUS + ["brown rows jump"]:
+            assert restored.encode(doc).ids == tokenizer.encode(doc).ids
+            assert restored.decode(restored.encode(doc).ids) == tokenizer.decode(
+                tokenizer.encode(doc).ids
+            )
+
+    def test_options_preserved(self, tmp_path):
+        tokenizer = WordPieceTokenizer(lowercase=False, max_subword_len=5)
+        tokenizer.train(CORPUS, vocab_size=100)
+        restored = load_tokenizer(save_tokenizer(tokenizer, tmp_path / "wp"))
+        assert restored.lowercase is False
+        assert restored.max_subword_len == 5
+
+    def test_untrained_save_raises(self, tmp_path):
+        with pytest.raises(TokenizerError):
+            save_tokenizer(BPETokenizer(), tmp_path / "x")
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(TokenizerError):
+            load_tokenizer(tmp_path / "nothere.json")
+
+    def test_corrupt_class_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"class": "Fancy", "tokens": []}')
+        with pytest.raises(TokenizerError):
+            load_tokenizer(path)
+
+
+class TestHubPersistence:
+    def test_save_load_roundtrip(self, tmp_path, tiny_gpt, tiny_bert, word_tokenizer):
+        hub = ModelHub()
+        hub.register("gpt", tiny_gpt, word_tokenizer)
+        hub.register("bert", tiny_bert, word_tokenizer)
+        hub.save(tmp_path / "hub")
+
+        restored = ModelHub.load(tmp_path / "hub")
+        assert restored.names() == ["bert", "gpt"]
+        ids = np.array([[1, 2, 3]])
+        np.testing.assert_allclose(
+            restored.get("gpt").model(ids).data, tiny_gpt(ids).data
+        )
+
+    def test_load_empty_dir_raises(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(ModelError):
+            ModelHub.load(tmp_path / "empty")
+
+    def test_load_missing_tokenizer_raises(self, tmp_path, tiny_gpt, word_tokenizer):
+        hub = ModelHub()
+        hub.register("solo", tiny_gpt, word_tokenizer)
+        hub.save(tmp_path / "partial")
+        (tmp_path / "partial" / "solo.tokenizer.json").unlink()
+        with pytest.raises(ModelError):
+            ModelHub.load(tmp_path / "partial")

@@ -1,0 +1,145 @@
+"""Tests for UPDATE, DELETE, DROP, and EXPLAIN."""
+
+import pytest
+
+from repro.errors import CatalogError, SQLAnalysisError, SQLSyntaxError
+from repro.sql import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE items (id INT, name TEXT, price FLOAT)")
+    database.execute(
+        "INSERT INTO items VALUES (1, 'pen', 2.0), (2, 'book', 10.0), "
+        "(3, 'lamp', 25.0), (4, 'desk', NULL)"
+    )
+    return database
+
+
+class TestUpdate:
+    def test_update_with_where(self, db):
+        result = db.execute("UPDATE items SET price = 3.0 WHERE name = 'pen'")
+        assert result.rowcount == 1
+        assert db.execute("SELECT price FROM items WHERE id = 1").scalar() == 3.0
+
+    def test_update_all_rows(self, db):
+        result = db.execute("UPDATE items SET price = 1.0")
+        assert result.rowcount == 4
+
+    def test_update_expression_uses_old_values(self, db):
+        db.execute("UPDATE items SET price = price * 2 WHERE id = 2")
+        assert db.execute("SELECT price FROM items WHERE id = 2").scalar() == 20.0
+
+    def test_update_multiple_columns(self, db):
+        db.execute("UPDATE items SET name = 'pencil', price = 0.5 WHERE id = 1")
+        row = db.execute("SELECT name, price FROM items WHERE id = 1").rows[0]
+        assert row == ("pencil", 0.5)
+
+    def test_update_null_where_excludes_row(self, db):
+        # price IS NULL row: "price > 5" is unknown -> untouched.
+        result = db.execute("UPDATE items SET name = 'x' WHERE price > 5")
+        assert result.rowcount == 2
+
+    def test_update_unknown_column_raises(self, db):
+        with pytest.raises(SQLAnalysisError):
+            db.execute("UPDATE items SET missing = 1")
+
+    def test_update_coerces_types(self, db):
+        db.execute("UPDATE items SET price = 7 WHERE id = 1")
+        value = db.execute("SELECT price FROM items WHERE id = 1").scalar()
+        assert isinstance(value, float)
+
+    def test_update_syntax_error(self, db):
+        with pytest.raises(SQLSyntaxError):
+            db.execute("UPDATE items SET price 3")
+
+
+class TestDelete:
+    def test_delete_with_where(self, db):
+        result = db.execute("DELETE FROM items WHERE price > 9")
+        assert result.rowcount == 2
+        assert db.execute("SELECT COUNT(*) FROM items").scalar() == 2
+
+    def test_delete_all(self, db):
+        result = db.execute("DELETE FROM items")
+        assert result.rowcount == 4
+        assert db.execute("SELECT COUNT(*) FROM items").scalar() == 0
+
+    def test_delete_null_predicate_keeps_row(self, db):
+        db.execute("DELETE FROM items WHERE price > 0")
+        names = db.execute("SELECT name FROM items").column("name")
+        assert names == ["desk"]  # NULL price row survives
+
+    def test_delete_unknown_table(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("DELETE FROM ghosts")
+
+
+class TestDrop:
+    def test_drop_removes_table(self, db):
+        db.execute("DROP TABLE items")
+        assert "items" not in db.table_names()
+
+    def test_drop_missing_raises(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("DROP TABLE ghosts")
+
+
+class TestExplain:
+    def test_explain_returns_plan_rows(self, db):
+        result = db.execute("EXPLAIN SELECT name FROM items WHERE price > 5")
+        assert result.columns == ["plan"]
+        text = "\n".join(r[0] for r in result.rows)
+        assert "Scan items" in text
+        assert "Project: name" in text
+
+    def test_explain_shows_pushdown(self, db):
+        db.execute("CREATE TABLE other (id INT, tag TEXT)")
+        db.execute("INSERT INTO other VALUES (1, 'a')")
+        result = db.execute(
+            "EXPLAIN SELECT i.name FROM items i JOIN other o ON i.id = o.id "
+            "WHERE i.price > 5"
+        )
+        text = "\n".join(r[0] for r in result.rows)
+        assert "pushed-filter" in text
+        assert "hash join" in text
+
+    def test_explain_nested_loop_for_non_equi(self, db):
+        db.execute("CREATE TABLE other (id INT, tag TEXT)")
+        db.execute("INSERT INTO other VALUES (1, 'a')")
+        result = db.execute(
+            "EXPLAIN SELECT i.name FROM items i JOIN other o ON i.id > o.id"
+        )
+        text = "\n".join(r[0] for r in result.rows)
+        assert "nested-loop join" in text
+
+    def test_explain_aggregate_and_sort(self, db):
+        result = db.execute(
+            "EXPLAIN SELECT name, COUNT(*) FROM items GROUP BY name "
+            "ORDER BY name LIMIT 2"
+        )
+        text = "\n".join(r[0] for r in result.rows)
+        assert "Aggregate: group by name" in text
+        assert "Sort:" in text
+        assert "Limit: 2" in text
+
+    def test_explain_does_not_execute(self, db):
+        before = db.execute("SELECT COUNT(*) FROM items").scalar()
+        db.execute("EXPLAIN SELECT * FROM items")
+        assert db.execute("SELECT COUNT(*) FROM items").scalar() == before
+
+
+class TestRoundTripSQL:
+    def test_update_ast_roundtrip(self):
+        from repro.sql import parse_sql
+
+        stmt = parse_sql("UPDATE t SET a = 1, b = 'x' WHERE c > 2")
+        reparsed = parse_sql(stmt.sql())
+        assert reparsed.sql() == stmt.sql()
+
+    def test_delete_ast_roundtrip(self):
+        from repro.sql import parse_sql
+
+        stmt = parse_sql("DELETE FROM t WHERE a IS NULL")
+        assert parse_sql(stmt.sql()).sql() == stmt.sql()

@@ -1,0 +1,125 @@
+"""Tests for hash indexes: creation, maintenance, and index scans."""
+
+import pytest
+
+from repro.errors import SQLAnalysisError, SQLExecutionError
+from repro.sql import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE users (id INT, city TEXT, score INT)")
+    rows = ", ".join(
+        f"({i}, '{['boston', 'denver', 'austin'][i % 3]}', {i * 10})"
+        for i in range(30)
+    )
+    database.execute(f"INSERT INTO users VALUES {rows}")
+    return database
+
+
+class TestIndexBasics:
+    def test_create_index_statement(self, db):
+        db.execute("CREATE INDEX idx_city ON users (city)")
+        assert db.table("users").has_index("city")
+        assert db.table("users").index_names() == ["city"]
+
+    def test_create_index_unknown_column_raises(self, db):
+        with pytest.raises(SQLAnalysisError):
+            db.execute("CREATE INDEX idx ON users (ghost)")
+
+    def test_index_lookup_returns_positions(self, db):
+        table = db.table("users")
+        table.create_index("city")
+        positions = table.index_lookup("city", "boston")
+        assert positions == [i for i in range(30) if i % 3 == 0]
+
+    def test_lookup_without_index_raises(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.table("users").index_lookup("score", 10)
+
+
+class TestIndexScans:
+    def test_equality_uses_index(self, db):
+        db.execute("CREATE INDEX idx_city ON users (city)")
+        result = db.execute("SELECT COUNT(*) FROM users WHERE city = 'denver'")
+        assert result.scalar() == 10
+        stats = db.explain_stats()
+        assert stats.index_lookups == 1
+        assert stats.rows_scanned == 10  # only the matching rows were bound
+
+    def test_reversed_equality_uses_index(self, db):
+        db.execute("CREATE INDEX idx_city ON users (city)")
+        db.execute("SELECT COUNT(*) FROM users WHERE 'austin' = city")
+        assert db.explain_stats().index_lookups == 1
+
+    def test_without_index_full_scan(self, db):
+        db.execute("SELECT COUNT(*) FROM users WHERE city = 'denver'")
+        stats = db.explain_stats()
+        assert stats.index_lookups == 0
+        assert stats.rows_scanned == 30
+
+    def test_index_scan_same_answer_as_full_scan(self, db):
+        sql = "SELECT id FROM users WHERE city = 'boston' ORDER BY id"
+        before = db.execute(sql).rows
+        db.execute("CREATE INDEX idx_city ON users (city)")
+        after = db.execute(sql).rows
+        assert before == after
+
+    def test_extra_conjuncts_still_applied(self, db):
+        db.execute("CREATE INDEX idx_city ON users (city)")
+        result = db.execute(
+            "SELECT COUNT(*) FROM users WHERE city = 'boston' AND score > 100"
+        )
+        expected = sum(1 for i in range(30) if i % 3 == 0 and i * 10 > 100)
+        assert result.scalar() == expected
+
+    def test_int_index_with_coercion(self, db):
+        db.execute("CREATE INDEX idx_score ON users (score)")
+        assert db.execute("SELECT COUNT(*) FROM users WHERE score = 100").scalar() == 1
+        assert db.explain_stats().index_lookups == 1
+
+    def test_index_miss_returns_empty(self, db):
+        db.execute("CREATE INDEX idx_city ON users (city)")
+        result = db.execute("SELECT * FROM users WHERE city = 'nowhere'")
+        assert len(result) == 0
+
+
+class TestIndexMaintenance:
+    def test_insert_updates_index(self, db):
+        db.execute("CREATE INDEX idx_city ON users (city)")
+        db.execute("INSERT INTO users VALUES (99, 'boston', 5)")
+        result = db.execute("SELECT COUNT(*) FROM users WHERE city = 'boston'")
+        assert result.scalar() == 11
+
+    def test_delete_invalidates_and_rebuilds(self, db):
+        db.execute("CREATE INDEX idx_city ON users (city)")
+        db.execute("DELETE FROM users WHERE city = 'boston'")
+        assert db.execute("SELECT COUNT(*) FROM users WHERE city = 'boston'").scalar() == 0
+        assert db.execute("SELECT COUNT(*) FROM users WHERE city = 'denver'").scalar() == 10
+
+    def test_update_invalidates_and_rebuilds(self, db):
+        db.execute("CREATE INDEX idx_city ON users (city)")
+        db.execute("UPDATE users SET city = 'boston' WHERE city = 'denver'")
+        assert db.execute("SELECT COUNT(*) FROM users WHERE city = 'boston'").scalar() == 20
+        assert db.execute("SELECT COUNT(*) FROM users WHERE city = 'denver'").scalar() == 0
+
+    def test_index_survives_mixed_dml_sequence(self, db):
+        db.execute("CREATE INDEX idx_city ON users (city)")
+        db.execute("DELETE FROM users WHERE id < 6")
+        db.execute("INSERT INTO users VALUES (100, 'austin', 1)")
+        db.execute("UPDATE users SET score = 0 WHERE city = 'austin'")
+        via_index = db.execute(
+            "SELECT COUNT(*) FROM users WHERE city = 'austin'"
+        ).scalar()
+        manual = sum(
+            1 for row in db.table("users").rows
+            if row[db.table("users").schema.index_of("city")] == "austin"
+        )
+        assert via_index == manual
+
+    def test_create_index_roundtrip_sql(self):
+        from repro.sql import parse_sql
+
+        stmt = parse_sql("CREATE INDEX i ON t (c)")
+        assert parse_sql(stmt.sql()) == stmt

@@ -1,0 +1,78 @@
+"""Tests for the interactive SQL shell."""
+
+import io
+
+import pytest
+
+from repro.sql import Database
+from repro.sql.shell import format_result, handle_line, repl
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (id INT, name TEXT)")
+    database.execute("INSERT INTO t VALUES (1, 'a'), (2, NULL)")
+    return database
+
+
+class TestFormatting:
+    def test_aligned_table(self, db):
+        out = format_result(db.execute("SELECT * FROM t ORDER BY id"))
+        lines = out.splitlines()
+        assert lines[0].split() == ["id", "name"]
+        assert "NULL" in out
+        assert "(2 rows)" in out
+
+    def test_dml_summary(self, db):
+        out = format_result(db.execute("INSERT INTO t VALUES (3, 'c')"))
+        assert "1 rows affected" in out
+
+    def test_single_row_footer(self, db):
+        out = format_result(db.execute("SELECT COUNT(*) FROM t"))
+        assert "(1 row)" in out
+
+
+class TestHandleLine:
+    def test_sql_executes(self, db):
+        out = handle_line(db, "SELECT COUNT(*) FROM t")
+        assert "2" in out
+
+    def test_tables_command(self, db):
+        assert handle_line(db, ".tables") == "t"
+
+    def test_schema_command(self, db):
+        out = handle_line(db, ".schema t")
+        assert "id  INT" in out
+        assert "name  TEXT" in out
+
+    def test_schema_unknown_table(self, db):
+        assert "error" in handle_line(db, ".schema ghost")
+
+    def test_help(self, db):
+        assert ".tables" in handle_line(db, ".help")
+
+    def test_error_is_reported_not_raised(self, db):
+        out = handle_line(db, "SELEKT broken")
+        assert out.startswith("error:")
+
+    def test_quit_returns_none(self, db):
+        assert handle_line(db, ".quit") is None
+
+    def test_empty_line(self, db):
+        assert handle_line(db, "   ") == ""
+
+
+class TestRepl:
+    def test_scripted_session(self, db):
+        stdin = io.StringIO("SELECT COUNT(*) FROM t\n.tables\n.quit\n")
+        stdout = io.StringIO()
+        repl(db, stdin=stdin, stdout=stdout)
+        output = stdout.getvalue()
+        assert "2" in output
+        assert "t" in output
+
+    def test_eof_terminates(self, db):
+        stdin = io.StringIO("")
+        stdout = io.StringIO()
+        repl(db, stdin=stdin, stdout=stdout)  # must not hang or raise

@@ -1,0 +1,103 @@
+"""Tests for uncorrelated subqueries (scalar and IN)."""
+
+import pytest
+
+from repro.errors import SQLAnalysisError
+from repro.sql import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE emp (id INT, dept TEXT, salary INT)")
+    database.execute(
+        "INSERT INTO emp VALUES (1, 'eng', 120), (2, 'eng', 100), "
+        "(3, 'sales', 90), (4, 'sales', 80), (5, 'hr', 70)"
+    )
+    database.execute("CREATE TABLE managers (dept TEXT)")
+    database.execute("INSERT INTO managers VALUES ('eng'), ('hr')")
+    return database
+
+
+class TestScalarSubquery:
+    def test_above_average(self, db):
+        result = db.execute(
+            "SELECT id FROM emp WHERE salary > (SELECT AVG(salary) FROM emp) "
+            "ORDER BY id"
+        )
+        assert result.column("id") == [1, 2]
+
+    def test_scalar_in_projection(self, db):
+        result = db.execute(
+            "SELECT id, salary - (SELECT MIN(salary) FROM emp) AS above_min "
+            "FROM emp ORDER BY id LIMIT 2"
+        )
+        assert result.column("above_min") == [50, 30]
+
+    def test_scalar_arithmetic(self, db):
+        result = db.execute(
+            "SELECT COUNT(*) FROM emp "
+            "WHERE salary > (SELECT AVG(salary) FROM emp) - 10"
+        )
+        assert result.scalar() == 3
+
+    def test_non_scalar_raises(self, db):
+        with pytest.raises(SQLAnalysisError):
+            db.execute("SELECT id FROM emp WHERE salary > (SELECT salary FROM emp)")
+
+    def test_multi_column_scalar_raises(self, db):
+        with pytest.raises(SQLAnalysisError):
+            db.execute(
+                "SELECT id FROM emp WHERE salary > (SELECT MIN(salary), MAX(salary) FROM emp)"
+            )
+
+
+class TestInSubquery:
+    def test_in_select(self, db):
+        result = db.execute(
+            "SELECT id FROM emp WHERE dept IN (SELECT dept FROM managers) "
+            "ORDER BY id"
+        )
+        assert result.column("id") == [1, 2, 5]
+
+    def test_not_in_select(self, db):
+        result = db.execute(
+            "SELECT id FROM emp WHERE dept NOT IN (SELECT dept FROM managers) "
+            "ORDER BY id"
+        )
+        assert result.column("id") == [3, 4]
+
+    def test_in_subquery_with_filter(self, db):
+        result = db.execute(
+            "SELECT id FROM emp WHERE dept IN "
+            "(SELECT dept FROM managers WHERE dept = 'eng') ORDER BY id"
+        )
+        assert result.column("id") == [1, 2]
+
+    def test_empty_in_subquery(self, db):
+        result = db.execute(
+            "SELECT id FROM emp WHERE dept IN "
+            "(SELECT dept FROM managers WHERE dept = 'none')"
+        )
+        assert len(result) == 0
+
+    def test_multi_column_in_raises(self, db):
+        with pytest.raises(SQLAnalysisError):
+            db.execute(
+                "SELECT id FROM emp WHERE dept IN (SELECT dept, dept FROM managers)"
+            )
+
+    def test_nested_subqueries(self, db):
+        result = db.execute(
+            "SELECT COUNT(*) FROM emp WHERE salary > "
+            "(SELECT AVG(salary) FROM emp WHERE dept IN (SELECT dept FROM managers))"
+        )
+        # avg over eng+hr = (120+100+70)/3 = 96.67 -> salaries 120, 100.
+        assert result.scalar() == 2
+
+    def test_sql_roundtrip(self):
+        from repro.sql import parse_sql
+
+        sql = "SELECT id FROM emp WHERE dept IN (SELECT dept FROM managers)"
+        stmt = parse_sql(sql)
+        assert parse_sql(stmt.sql()).sql() == stmt.sql()

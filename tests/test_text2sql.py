@@ -1,0 +1,237 @@
+"""Tests for the text-to-SQL subsystem: workload, grammar, translators."""
+
+import pytest
+
+from repro.sql import Database
+from repro.text2sql import (
+    RuleBasedTranslator,
+    SQLGrammarConstraint,
+    allowed_continuations,
+    evaluate_translator,
+    execution_match,
+    generate_workload,
+    train_translator,
+)
+from repro.text2sql.constraint import Alt, Number, Opt, Seq, Tok, build_sql_grammar
+from repro.text2sql.translator import build_prompt, linearize_example
+from repro.text2sql.workload import sql_to_engine_dialect
+from repro.utils.text import simple_word_tokenize
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(seed=0, examples_per_template=3)
+
+
+@pytest.fixture(scope="module")
+def trained_translator(workload):
+    train, _ = workload.split(test_fraction=0.2, seed=1)
+    return train_translator(workload, train, steps=120, seed=0)
+
+
+class TestWorkload:
+    def test_examples_cover_all_hardness_levels(self, workload):
+        levels = {ex.hardness for ex in workload.examples}
+        assert levels == {"easy", "medium", "hard"}
+
+    def test_all_gold_sql_executes(self, workload):
+        for example in workload.examples:
+            workload.db.execute(sql_to_engine_dialect(example.sql))
+
+    def test_deterministic_generation(self):
+        a = generate_workload(seed=3, examples_per_template=2)
+        b = generate_workload(seed=3, examples_per_template=2)
+        assert [e.sql for e in a.examples] == [e.sql for e in b.examples]
+
+    def test_different_seeds_use_different_domains(self):
+        a = generate_workload(seed=0)
+        b = generate_workload(seed=1)
+        assert a.entity_table != b.entity_table
+
+    def test_split(self, workload):
+        train, test = workload.split(test_fraction=0.25, seed=0)
+        assert len(train) + len(test) == len(workload.examples)
+        assert test
+
+    def test_value_lexicon_has_categorical_values(self, workload):
+        lexicon = workload.value_lexicon()
+        assert workload.cat_col in lexicon
+        assert lexicon[workload.cat_col]
+
+    def test_dialect_conversion(self):
+        lin = "select name from t where cat = ' foo bar ' and x > = 5"
+        out = sql_to_engine_dialect(lin)
+        assert "'foo bar'" in out
+        assert ">= 5" in out
+
+    def test_dialect_qualified_names(self):
+        assert sql_to_engine_dialect("select a . b from a") == "select a.b from a"
+
+
+class TestGrammarCombinators:
+    def test_tok_match_and_suggest(self):
+        rule = Tok("a", "b")
+        ends, allowed = rule.advance(["a"], 0)
+        assert ends == {1}
+        ends, allowed = rule.advance([], 0)
+        assert allowed == {"a", "b"}
+
+    def test_seq_threading(self):
+        rule = Seq(Tok("a"), Tok("b"))
+        ends, _ = rule.advance(["a", "b"], 0)
+        assert ends == {2}
+        _, allowed = rule.advance(["a"], 0)
+        assert allowed == {"b"}
+
+    def test_alt_union(self):
+        rule = Alt(Seq(Tok("a"), Tok("x")), Seq(Tok("a"), Tok("y")))
+        _, allowed = rule.advance(["a"], 0)
+        assert allowed == {"x", "y"}
+
+    def test_opt(self):
+        rule = Seq(Tok("a"), Opt(Tok("b")), Tok("c"))
+        ends, _ = rule.advance(["a", "c"], 0)
+        assert 2 in ends
+        ends, _ = rule.advance(["a", "b", "c"], 0)
+        assert 3 in ends
+
+    def test_number_accepts_any_integer(self):
+        rule = Number(["5"])
+        ends, _ = rule.advance(["123"], 0)
+        assert ends == {1}
+        _, allowed = rule.advance([], 0)
+        assert allowed == {"5"}
+
+    def test_invalid_prefix_dead_ends(self):
+        rule = Seq(Tok("a"), Tok("b"))
+        ends, allowed = rule.advance(["z"], 0)
+        assert not ends and not allowed
+
+
+class TestSQLGrammar:
+    def test_accepts_every_gold_query(self, workload):
+        grammar = build_sql_grammar(workload)
+        for example in workload.examples:
+            tokens = simple_word_tokenize(example.sql.lower())
+            _, complete = allowed_continuations(grammar, tokens)
+            assert complete, f"grammar rejects gold: {example.sql}"
+
+    def test_starts_with_select(self, workload):
+        grammar = build_sql_grammar(workload)
+        allowed, complete = allowed_continuations(grammar, [])
+        assert allowed == {"select"}
+        assert not complete
+
+    def test_schema_consistency_from_table(self, workload):
+        """After 'select <entity column> from', only tables containing
+        that column are allowed — the PICARD property."""
+        grammar = build_sql_grammar(workload)
+        column = workload.num_cols[0]  # lives only in the entity table
+        allowed, _ = allowed_continuations(grammar, ["select", column, "from"])
+        assert workload.entity_table in allowed
+        assert workload.cat_table not in allowed
+
+    def test_rejects_unknown_column(self, workload):
+        grammar = build_sql_grammar(workload)
+        allowed, _ = allowed_continuations(grammar, ["select"])
+        assert "nonexistent_col" not in allowed
+
+    def test_value_linking_numbers(self, workload):
+        grammar = build_sql_grammar(workload, question="players with score above 42")
+        column = workload.num_cols[0]
+        table = workload.entity_table
+        prefix = ["select", "name", "from", table, "where", column, ">"]
+        allowed, _ = allowed_continuations(grammar, prefix)
+        assert "42" in allowed
+
+    def test_categorical_values_from_lexicon(self, workload):
+        grammar = build_sql_grammar(workload)
+        lexicon = workload.value_lexicon()
+        table = workload.entity_table
+        prefix = ["select", "name", "from", table, "where", workload.cat_col, "=", "'"]
+        allowed, _ = allowed_continuations(grammar, prefix)
+        assert set(lexicon[workload.cat_col]) <= allowed
+
+
+class TestExecutionMatch:
+    def test_equivalent_queries_match(self, workload):
+        t = workload.entity_table
+        assert execution_match(
+            workload.db,
+            f"select count ( * ) from {t}",
+            f"select count ( * ) from {t} where 1 = 1",
+        )
+
+    def test_different_results_do_not_match(self, workload):
+        t = workload.entity_table
+        assert not execution_match(
+            workload.db,
+            f"select count ( * ) from {t}",
+            f"select count ( * ) from {workload.cat_table}",
+        )
+
+    def test_invalid_prediction_is_a_miss(self, workload):
+        assert not execution_match(workload.db, "select nothing sensible", "select count ( * ) from " + workload.entity_table)
+
+    def test_order_sensitive_when_gold_orders(self, workload):
+        t = workload.entity_table
+        num = workload.num_cols[0]
+        asc = f"select {workload.name_col} from {t} order by {num} limit 3"
+        desc = f"select {workload.name_col} from {t} order by {num} desc limit 3"
+        assert not execution_match(workload.db, asc, desc)
+
+
+class TestRuleBaseline:
+    def test_produces_valid_sql_everywhere(self, workload):
+        translator = RuleBasedTranslator(workload)
+        report = evaluate_translator(translator.translate, workload, workload.examples)
+        assert report.validity_rate == 1.0
+
+    def test_strong_on_easy(self, workload):
+        translator = RuleBasedTranslator(workload)
+        report = evaluate_translator(translator.translate, workload, workload.examples)
+        assert report.hardness_accuracy("easy") >= 0.8
+
+    def test_count_question(self, workload):
+        translator = RuleBasedTranslator(workload)
+        sql = translator.translate(f"how many {workload.entity_table} are there")
+        assert sql == f"select count ( * ) from {workload.entity_table}"
+
+
+class TestLMTranslator:
+    def test_prompt_layout(self):
+        prompt = build_prompt("how many rows")
+        assert prompt == "q : how many rows ; sql :"
+
+    def test_translations_are_strings(self, trained_translator):
+        out = trained_translator.translate("how many are there", constrained=True)
+        assert isinstance(out, str)
+
+    def test_constrained_output_is_always_valid(self, trained_translator, workload):
+        from repro.text2sql.evaluate import is_valid_sql
+
+        _, test = workload.split(test_fraction=0.2, seed=1)
+        for example in test:
+            predicted = trained_translator.translate(example.question, constrained=True)
+            assert predicted == "" or is_valid_sql(workload.db, predicted)
+
+    def test_constrained_at_least_as_accurate(self, trained_translator, workload):
+        _, test = workload.split(test_fraction=0.2, seed=1)
+        unconstrained = evaluate_translator(
+            lambda q: trained_translator.translate(q, constrained=False),
+            workload, test,
+        )
+        constrained = evaluate_translator(
+            lambda q: trained_translator.translate(q, constrained=True),
+            workload, test,
+        )
+        assert constrained.accuracy >= unconstrained.accuracy
+        assert constrained.validity_rate >= unconstrained.validity_rate
+
+    def test_learns_the_task_at_all(self, trained_translator, workload):
+        _, test = workload.split(test_fraction=0.2, seed=1)
+        constrained = evaluate_translator(
+            lambda q: trained_translator.translate(q, constrained=True),
+            workload, test,
+        )
+        assert constrained.accuracy > 0.2  # far above the ~0 random baseline

@@ -1,0 +1,243 @@
+"""Tests for optimizers, schedules, data utilities, and training loops."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import TrainingError
+from repro.models import BERTModel, GPTModel, ModelConfig, SequenceClassifier
+from repro.training import (
+    SGD,
+    Adam,
+    AdamW,
+    ConstantSchedule,
+    CosineSchedule,
+    LabeledExample,
+    LinearWarmupSchedule,
+    accuracy,
+    evaluate_classifier,
+    f1_score,
+    finetune_classifier,
+    make_clm_batch,
+    make_mlm_batch,
+    pack_corpus,
+    perplexity,
+    precision_recall_f1,
+    pretrain_clm,
+    pretrain_mlm,
+    train_test_split,
+)
+from repro.training.data import IGNORE_INDEX
+from repro.utils.rng import SeededRNG
+
+
+def quadratic_params():
+    return [Tensor(np.array([5.0, -3.0]), requires_grad=True)]
+
+
+def quadratic_step(params, optimizer):
+    loss = (params[0] * params[0]).sum()
+    optimizer.zero_grad()
+    loss.backward()
+    optimizer.step()
+    return loss.item()
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("cls,kwargs", [
+        (SGD, {"lr": 0.1}),
+        (SGD, {"lr": 0.05, "momentum": 0.9}),
+        (Adam, {"lr": 0.3}),
+        (AdamW, {"lr": 0.3, "weight_decay": 0.01}),
+    ])
+    def test_minimizes_quadratic(self, cls, kwargs):
+        params = quadratic_params()
+        optimizer = cls(params, **kwargs)
+        for _ in range(200):
+            quadratic_step(params, optimizer)
+        assert np.abs(params[0].data).max() < 0.1
+
+    def test_empty_params_raises(self):
+        with pytest.raises(TrainingError):
+            SGD([], lr=0.1)
+
+    def test_bad_lr_raises(self):
+        with pytest.raises(TrainingError):
+            Adam(quadratic_params(), lr=0.0)
+
+    def test_grad_clipping(self):
+        params = [Tensor(np.array([1.0]), requires_grad=True)]
+        optimizer = SGD(params, lr=0.1)
+        (params[0] * 100.0).sum().backward()
+        norm = optimizer.clip_grad_norm(1.0)
+        assert norm == pytest.approx(100.0)
+        assert np.linalg.norm(params[0].grad) == pytest.approx(1.0)
+
+    def test_step_skips_gradless_params(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        b = Tensor(np.array([1.0]), requires_grad=True)
+        optimizer = SGD([a, b], lr=0.5)
+        (a * 2.0).sum().backward()
+        optimizer.step()
+        assert a.data[0] != 1.0
+        assert b.data[0] == 1.0
+
+
+class TestSchedules:
+    def test_constant(self):
+        sched = ConstantSchedule()
+        assert sched.multiplier(0) == sched.multiplier(100) == 1.0
+
+    def test_linear_warmup_and_decay(self):
+        sched = LinearWarmupSchedule(warmup_steps=10, total_steps=100)
+        assert sched.multiplier(0) < sched.multiplier(5) < sched.multiplier(9)
+        assert sched.multiplier(9) == pytest.approx(1.0)
+        assert sched.multiplier(50) > sched.multiplier(90)
+
+    def test_cosine_monotone_decay_after_warmup(self):
+        sched = CosineSchedule(warmup_steps=5, total_steps=50)
+        values = [sched.multiplier(s) for s in range(5, 50)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_warmup_ge_total_raises(self):
+        with pytest.raises(TrainingError):
+            CosineSchedule(warmup_steps=10, total_steps=10)
+
+
+class TestData:
+    def test_pack_corpus_shape(self, word_tokenizer, corpus):
+        rows = pack_corpus(word_tokenizer, corpus, seq_len=16)
+        assert rows.shape[1] == 16
+        assert rows.dtype == np.int64
+
+    def test_pack_corpus_too_small(self, word_tokenizer):
+        with pytest.raises(TrainingError):
+            pack_corpus(word_tokenizer, ["hi"], seq_len=512)
+
+    def test_mlm_masking_statistics(self, word_tokenizer, corpus):
+        rows = pack_corpus(word_tokenizer, corpus, seq_len=32)
+        inputs, labels = make_mlm_batch(rows, word_tokenizer, SeededRNG(0))
+        supervised = labels != IGNORE_INDEX
+        rate = supervised.mean()
+        assert 0.05 < rate < 0.30
+        # Labels hold original ids at supervised positions.
+        np.testing.assert_array_equal(labels[supervised], rows[supervised])
+        # Most supervised positions are masked in the input.
+        masked = inputs[supervised] == word_tokenizer.vocab.mask_id
+        assert masked.mean() > 0.5
+
+    def test_mlm_never_masks_specials(self, word_tokenizer):
+        rows = np.full((4, 8), word_tokenizer.vocab.eos_id, dtype=np.int64)
+        rows[:, 0] = 10  # one ordinary token so the fallback has a target
+        inputs, labels = make_mlm_batch(rows, word_tokenizer, SeededRNG(1))
+        special_positions = rows == word_tokenizer.vocab.eos_id
+        assert (labels[special_positions] == IGNORE_INDEX).all()
+
+    def test_clm_batch_shift(self):
+        rows = np.array([[1, 2, 3, 4]])
+        inputs, targets = make_clm_batch(rows)
+        np.testing.assert_array_equal(inputs, [[1, 2, 3]])
+        np.testing.assert_array_equal(targets, [[2, 3, 4]])
+
+    def test_clm_too_short(self):
+        with pytest.raises(TrainingError):
+            make_clm_batch(np.array([[1]]))
+
+    def test_train_test_split(self):
+        train, test = train_test_split(list(range(100)), 0.2, SeededRNG(0))
+        assert len(train) == 80 and len(test) == 20
+        assert set(train) | set(test) == set(range(100))
+
+    def test_split_bad_fraction(self):
+        with pytest.raises(TrainingError):
+            train_test_split([1, 2, 3], 1.5, SeededRNG(0))
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty_raises(self):
+        with pytest.raises(TrainingError):
+            accuracy([], [])
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(TrainingError):
+            accuracy([1], [1, 2])
+
+    def test_precision_recall_f1(self):
+        preds = [1, 1, 0, 0]
+        labels = [1, 0, 1, 0]
+        p, r, f = precision_recall_f1(preds, labels)
+        assert p == 0.5 and r == 0.5 and f == 0.5
+
+    def test_f1_degenerate(self):
+        assert f1_score([0, 0], [0, 0]) == 0.0
+
+    def test_perplexity(self):
+        assert perplexity(0.0) == 1.0
+        assert perplexity(np.log(50.0)) == pytest.approx(50.0)
+        with pytest.raises(TrainingError):
+            perplexity(-1.0)
+
+
+class TestPretraining:
+    def test_clm_loss_decreases(self, tiny_gpt):
+        # Fixture trains 60 steps; verify the recorded trajectory dropped.
+        pass  # covered via report below
+
+    def test_clm_report(self, word_tokenizer, corpus):
+        config = ModelConfig.tiny(vocab_size=word_tokenizer.vocab_size)
+        model = GPTModel(config, seed=0)
+        report = pretrain_clm(model, word_tokenizer, corpus, steps=40, seed=0)
+        assert len(report.losses) == 40
+        assert report.loss_at(1.0) < report.loss_at(0.0)
+        assert report.final_perplexity < np.exp(report.losses[0])
+
+    def test_mlm_report(self, word_tokenizer, corpus):
+        config = ModelConfig.tiny(vocab_size=word_tokenizer.vocab_size, causal=False)
+        model = BERTModel(config, seed=0)
+        report = pretrain_mlm(model, word_tokenizer, corpus, steps=40, seed=0)
+        assert len(report.losses) == 40
+        assert report.loss_at(1.0) < report.loss_at(0.0)
+
+    def test_pretraining_is_deterministic(self, word_tokenizer, corpus):
+        def run():
+            config = ModelConfig.tiny(vocab_size=word_tokenizer.vocab_size)
+            model = GPTModel(config, seed=0)
+            return pretrain_clm(model, word_tokenizer, corpus, steps=5, seed=0).losses
+
+        assert run() == run()
+
+
+def sentiment_examples():
+    """A linearly separable toy classification task."""
+    positive = ["the query returns sorted results", "the index returns cached rows"]
+    negative = ["the table scans empty columns", "the model updates empty records"]
+    examples = []
+    for text in positive * 4:
+        examples.append(LabeledExample(text=text, label=1))
+    for text in negative * 4:
+        examples.append(LabeledExample(text=text, label=0))
+    return examples
+
+
+class TestFinetuning:
+    def test_finetune_reaches_high_train_accuracy(self, tiny_bert, word_tokenizer):
+        clf = SequenceClassifier(tiny_bert, num_classes=2, seed=0)
+        report = finetune_classifier(
+            clf, word_tokenizer, sentiment_examples(), epochs=8, lr=2e-3, seed=0
+        )
+        assert report.train_accuracy >= 0.9
+
+    def test_evaluate_classifier(self, tiny_bert, word_tokenizer):
+        clf = SequenceClassifier(tiny_bert, num_classes=2, seed=0)
+        examples = sentiment_examples()
+        finetune_classifier(clf, word_tokenizer, examples, epochs=8, lr=2e-3, seed=0)
+        acc = evaluate_classifier(clf, word_tokenizer, examples)
+        assert 0.0 <= acc <= 1.0
+
+    def test_empty_examples_raise(self, tiny_bert, word_tokenizer):
+        clf = SequenceClassifier(tiny_bert, num_classes=2)
+        with pytest.raises(TrainingError):
+            finetune_classifier(clf, word_tokenizer, [], epochs=1)

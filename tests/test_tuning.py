@@ -1,0 +1,161 @@
+"""Tests for the simulated DBMS, manuals, extractors, and tuner."""
+
+import pytest
+
+from repro.errors import TuningError
+from repro.tuning import (
+    DBMSConfig,
+    LMHintExtractor,
+    RegexHintExtractor,
+    SimulatedDBMS,
+    Workload,
+    generate_manual,
+    train_lm_extractor,
+    tune,
+)
+from repro.tuning.extractor import Hint
+
+
+class TestSimulator:
+    def test_deterministic(self):
+        dbms = SimulatedDBMS(Workload())
+        config = DBMSConfig()
+        assert dbms.throughput(config) == dbms.throughput(config)
+
+    def test_bigger_buffer_helps_reads(self):
+        dbms = SimulatedDBMS(Workload(read_fraction=0.95))
+        small = dbms.throughput(DBMSConfig(buffer_pool_mb=64))
+        large = dbms.throughput(DBMSConfig(buffer_pool_mb=2048))
+        assert large > small
+
+    def test_oversized_buffer_thrashes(self):
+        dbms = SimulatedDBMS(Workload())
+        good = dbms.throughput(DBMSConfig(buffer_pool_mb=2048))
+        oversized = dbms.throughput(DBMSConfig(buffer_pool_mb=8192))
+        assert oversized < good
+
+    def test_threads_help_up_to_cores(self):
+        dbms = SimulatedDBMS(Workload(cores=8))
+        one = dbms.throughput(DBMSConfig(worker_threads=1))
+        eight = dbms.throughput(DBMSConfig(worker_threads=8))
+        sixteen = dbms.throughput(DBMSConfig(worker_threads=16))
+        assert eight > one
+        assert sixteen < eight
+
+    def test_compression_depends_on_io_boundedness(self):
+        io_bound = SimulatedDBMS(Workload(io_bound=True))
+        cpu_bound = SimulatedDBMS(Workload(io_bound=False))
+        on = DBMSConfig(compression=True)
+        off = DBMSConfig(compression=False)
+        assert io_bound.throughput(on) > io_bound.throughput(off)
+        assert cpu_bound.throughput(on) < cpu_bound.throughput(off)
+
+    def test_log_buffer_helps_writes(self):
+        dbms = SimulatedDBMS(Workload(read_fraction=0.2))
+        small = dbms.throughput(DBMSConfig(log_buffer_kb=32))
+        large = dbms.throughput(DBMSConfig(log_buffer_kb=2048))
+        assert large > small
+
+    def test_invalid_config_raises(self):
+        dbms = SimulatedDBMS(Workload())
+        with pytest.raises(TuningError):
+            dbms.throughput(DBMSConfig(buffer_pool_mb=0))
+
+    def test_unknown_knob_raises(self):
+        with pytest.raises(TuningError):
+            DBMSConfig().with_knob("turbo_mode", 1)
+
+    def test_evaluation_counter(self):
+        dbms = SimulatedDBMS(Workload())
+        dbms.throughput(DBMSConfig())
+        dbms.throughput(DBMSConfig())
+        assert dbms.evaluations == 2
+
+
+class TestManuals:
+    def test_hint_fraction(self):
+        manual = generate_manual(num_sentences=100, hint_fraction=0.4, seed=0)
+        hints = [s for s in manual if s.is_hint]
+        assert len(hints) == 40
+
+    def test_all_knobs_covered(self):
+        manual = generate_manual(num_sentences=60, seed=0)
+        knobs = {s.knob for s in manual if s.is_hint}
+        assert knobs == set(DBMSConfig.KNOBS)
+
+    def test_deterministic(self):
+        a = generate_manual(num_sentences=20, seed=3)
+        b = generate_manual(num_sentences=20, seed=3)
+        assert [s.text for s in a] == [s.text for s in b]
+
+
+class TestRegexExtractor:
+    def test_finds_transparent_hints_only(self):
+        manual = generate_manual(num_sentences=120, seed=0)
+        hints = RegexHintExtractor().extract(manual)
+        gold_hints = [s for s in manual if s.is_hint]
+        assert 0 < len(hints) < len(gold_hints)
+        # Everything it finds is correct.
+        gold_map = {(s.text): (s.knob, s.value) for s in gold_hints}
+        for hint in hints:
+            assert gold_map[hint.source] == (hint.knob, hint.value)
+
+    def test_handles_on_off_values(self):
+        from repro.tuning.manuals import ManualSentence
+
+        hints = RegexHintExtractor().extract(
+            [ManualSentence(text="set compression to on .", knob="compression", value=1)]
+        )
+        assert hints == [
+            Hint(knob="compression", value=1, source="set compression to on .")
+        ]
+
+
+class TestLMExtractor:
+    @pytest.fixture(scope="class")
+    def extractor(self):
+        train = generate_manual(num_sentences=120, seed=1)
+        return train_lm_extractor(train, epochs=8, seed=0)
+
+    def test_high_classification_accuracy(self, extractor):
+        manual = generate_manual(num_sentences=60, seed=0)
+        correct = sum(
+            extractor.classify(s) == (s.knob or "none") for s in manual
+        )
+        assert correct / len(manual) > 0.9
+
+    def test_recovers_more_hints_than_regex(self, extractor):
+        manual = generate_manual(num_sentences=60, seed=0)
+        lm_hints = extractor.extract(manual)
+        regex_hints = RegexHintExtractor().extract(manual)
+        assert len(lm_hints) > len(regex_hints)
+
+    def test_empty_training_raises(self):
+        with pytest.raises(TuningError):
+            train_lm_extractor([], epochs=1)
+
+
+class TestTuner:
+    def test_tuning_improves_throughput(self):
+        manual = generate_manual(num_sentences=60, seed=0)
+        hints = RegexHintExtractor().extract(manual)
+        report = tune(SimulatedDBMS(Workload()), hints)
+        assert report.speedup > 1.0
+        assert report.final_throughput > report.initial_throughput
+
+    def test_bad_hints_are_rejected(self):
+        bad = [Hint(knob="buffer_pool_mb", value=99999, source="bad advice")]
+        report = tune(SimulatedDBMS(Workload()), bad,
+                      initial=DBMSConfig(buffer_pool_mb=2048))
+        assert report.final_config.buffer_pool_mb == 2048
+        assert report.rejected_hints == bad
+
+    def test_lm_hints_at_least_as_good(self):
+        manual = generate_manual(num_sentences=40, seed=0)
+        train = generate_manual(num_sentences=120, seed=1)
+        extractor = train_lm_extractor(train, epochs=8, seed=0)
+        lm_report = tune(SimulatedDBMS(Workload()), extractor.extract(manual))
+        regex_report = tune(
+            SimulatedDBMS(Workload()), RegexHintExtractor().extract(manual)
+        )
+        assert lm_report.final_throughput >= regex_report.final_throughput

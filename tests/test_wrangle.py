@@ -1,0 +1,237 @@
+"""Tests for data-wrangling tasks: matching, error detection, imputation."""
+
+import pytest
+
+from repro.errors import WrangleError
+from repro.wrangle import (
+    EmbeddingSchemaMatcher,
+    FinetunedErrorDetector,
+    FinetunedImputer,
+    FinetunedMatcher,
+    MajorityImputer,
+    NameSimilarityMatcher,
+    PromptMatcher,
+    RuleErrorDetector,
+    SimilarityMatcher,
+    evaluate_detector,
+    evaluate_imputer,
+    evaluate_matcher,
+    generate_error_dataset,
+    generate_imputation_dataset,
+    generate_matching_dataset,
+    generate_schema_match_task,
+    matching_accuracy,
+    serialize_pair,
+    serialize_record,
+)
+from repro.wrangle.data import EntityPair
+
+
+@pytest.fixture(scope="module")
+def match_data():
+    pairs = generate_matching_dataset(num_pairs=240, seed=0)
+    return pairs[:180], pairs[180:]
+
+
+class TestSerialization:
+    def test_attribute_style_tags_columns(self):
+        text = serialize_record({"brand": "acme", "color": "red"})
+        assert text == "col brand val acme col color val red"
+
+    def test_plain_style_drops_empty(self):
+        text = serialize_record({"a": "x", "b": ""}, style="plain")
+        assert text == "x"
+
+    def test_pair_has_separator(self):
+        text = serialize_pair({"a": "x"}, {"a": "y"})
+        assert " sep " in text
+
+    def test_unknown_style_raises(self):
+        with pytest.raises(WrangleError):
+            serialize_record({"a": "x"}, style="fancy")
+
+
+class TestMatchingData:
+    def test_balanced_labels(self):
+        pairs = generate_matching_dataset(num_pairs=100, seed=1)
+        matches = sum(p.match for p in pairs)
+        assert matches == 50
+
+    def test_deterministic(self):
+        a = generate_matching_dataset(num_pairs=20, seed=5)
+        b = generate_matching_dataset(num_pairs=20, seed=5)
+        assert a == b
+
+    def test_negatives_share_context(self):
+        """Hard negatives must still overlap lexically with the left."""
+        from repro.utils.text import jaccard
+
+        pairs = generate_matching_dataset(num_pairs=100, seed=2)
+        negatives = [p for p in pairs if not p.match]
+        overlaps = [
+            jaccard(" ".join(p.left.values()), " ".join(p.right.values()))
+            for p in negatives
+        ]
+        assert sum(o > 0.15 for o in overlaps) / len(overlaps) > 0.8
+
+
+class TestSimilarityMatcher:
+    def test_fit_tunes_threshold(self, match_data):
+        train, _ = match_data
+        matcher = SimilarityMatcher().fit(train)
+        assert 0.0 < matcher.threshold < 1.0
+
+    def test_reasonable_but_imperfect(self, match_data):
+        train, test = match_data
+        matcher = SimilarityMatcher().fit(train)
+        metrics = evaluate_matcher(matcher, test)
+        assert 0.5 < metrics["f1"] < 1.0
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(WrangleError):
+            SimilarityMatcher().fit([])
+
+
+class TestFinetunedMatcher:
+    @pytest.fixture(scope="class")
+    def fitted(self, match_data):
+        train, _ = match_data
+        return FinetunedMatcher(seed=0).fit(
+            train, pretrain_steps=50, finetune_epochs=10
+        )
+
+    def test_beats_similarity_baseline(self, fitted, match_data):
+        train, test = match_data
+        baseline = SimilarityMatcher().fit(train)
+        lm_metrics = evaluate_matcher(fitted, test)
+        base_metrics = evaluate_matcher(baseline, test)
+        assert lm_metrics["f1"] > base_metrics["f1"]
+
+    def test_high_absolute_f1(self, fitted, match_data):
+        _, test = match_data
+        assert evaluate_matcher(fitted, test)["f1"] > 0.8
+
+    def test_predict_before_fit_raises(self, match_data):
+        _, test = match_data
+        with pytest.raises(WrangleError):
+            FinetunedMatcher().predict(test[0])
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(WrangleError):
+            FinetunedMatcher().fit([])
+
+
+class TestPromptMatcher:
+    def test_runs_and_returns_bool(self, tiny_gpt, word_tokenizer, match_data):
+        train, test = match_data
+        matcher = PromptMatcher(tiny_gpt, word_tokenizer, shots=train[:4])
+        assert isinstance(matcher.predict(test[0]), bool)
+
+    def test_metrics_computable(self, tiny_gpt, word_tokenizer, match_data):
+        train, test = match_data
+        matcher = PromptMatcher(tiny_gpt, word_tokenizer, shots=train[:2])
+        metrics = evaluate_matcher(matcher, test[:10])
+        assert set(metrics) == {"precision", "recall", "f1", "accuracy"}
+
+
+class TestErrorDetection:
+    @pytest.fixture(scope="class")
+    def data(self):
+        examples = generate_error_dataset(num_examples=200, seed=0)
+        return examples[:150], examples[150:]
+
+    def test_rule_detector_on_gold_fd(self, data):
+        train, test = data
+        detector = RuleErrorDetector().fit(train)
+        metrics = evaluate_detector(detector, test)
+        assert metrics["f1"] > 0.9  # clean training data recovers the FD
+
+    def test_finetuned_detector_learns(self, data):
+        train, test = data
+        detector = FinetunedErrorDetector(seed=0).fit(train, epochs=12)
+        metrics = evaluate_detector(detector, test)
+        assert metrics["f1"] > 0.7
+
+    def test_error_rate_controls_prevalence(self):
+        low = generate_error_dataset(num_examples=200, error_rate=0.1, seed=1)
+        high = generate_error_dataset(num_examples=200, error_rate=0.5, seed=1)
+        assert sum(e.erroneous for e in low) < sum(e.erroneous for e in high)
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(WrangleError):
+            RuleErrorDetector().fit([])
+
+
+class TestSchemaMatching:
+    def test_task_generation_consistent(self):
+        task = generate_schema_match_task(seed=0)
+        assert len(task.source) == len(task.target) == len(task.gold)
+        target_names = {c.name for c in task.target}
+        assert set(task.gold.values()) == target_names
+
+    def test_too_many_columns_raises(self):
+        with pytest.raises(WrangleError):
+            generate_schema_match_task(num_columns=99)
+
+    def test_name_baseline_misses_synonyms(self):
+        task = generate_schema_match_task(seed=0)
+        accuracy = matching_accuracy(NameSimilarityMatcher().match(task), task.gold)
+        assert accuracy < 0.6  # names share almost no characters
+
+    def test_embedding_matcher_uses_values(self):
+        task = generate_schema_match_task(seed=0)
+        accuracy = matching_accuracy(
+            EmbeddingSchemaMatcher(seed=0).match(task), task.gold
+        )
+        assert accuracy >= 0.8
+
+    def test_embedding_beats_name_baseline(self):
+        wins = 0
+        for seed in range(3):
+            task = generate_schema_match_task(seed=seed)
+            name_acc = matching_accuracy(NameSimilarityMatcher().match(task), task.gold)
+            emb_acc = matching_accuracy(
+                EmbeddingSchemaMatcher(seed=seed).match(task), task.gold
+            )
+            wins += int(emb_acc > name_acc)
+        assert wins >= 2
+
+    def test_alignment_is_one_to_one(self):
+        task = generate_schema_match_task(seed=1)
+        mapping = NameSimilarityMatcher().match(task)
+        assert len(set(mapping.values())) == len(mapping)
+
+    def test_accuracy_empty_gold_raises(self):
+        with pytest.raises(WrangleError):
+            matching_accuracy({}, {})
+
+
+class TestImputation:
+    @pytest.fixture(scope="class")
+    def data(self):
+        examples = generate_imputation_dataset(num_examples=200, seed=0)
+        return examples[:150], examples[150:]
+
+    def test_majority_baseline_weak(self, data):
+        train, test = data
+        imputer = MajorityImputer().fit(train)
+        assert evaluate_imputer(imputer, test) < 0.6
+
+    def test_finetuned_imputer_strong(self, data):
+        train, test = data
+        imputer = FinetunedImputer(seed=0).fit(train, epochs=8)
+        accuracy = evaluate_imputer(imputer, test)
+        assert accuracy > 0.9
+
+    def test_finetuned_beats_majority(self, data):
+        train, test = data
+        majority = evaluate_imputer(MajorityImputer().fit(train), test)
+        finetuned = evaluate_imputer(FinetunedImputer(seed=0).fit(train, epochs=8), test)
+        assert finetuned > majority
+
+    def test_unfitted_raises(self, data):
+        _, test = data
+        with pytest.raises(WrangleError):
+            MajorityImputer().predict(test[0])
+        with pytest.raises(WrangleError):
+            FinetunedImputer().predict(test[0])
