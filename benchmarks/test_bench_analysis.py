@@ -1,0 +1,76 @@
+"""ANALYSIS — Static analysis throughput: vetting is cheap insurance.
+
+CodexDB executes model-generated Python and text-to-SQL executes
+model-generated SQL; both now pass every candidate through static
+vetting first. The pitch only holds if the analyzers are much cheaper
+than the execution they guard — this benchmark measures programs
+vetted per second (pycheck over generated plans) and queries checked
+per second (sqlcheck against the catalog), next to the cost of actually
+running the same artifacts.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import check_python, check_sql
+from repro.codexdb import CodeGenOptions, generate_python, plan_query
+from repro.codexdb.sandbox import run_generated_code
+from repro.text2sql import generate_workload
+from repro.text2sql.workload import sql_to_engine_dialect
+
+
+@pytest.fixture(scope="module")
+def setup():
+    workload = generate_workload(seed=0, examples_per_template=4)
+    queries = sorted({sql_to_engine_dialect(ex.sql) for ex in workload.examples})
+    programs = []
+    for sql in queries:
+        try:
+            steps = plan_query(sql)
+        except Exception:
+            continue
+        programs.append(generate_python(steps, CodeGenOptions()))
+    return workload.db, queries, programs
+
+
+def throughput(fn, items, repeats=20):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for item in items:
+            fn(item)
+    elapsed = time.perf_counter() - start
+    return len(items) * repeats / elapsed
+
+
+def test_bench_analysis_throughput(benchmark, report_printer, setup):
+    db, queries, programs = setup
+    tables = {name: db.table(name) for name in db.table_names()}
+
+    pycheck_rate = benchmark.pedantic(
+        throughput, args=(check_python, programs), rounds=1, iterations=1
+    )
+    sqlcheck_rate = throughput(lambda q: check_sql(q, db.catalog), queries)
+    exec_rate = throughput(
+        lambda code: run_generated_code(code, tables), programs, repeats=3
+    )
+
+    report_printer(
+        "ANALYSIS: static analysis throughput",
+        [
+            f"{'pass':<26}{'corpus':>10}{'items/sec':>12}",
+            f"{'pycheck (generated py)':<26}{len(programs):>10}{pycheck_rate:>12.0f}",
+            f"{'sqlcheck (workload sql)':<26}{len(queries):>10}{sqlcheck_rate:>12.0f}",
+            f"{'vet + execute (sandbox)':<26}{len(programs):>10}{exec_rate:>12.0f}",
+        ],
+    )
+
+    # Every artifact in the shipped pipeline must vet clean.
+    assert all(not check_python(code) for code in programs)
+    assert all(not check_sql(sql, db.catalog) for sql in queries)
+    # Vetting alone must not be slower than vetting + executing.
+    assert pycheck_rate > exec_rate
+    assert pycheck_rate > 50
+    assert sqlcheck_rate > 50

@@ -13,6 +13,8 @@ with scale* is reproduced from the other side: it is weak when the
 model is small.
 """
 
+from __future__ import annotations
+
 import pytest
 
 from repro.models import SequenceClassifier

@@ -1,0 +1,37 @@
+"""Static vetting of generated artifacts, plus a repo-wide linter.
+
+Both flagship applications of the paper — CodexDB-style code synthesis
+and text-to-SQL — *execute model-generated programs*. This package
+makes sure nothing generated runs unvetted:
+
+* :mod:`~repro.analysis.pycheck` — AST safety/correctness analysis of
+  generated Python (the sandbox runs it before ``exec``);
+* :mod:`~repro.analysis.sqlcheck` — semantic validation of SQL against
+  the catalog (text-to-SQL reports it as the ``static_valid`` metric,
+  the semantic operator uses it to reject bad rewrites early);
+* :mod:`~repro.analysis.lint` — project-specific lint rules over our
+  own source tree (``python -m repro.analysis.lint src/ tests/``).
+"""
+
+from repro.analysis.findings import Finding, render_findings
+from repro.analysis.pycheck import (
+    IMPORT_ALLOWLIST,
+    assert_safe,
+    check_python,
+)
+from repro.analysis.sqlcheck import check_query, check_sql, check_statement
+
+# NOTE: repro.analysis.lint is intentionally *not* imported here — it is
+# the ``python -m repro.analysis.lint`` entry point, and importing it
+# from the package __init__ would trigger runpy's double-import warning.
+
+__all__ = [
+    "Finding",
+    "render_findings",
+    "IMPORT_ALLOWLIST",
+    "assert_safe",
+    "check_python",
+    "check_query",
+    "check_sql",
+    "check_statement",
+]

@@ -1,0 +1,33 @@
+"""The shared finding record emitted by every analysis pass."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis diagnostic.
+
+    ``rule`` is a short stable identifier (e.g. ``banned-import``,
+    ``unknown-column``, ``mutable-default``); ``line`` is 1-based and 0
+    when the finding has no meaningful location (e.g. a missing module
+    docstring or output-contract variable).
+    """
+
+    rule: str
+    message: str
+    line: int = 0
+    source: Optional[str] = None
+
+    def render(self) -> str:
+        """Human-readable one-liner: ``[rule] line N: message``."""
+        where = f"line {self.line}: " if self.line else ""
+        prefix = f"{self.source}:" if self.source else ""
+        return f"{prefix}{where}[{self.rule}] {self.message}"
+
+
+def render_findings(findings: Sequence[Finding]) -> str:
+    """Render findings one per line (for error messages and CLI output)."""
+    return "\n".join(f.render() for f in findings)

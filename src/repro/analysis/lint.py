@@ -1,0 +1,288 @@
+"""A repo-wide custom linter with project-specific rules.
+
+Run as ``python -m repro.analysis.lint src/ tests/``. Exit status is 0
+when the tree is clean and 1 when any finding survives suppression.
+
+Rules (each individually suppressible with ``# repro: noqa[RULE]`` on
+the offending line):
+
+* ``mutable-default``      — a list/dict/set display or constructor call
+  as a default argument value;
+* ``bare-except``          — ``except:`` with no exception class;
+* ``future-annotations``   — a module that uses annotations without
+  ``from __future__ import annotations`` (``__init__.py`` re-export
+  modules are exempt);
+* ``numpy-random``         — direct ``np.random``/``numpy.random`` calls
+  outside ``utils/rng.py`` (all *library* randomness must flow through
+  :class:`~repro.utils.rng.SeededRNG` for reproducibility; tests and
+  benchmarks may build fixture arrays directly and are exempt);
+* ``exec-eval``            — ``exec()``/``eval()`` calls outside the
+  CodexDB sandbox module (the one audited place allowed to run
+  generated code).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+
+RULE_NAMES = (
+    "mutable-default",
+    "bare-except",
+    "future-annotations",
+    "numpy-random",
+    "exec-eval",
+)
+
+#: files allowed to break one specific rule, by path suffix
+_RULE_EXEMPT_SUFFIXES = {
+    "numpy-random": ("utils/rng.py",),
+    "exec-eval": ("codexdb/sandbox.py",),
+}
+
+#: directories (path components) exempt from one specific rule
+_RULE_EXEMPT_DIRS = {
+    "numpy-random": ("tests", "benchmarks"),
+}
+
+_NOQA_PATTERN = re.compile(r"#\s*repro:\s*noqa\[([a-z\-,\s]+)\]")
+
+_MUTABLE_CONSTRUCTORS = ("list", "dict", "set")
+
+
+def lint_source(code: str, path: str = "<string>") -> List[Finding]:
+    """Lint one module's source; suppressed findings are dropped."""
+    try:
+        tree = ast.parse(code)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="syntax",
+                message=f"module does not parse: {exc.msg}",
+                line=exc.lineno or 0,
+                source=path,
+            )
+        ]
+    findings: List[Finding] = []
+    findings += _check_mutable_defaults(tree, path)
+    findings += _check_bare_except(tree, path)
+    findings += _check_future_annotations(tree, path)
+    if not _exempt(path, "numpy-random"):
+        findings += _check_numpy_random(tree, path)
+    if not _exempt(path, "exec-eval"):
+        findings += _check_exec_eval(tree, path)
+    suppressed = _suppressions(code)
+    return sorted(
+        (
+            f
+            for f in findings
+            if (f.line, f.rule) not in suppressed
+            and (f.line, "*") not in suppressed
+        ),
+        key=lambda f: (f.line, f.rule),
+    )
+
+
+def lint_paths(paths: Sequence[Path]) -> List[Finding]:
+    """Lint every ``*.py`` file under the given files/directories."""
+    findings: List[Finding] = []
+    for path in _python_files(paths):
+        findings += lint_source(
+            path.read_text(encoding="utf-8"), path=str(path)
+        )
+    return findings
+
+
+def _python_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def _exempt(path: str, rule: str) -> bool:
+    normalized = path.replace("\\", "/")
+    if any(
+        normalized.endswith(suffix)
+        for suffix in _RULE_EXEMPT_SUFFIXES.get(rule, ())
+    ):
+        return True
+    parts = normalized.split("/")
+    return any(d in parts for d in _RULE_EXEMPT_DIRS.get(rule, ()))
+
+
+def _suppressions(code: str) -> set:
+    """(line, rule) pairs silenced by ``# repro: noqa[rule, ...]``."""
+    suppressed = set()
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        match = _NOQA_PATTERN.search(line)
+        if match:
+            for rule in match.group(1).split(","):
+                suppressed.add((lineno, rule.strip()))
+    return suppressed
+
+
+# -- rules -----------------------------------------------------------------
+def _check_mutable_defaults(tree: ast.Module, path: str) -> List[Finding]:
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_value(default):
+                findings.append(
+                    Finding(
+                        rule="mutable-default",
+                        message=f"function {node.name!r} has a mutable "
+                        "default argument (shared across calls); use None "
+                        "and create it in the body",
+                        line=default.lineno,
+                        source=path,
+                    )
+                )
+    return findings
+
+
+def _is_mutable_value(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CONSTRUCTORS
+    )
+
+
+def _check_bare_except(tree: ast.Module, path: str) -> List[Finding]:
+    return [
+        Finding(
+            rule="bare-except",
+            message="bare 'except:' swallows SystemExit/KeyboardInterrupt; "
+            "name the exception class",
+            line=node.lineno,
+            source=path,
+        )
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ExceptHandler) and node.type is None
+    ]
+
+
+def _check_future_annotations(tree: ast.Module, path: str) -> List[Finding]:
+    if Path(path).name == "__init__.py":
+        return []
+    if not _uses_annotations(tree):
+        return []
+    for node in tree.body:
+        if isinstance(node, ast.ImportFrom) and node.module == "__future__":
+            if any(alias.name == "annotations" for alias in node.names):
+                return []
+    return [
+        Finding(
+            rule="future-annotations",
+            message="module uses annotations without "
+            "'from __future__ import annotations'",
+            line=1,
+            source=path,
+        )
+    ]
+
+
+def _uses_annotations(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AnnAssign):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.returns is not None:
+                return True
+            all_args = (
+                node.args.args
+                + node.args.posonlyargs
+                + node.args.kwonlyargs
+                + [a for a in (node.args.vararg, node.args.kwarg) if a]
+            )
+            if any(arg.annotation is not None for arg in all_args):
+                return True
+    return False
+
+
+def _check_numpy_random(tree: ast.Module, path: str) -> List[Finding]:
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _is_numpy_random_attr(node.func):
+            findings.append(
+                Finding(
+                    rule="numpy-random",
+                    message="direct numpy.random call; route randomness "
+                    "through repro.utils.rng.SeededRNG",
+                    line=node.lineno,
+                    source=path,
+                )
+            )
+    return findings
+
+
+def _is_numpy_random_attr(node: ast.expr) -> bool:
+    """True for attribute chains passing through ``np.random``."""
+    while isinstance(node, ast.Attribute):
+        if (
+            node.attr == "random"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("np", "numpy")
+        ):
+            return True
+        node = node.value
+    return False
+
+
+def _check_exec_eval(tree: ast.Module, path: str) -> List[Finding]:
+    return [
+        Finding(
+            rule="exec-eval",
+            message=f"{node.func.id}() outside the sandbox module; only "
+            "repro.codexdb.sandbox may run dynamic code",
+            line=node.lineno,
+            source=path,
+        )
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("exec", "eval")
+    ]
+
+
+# -- CLI -------------------------------------------------------------------
+def main(argv: Iterable[str] = ()) -> int:
+    """Lint the given paths; print findings and return the exit status."""
+    raw = list(argv) or sys.argv[1:]
+    if not raw:
+        print("usage: python -m repro.analysis.lint <path> [<path> ...]")
+        return 2
+    paths = [Path(p) for p in raw]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(map(str, missing))}")
+        return 2
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding.render())
+    checked = len(_python_files(paths))
+    status = "clean" if not findings else f"{len(findings)} finding(s)"
+    print(f"repro-lint: {checked} file(s) checked, {status}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,314 @@
+"""Static safety and correctness analysis for generated Python programs.
+
+CodexDB executes model-generated code, and the CodexDB paper stresses
+that such code must be vetted *before* it touches data. This pass walks
+the program's AST (never executing it) and rejects:
+
+* imports outside a small allowlist (``time``, ``math``,
+  ``collections``, ``itertools``);
+* sandbox-escape attribute chains (``__class__``, ``__globals__``,
+  ``__subclasses__``, ...);
+* calls to introspection/IO primitives (``getattr``, ``eval``,
+  ``exec``, ``open``, ...);
+* ``while True`` loops with no reachable ``break`` (unbounded work);
+* references to names that are neither bound by the program nor part
+  of the sandbox namespace;
+* programs that do not assign the ``result``/``columns`` output
+  contract on every execution path.
+
+Every violation becomes a :class:`~repro.analysis.findings.Finding`
+with the offending line number; :func:`assert_safe` bundles them into a
+:class:`~repro.errors.StaticAnalysisError`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterable, List, Sequence, Set
+
+from repro.analysis.findings import Finding, render_findings
+from repro.errors import StaticAnalysisError
+
+#: modules generated programs may import (consulted by the sandbox's
+#: guarded importer as well)
+IMPORT_ALLOWLIST: FrozenSet[str] = frozenset(
+    {"time", "math", "collections", "itertools"}
+)
+
+#: dunder attributes that open sandbox escapes via object introspection
+BANNED_ATTRIBUTES: FrozenSet[str] = frozenset(
+    {
+        "__class__", "__globals__", "__subclasses__", "__bases__",
+        "__mro__", "__code__", "__closure__", "__func__", "__self__",
+        "__builtins__", "__getattribute__", "__dict__", "__init__",
+        "__reduce__", "__reduce_ex__",
+    }
+)
+
+#: builtins whose mere mention defeats static vetting (dynamic attribute
+#: access, code execution, file IO)
+BANNED_NAMES: FrozenSet[str] = frozenset(
+    {
+        "getattr", "setattr", "delattr", "eval", "exec", "compile",
+        "open", "input", "vars", "globals", "locals", "__import__",
+        "breakpoint", "exit", "quit",
+    }
+)
+
+#: names the sandbox provides to generated programs (safe builtins plus
+#: the ``tables`` input binding)
+DEFAULT_KNOWN_NAMES: FrozenSet[str] = frozenset(
+    {
+        "len", "sum", "min", "max", "sorted", "list", "dict", "set",
+        "tuple", "str", "int", "float", "bool", "range", "enumerate",
+        "zip", "abs", "round", "True", "False", "None", "tables",
+    }
+)
+
+#: variables a generated program must leave behind
+OUTPUT_CONTRACT = ("result", "columns")
+
+
+def check_python(
+    code: str,
+    known_names: Iterable[str] = DEFAULT_KNOWN_NAMES,
+    allowed_imports: FrozenSet[str] = IMPORT_ALLOWLIST,
+    require_contract: bool = True,
+) -> List[Finding]:
+    """Analyze ``code`` and return all findings (empty means clean)."""
+    try:
+        tree = ast.parse(code, mode="exec")
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="syntax",
+                message=f"program does not parse: {exc.msg}",
+                line=exc.lineno or 0,
+            )
+        ]
+    findings: List[Finding] = []
+    findings.extend(_check_imports(tree, allowed_imports))
+    findings.extend(_check_attributes(tree))
+    findings.extend(_check_banned_names(tree))
+    findings.extend(_check_loops(tree))
+    findings.extend(_check_unknown_names(tree, frozenset(known_names)))
+    if require_contract:
+        findings.extend(_check_contract(tree))
+    return sorted(findings, key=lambda f: (f.line, f.rule))
+
+
+def assert_safe(
+    code: str,
+    known_names: Iterable[str] = DEFAULT_KNOWN_NAMES,
+    allowed_imports: FrozenSet[str] = IMPORT_ALLOWLIST,
+    require_contract: bool = True,
+) -> None:
+    """Raise :class:`StaticAnalysisError` unless ``code`` checks clean."""
+    findings = check_python(code, known_names, allowed_imports, require_contract)
+    if findings:
+        raise StaticAnalysisError(
+            "generated program rejected by static analysis:\n"
+            + render_findings(findings),
+            findings=findings,
+        )
+
+
+# -- individual passes -----------------------------------------------------
+def _check_imports(
+    tree: ast.Module, allowed: FrozenSet[str]
+) -> List[Finding]:
+    findings = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root not in allowed:
+                    findings.append(
+                        Finding(
+                            rule="banned-import",
+                            message=f"import of {alias.name!r} is not allowed "
+                            f"(allowlist: {sorted(allowed)})",
+                            line=node.lineno,
+                        )
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            if node.level or root not in allowed:
+                findings.append(
+                    Finding(
+                        rule="banned-import",
+                        message=f"import from {node.module or '.'!r} is not "
+                        f"allowed (allowlist: {sorted(allowed)})",
+                        line=node.lineno,
+                    )
+                )
+    return findings
+
+
+def _check_attributes(tree: ast.Module) -> List[Finding]:
+    return [
+        Finding(
+            rule="banned-attribute",
+            message=f"access to attribute {node.attr!r} can escape the sandbox",
+            line=node.lineno,
+        )
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Attribute) and node.attr in BANNED_ATTRIBUTES
+    ]
+
+
+def _check_banned_names(tree: ast.Module) -> List[Finding]:
+    return [
+        Finding(
+            rule="banned-call",
+            message=f"use of {node.id!r} is not allowed in generated code",
+            line=node.lineno,
+        )
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Name)
+        and isinstance(node.ctx, ast.Load)
+        and node.id in BANNED_NAMES
+    ]
+
+
+def _check_loops(tree: ast.Module) -> List[Finding]:
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.While):
+            continue
+        test = node.test
+        constant_true = isinstance(test, ast.Constant) and bool(test.value)
+        if constant_true and not _loop_can_exit(node.body):
+            findings.append(
+                Finding(
+                    rule="unbounded-loop",
+                    message="'while True' loop has no break/return/raise",
+                    line=node.lineno,
+                )
+            )
+    return findings
+
+
+def _loop_can_exit(body: Sequence[ast.stmt]) -> bool:
+    """True if the loop body contains a statement that leaves the loop.
+
+    Nested loops are not descended into: a ``break`` there terminates
+    the inner loop only.
+    """
+    for stmt in body:
+        if isinstance(stmt, (ast.Break, ast.Return, ast.Raise)):
+            return True
+        if isinstance(stmt, ast.If):
+            if _loop_can_exit(stmt.body) or _loop_can_exit(stmt.orelse):
+                return True
+        elif isinstance(stmt, ast.Try):
+            blocks = [stmt.body, stmt.orelse, stmt.finalbody]
+            blocks += [handler.body for handler in stmt.handlers]
+            if any(_loop_can_exit(block) for block in blocks):
+                return True
+        elif isinstance(stmt, ast.With):
+            if _loop_can_exit(stmt.body):
+                return True
+    return False
+
+
+def _bound_names(tree: ast.Module) -> Set[str]:
+    """Every name the program binds anywhere (flat, scope-insensitive)."""
+    bound: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, ast.arg):
+            bound.add(node.arg)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+    return bound
+
+
+def _check_unknown_names(
+    tree: ast.Module, known: FrozenSet[str]
+) -> List[Finding]:
+    bound = _bound_names(tree)
+    findings = []
+    reported: Set[str] = set()
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)):
+            continue
+        name = node.id
+        if name in bound or name in known or name in BANNED_NAMES:
+            continue  # banned names already get a banned-call finding
+        if name in reported:
+            continue
+        reported.add(name)
+        findings.append(
+            Finding(
+                rule="unknown-name",
+                message=f"name {name!r} is never bound and is not provided "
+                "by the sandbox",
+                line=node.lineno,
+            )
+        )
+    return findings
+
+
+def _check_contract(tree: ast.Module) -> List[Finding]:
+    assigned = _definitely_assigned(tree.body)
+    return [
+        Finding(
+            rule="output-contract",
+            message=f"variable {name!r} is not assigned on every path",
+        )
+        for name in OUTPUT_CONTRACT
+        if name not in assigned
+    ]
+
+
+def _definitely_assigned(stmts: Sequence[ast.stmt]) -> Set[str]:
+    """Names assigned on *every* execution path through ``stmts``.
+
+    Conservative: loop bodies may run zero times, so their assignments
+    do not count; an ``if`` only counts names assigned in both arms.
+    """
+    assigned: Set[str] = set()
+    for stmt in stmts:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                assigned |= _target_names(target)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None and isinstance(stmt.target, ast.Name):
+                assigned.add(stmt.target.id)
+        elif isinstance(stmt, ast.If):
+            if stmt.orelse:
+                assigned |= _definitely_assigned(stmt.body) & _definitely_assigned(
+                    stmt.orelse
+                )
+        elif isinstance(stmt, ast.With):
+            assigned |= _definitely_assigned(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            assigned |= _definitely_assigned(stmt.finalbody)
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                assigned.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            assigned.add(stmt.name)
+    return assigned
+
+
+def _target_names(target: ast.expr) -> Set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: Set[str] = set()
+        for element in target.elts:
+            names |= _target_names(element)
+        return names
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return set()

@@ -13,7 +13,7 @@ instead of running a fixed engine.
 
 from repro.codexdb.planner import PlanStep, plan_query
 from repro.codexdb.codegen import CodeGenOptions, generate_python
-from repro.codexdb.sandbox import run_generated_code
+from repro.codexdb.sandbox import run_generated_code, vet_generated_code
 from repro.codexdb.codex import CodexDB, SimulatedCodex, SynthesisResult
 from repro.codexdb.evaluate import CodexDBReport, evaluate_codexdb
 
@@ -23,6 +23,7 @@ __all__ = [
     "CodeGenOptions",
     "generate_python",
     "run_generated_code",
+    "vet_generated_code",
     "SimulatedCodex",
     "CodexDB",
     "SynthesisResult",

@@ -15,7 +15,9 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import CodexDBError
+from repro.analysis.findings import Finding, render_findings
+from repro.analysis.sqlcheck import check_sql
+from repro.errors import CodexDBError, StaticAnalysisError
 from repro.sql import Database, Table
 from repro.sql.ast import BinaryOp, ColumnRef, Literal, SelectItem
 from repro.codexdb.codegen import CodeGenOptions, generate_python
@@ -26,12 +28,19 @@ from repro.utils.rng import SeededRNG
 
 @dataclass
 class SynthesisResult:
-    """Outcome of one CodexDB request."""
+    """Outcome of one CodexDB request.
+
+    ``static_rejections`` and ``runtime_failures`` break down the failed
+    attempts: candidates the analyzer refused to execute versus
+    candidates that crashed (or misbehaved) while running.
+    """
 
     code: str
     outcome: Optional[ExecutionOutcome]
     attempts: int
     succeeded: bool
+    static_rejections: int = 0
+    runtime_failures: int = 0
 
 
 class SimulatedCodex:
@@ -40,22 +49,43 @@ class SimulatedCodex:
     ``error_rate`` is the probability that a sampled candidate program
     is corrupted. Corruptions are the realistic failure modes of LM code
     generation: referencing the wrong column, dropping a filter, or
-    flipping a comparison operator.
+    flipping a comparison operator. ``unsafe_rate`` adds a second
+    failure mode: the candidate gratuitously imports ``os`` — exactly
+    the kind of program static analysis must stop before it runs.
+
+    When the caller passes the previous attempt's analyzer findings as
+    ``feedback``, the simulated model "reads the error report" and
+    produces a repaired, uncorrupted candidate — mirroring how the real
+    CodexDB folds failure messages into the regeneration prompt.
     """
 
-    def __init__(self, error_rate: float = 0.3, seed: int = 0) -> None:
+    def __init__(
+        self, error_rate: float = 0.3, seed: int = 0, unsafe_rate: float = 0.0
+    ) -> None:
         if not 0.0 <= error_rate < 1.0:
             raise CodexDBError("error_rate must be in [0, 1)")
+        if not 0.0 <= unsafe_rate < 1.0:
+            raise CodexDBError("unsafe_rate must be in [0, 1)")
         self.error_rate = error_rate
+        self.unsafe_rate = unsafe_rate
         self._rng = SeededRNG(seed)
         self.samples_served = 0
 
     def sample_program(
-        self, sql: str, options: CodeGenOptions
+        self,
+        sql: str,
+        options: CodeGenOptions,
+        feedback: Optional[Sequence[Finding]] = None,
     ) -> str:
         """Return one candidate Python program for ``sql``."""
         self.samples_served += 1
         steps = plan_query(sql)
+        if feedback:
+            # Regeneration with the analyzer's findings in the prompt:
+            # the model fixes the reported problem.
+            return generate_python(steps, options)
+        if self._rng.coin(self.unsafe_rate):
+            return "import os\n" + generate_python(steps, options)
         if self._rng.coin(self.error_rate):
             steps = self._corrupt(steps)
         return generate_python(steps, options)
@@ -116,23 +146,59 @@ class CodexDB:
         self.options = options
 
     def run(self, sql: str, max_attempts: int = 4) -> SynthesisResult:
-        """Request programs until one validates (or attempts run out)."""
+        """Request programs until one validates (or attempts run out).
+
+        Candidates that static analysis rejects never execute; their
+        findings are fed back into the next :meth:`sample_program` call
+        so the simulated model can regenerate a repaired candidate.
+        """
+        query_findings = check_sql(sql, self.db.catalog)
+        if query_findings:
+            raise StaticAnalysisError(
+                "input query rejected before synthesis:\n"
+                + render_findings(query_findings),
+                findings=query_findings,
+            )
         reference = self._reference_rows(sql)
         tables = {name: self.db.table(name) for name in self.db.table_names()}
         last_code = ""
+        static_rejections = 0
+        runtime_failures = 0
+        feedback: Optional[Sequence[Finding]] = None
         for attempt in range(1, max_attempts + 1):
-            code = self.codex.sample_program(sql, self.options)
+            code = self.codex.sample_program(sql, self.options, feedback=feedback)
             last_code = code
+            feedback = None
             try:
                 outcome = run_generated_code(code, tables)
-            except CodexDBError:
+            except StaticAnalysisError as exc:
+                static_rejections += 1
+                feedback = exc.findings
+                continue
+            except CodexDBError as exc:
+                if isinstance(exc.__cause__, StaticAnalysisError):
+                    static_rejections += 1
+                    feedback = exc.__cause__.findings
+                else:
+                    runtime_failures += 1
                 continue
             if sorted(map(repr, outcome.rows)) == sorted(map(repr, reference)):
                 return SynthesisResult(
-                    code=code, outcome=outcome, attempts=attempt, succeeded=True
+                    code=code,
+                    outcome=outcome,
+                    attempts=attempt,
+                    succeeded=True,
+                    static_rejections=static_rejections,
+                    runtime_failures=runtime_failures,
                 )
+            runtime_failures += 1
         return SynthesisResult(
-            code=last_code, outcome=None, attempts=max_attempts, succeeded=False
+            code=last_code,
+            outcome=None,
+            attempts=max_attempts,
+            succeeded=False,
+            static_rejections=static_rejections,
+            runtime_failures=runtime_failures,
         )
 
     def _reference_rows(self, sql: str) -> List[Tuple]:

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
+from repro.errors import StaticAnalysisError
 from repro.sql import Database
 from repro.codexdb.codegen import CodeGenOptions
 from repro.codexdb.codex import CodexDB, SimulatedCodex
@@ -12,11 +13,21 @@ from repro.codexdb.codex import CodexDB, SimulatedCodex
 
 @dataclass
 class CodexDBReport:
-    """Aggregate metrics of a CodexDB evaluation run."""
+    """Aggregate metrics of a CodexDB evaluation run.
+
+    Failed candidate attempts are broken down into programs the static
+    analyzer rejected before execution (``rejected_static``) and
+    programs that executed but crashed or returned wrong rows
+    (``failed_runtime``) — the two call for different fixes: tighter
+    generation versus better validation.
+    """
 
     total: int = 0
     succeeded: int = 0
     attempts_used: List[int] = field(default_factory=list)
+    rejected_static: int = 0
+    failed_runtime: int = 0
+    rejected_queries: int = 0
 
     @property
     def success_rate(self) -> float:
@@ -38,14 +49,26 @@ def evaluate_codexdb(
     error_rate: float = 0.3,
     options: CodeGenOptions = CodeGenOptions(),
     seed: int = 0,
+    unsafe_rate: float = 0.0,
 ) -> CodexDBReport:
-    """Run CodexDB over ``queries``; report success rate and retries."""
-    codex = SimulatedCodex(error_rate=error_rate, seed=seed)
+    """Run CodexDB over ``queries``; report success rate and retries.
+
+    Queries that the SQL vetting pass rejects outright (unknown table or
+    column, type mismatch) are counted in ``rejected_queries`` and never
+    reach synthesis.
+    """
+    codex = SimulatedCodex(error_rate=error_rate, seed=seed, unsafe_rate=unsafe_rate)
     system = CodexDB(db, codex, options)
     report = CodexDBReport()
     for sql in queries:
-        result = system.run(sql, max_attempts=max_attempts)
         report.total += 1
+        try:
+            result = system.run(sql, max_attempts=max_attempts)
+        except StaticAnalysisError:
+            report.rejected_queries += 1
+            continue
         report.succeeded += int(result.succeeded)
         report.attempts_used.append(result.attempts)
+        report.rejected_static += result.static_rejections
+        report.failed_runtime += result.runtime_failures
     return report

@@ -1,20 +1,46 @@
-"""Execute synthesized programs in a restricted namespace."""
+"""Execute synthesized programs in a restricted, statically vetted namespace.
+
+No generated program runs unvetted: :func:`run_generated_code` first
+passes the source through :func:`repro.analysis.pycheck.check_python`
+and raises :class:`~repro.errors.StaticAnalysisError` (listing every
+finding with its line number) *before* any byte of it executes. The
+namespace itself no longer exposes raw ``__import__``; a guarded
+importer consults the same allowlist the analyzer enforces, as
+defense in depth.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import CodexDBError
+from repro.analysis.findings import render_findings
+from repro.analysis.pycheck import IMPORT_ALLOWLIST, check_python
+from repro.errors import CodexDBError, StaticAnalysisError
 from repro.sql import Table
+
+
+def _guarded_import(name, globals=None, locals=None, fromlist=(), level=0):
+    """Import restricted to the pycheck allowlist (runtime backstop)."""
+    root = name.split(".")[0]
+    if level or root not in IMPORT_ALLOWLIST:
+        raise ImportError(
+            f"import of {name!r} is not allowed in the sandbox "
+            f"(allowlist: {sorted(IMPORT_ALLOWLIST)})"
+        )
+    return __import__(name, globals, locals, fromlist, level)
+
 
 _SAFE_BUILTINS = {
     "len": len, "sum": sum, "min": min, "max": max, "sorted": sorted,
     "list": list, "dict": dict, "set": set, "tuple": tuple, "str": str,
     "int": int, "float": float, "bool": bool, "range": range,
     "enumerate": enumerate, "zip": zip, "abs": abs, "round": round,
-    "__import__": __import__,  # the generated code imports only `time`
+    "__import__": _guarded_import,  # allowlisted modules only
 }
+
+#: names generated programs may reference without binding them first
+_SANDBOX_NAMES = frozenset(_SAFE_BUILTINS) | {"True", "False", "None", "tables"}
 
 
 @dataclass
@@ -27,14 +53,37 @@ class ExecutionOutcome:
     profile: Dict[str, float] = field(default_factory=dict)
 
 
+def vet_generated_code(code: str) -> None:
+    """Statically analyze ``code``; raise on any finding.
+
+    Raises :class:`StaticAnalysisError` carrying the individual
+    findings (rule, message, line) when the program imports outside the
+    allowlist, touches escape attributes, calls banned builtins, loops
+    unboundedly, references unknown names, or fails to assign the
+    ``result``/``columns`` output contract on every path.
+    """
+    findings = check_python(code, known_names=_SANDBOX_NAMES)
+    if findings:
+        raise StaticAnalysisError(
+            "generated program rejected by static analysis:\n"
+            + render_findings(findings),
+            findings=findings,
+        )
+
+
 def run_generated_code(
     code: str, tables: Dict[str, Table]
 ) -> ExecutionOutcome:
-    """Run a generated program against tables; wrap all failures.
+    """Vet and run a generated program against tables; wrap all failures.
 
-    Raises :class:`CodexDBError` if the program crashes or does not
-    produce the ``result``/``columns`` contract.
+    Raises :class:`StaticAnalysisError` (a :class:`CodexDBError`
+    subclass) if static analysis rejects the program — nothing executes
+    in that case — and :class:`CodexDBError` if it crashes at runtime or
+    does not produce the ``result``/``columns`` contract. Runtime
+    crashes carry the original exception in ``__cause__``; static
+    rejections carry their findings on the error itself.
     """
+    vet_generated_code(code)
     table_dicts = {name: table.to_dicts() for name, table in tables.items()}
     namespace: Dict[str, object] = {
         "tables": table_dicts,

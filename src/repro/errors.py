@@ -76,5 +76,22 @@ class CodexDBError(ReproError):
     """Raised when plan synthesis or validation fails in CodexDB."""
 
 
+class StaticAnalysisError(CodexDBError):
+    """Raised when static analysis rejects a generated artifact.
+
+    Carries the individual analyzer findings so callers can report them
+    (or feed them back into regeneration). Subclasses
+    :class:`CodexDBError` so CodexDB's generate/validate/retry loop
+    treats a statically rejected candidate like any other failed one,
+    while still letting reports distinguish "rejected before execution"
+    from "crashed at runtime".
+    """
+
+    def __init__(self, message: str, findings=()) -> None:
+        super().__init__(message)
+        #: the :class:`repro.analysis.Finding` list that triggered the error
+        self.findings = list(findings)
+
+
 class NeuralDBError(ReproError):
     """Raised for invalid NeuralDB operations."""

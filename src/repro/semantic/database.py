@@ -12,6 +12,7 @@ from repro.semantic.rewrite import (
     extract_nl_calls,
     nl_call_parts,
     rewrite_expression,
+    vet_rewritten,
 )
 from repro.sql import Database, QueryResult
 from repro.sql.ast import (
@@ -73,6 +74,7 @@ class SemanticDatabase:
                 else None
             ),
         )
+        vet_rewritten(rewritten, self.db.catalog)
         return self.db.execute(rewritten.sql())
 
     # -- predicate compilation ------------------------------------------------

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
+from repro.analysis.findings import render_findings
+from repro.analysis.sqlcheck import check_query
 from repro.errors import ReproError
 from repro.sql.ast import (
     Between,
@@ -15,8 +17,11 @@ from repro.sql.ast import (
     InList,
     IsNull,
     Literal,
+    SelectQuery,
     UnaryOp,
+    walk_expr,
 )
+from repro.sql.catalog import Catalog
 
 NL_FUNC = "NL"
 
@@ -27,41 +32,30 @@ class SemanticError(ReproError):
 
 def extract_nl_calls(expr: Optional[Expr]) -> List[FuncCall]:
     """All ``NL(column, 'description')`` calls inside an expression."""
-    calls: List[FuncCall] = []
     if expr is None:
-        return calls
-
-    def walk(node: Expr) -> None:
-        if isinstance(node, FuncCall):
-            if node.name.upper() == NL_FUNC:
-                _validate(node)
-                calls.append(node)
-            for arg in node.args:
-                walk(arg)
-        elif isinstance(node, BinaryOp):
-            walk(node.left)
-            walk(node.right)
-        elif isinstance(node, UnaryOp):
-            walk(node.operand)
-        elif isinstance(node, IsNull):
-            walk(node.operand)
-        elif isinstance(node, InList):
-            walk(node.operand)
-            for item in node.items:
-                walk(item)
-        elif isinstance(node, Between):
-            walk(node.operand)
-            walk(node.low)
-            walk(node.high)
-        elif isinstance(node, CaseWhen):
-            for condition, value in node.branches:
-                walk(condition)
-                walk(value)
-            if node.default is not None:
-                walk(node.default)
-
-    walk(expr)
+        return []
+    calls: List[FuncCall] = []
+    for node in walk_expr(expr):
+        if isinstance(node, FuncCall) and node.name.upper() == NL_FUNC:
+            _validate(node)
+            calls.append(node)
     return calls
+
+
+def vet_rewritten(query: SelectQuery, catalog: Catalog) -> None:
+    """Semantically validate a rewritten query before it executes.
+
+    The NL-compilation step replaces predicates wholesale; running
+    :func:`repro.analysis.sqlcheck.check_query` on the result catches
+    invalid rewrites (unknown columns, type clashes) *before* the
+    engine touches any rows, with findings in the error message.
+    """
+    findings = check_query(query, catalog)
+    if findings:
+        raise SemanticError(
+            "rewritten query failed static validation:\n"
+            + render_findings(findings)
+        )
 
 
 def _validate(call: FuncCall) -> None:

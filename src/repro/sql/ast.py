@@ -184,6 +184,42 @@ class CaseWhen(Expr):
         return " ".join(parts)
 
 
+def expr_children(expr: Expr) -> Tuple[Expr, ...]:
+    """The direct sub-expressions of a node.
+
+    Subquery bodies are *not* treated as children — they carry their own
+    scope, so analyses must recurse into them explicitly.
+    """
+    if isinstance(expr, BinaryOp):
+        return (expr.left, expr.right)
+    if isinstance(expr, (UnaryOp, IsNull)):
+        return (expr.operand,)
+    if isinstance(expr, InList):
+        return (expr.operand,) + expr.items
+    if isinstance(expr, Between):
+        return (expr.operand, expr.low, expr.high)
+    if isinstance(expr, FuncCall):
+        return expr.args
+    if isinstance(expr, CaseWhen):
+        children: List[Expr] = []
+        for condition, value in expr.branches:
+            children.append(condition)
+            children.append(value)
+        if expr.default is not None:
+            children.append(expr.default)
+        return tuple(children)
+    if isinstance(expr, InSubquery):
+        return (expr.operand,)
+    return ()
+
+
+def walk_expr(expr: Expr):
+    """Yield ``expr`` and every nested sub-expression, depth-first."""
+    yield expr
+    for child in expr_children(expr):
+        yield from walk_expr(child)
+
+
 # -- query structure ------------------------------------------------------------
 @dataclass(frozen=True)
 class SelectItem:

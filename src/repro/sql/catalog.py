@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.errors import CatalogError
 from repro.sql.table import Table
@@ -29,6 +29,14 @@ class Catalog:
             raise CatalogError(
                 f"no table {name!r}; known tables: {self.names()}"
             ) from None
+
+    def resolve(self, name: str) -> Optional[Table]:
+        """Look up a table, returning ``None`` instead of raising.
+
+        Static analyses use this to report a missing table as a finding
+        rather than an exception.
+        """
+        return self._tables.get(name.lower())
 
     def drop(self, name: str) -> None:
         """Remove a table."""

@@ -56,6 +56,18 @@ class TableSchema:
     def column(self, column_name: str) -> Column:
         return self.columns[self.index_of(column_name)]
 
+    def type_of(self, column_name: str) -> Optional[SQLType]:
+        """The column's type, or ``None`` when the column is unknown.
+
+        The non-raising companion of :meth:`column`, for analyses that
+        collect findings instead of aborting on the first error.
+        """
+        lowered = column_name.lower()
+        for column in self.columns:
+            if column.name.lower() == lowered:
+                return column.sql_type
+        return None
+
     def has_column(self, column_name: str) -> bool:
         lowered = column_name.lower()
         return any(c.name.lower() == lowered for c in self.columns)

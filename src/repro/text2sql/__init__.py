@@ -25,6 +25,7 @@ from repro.text2sql.evaluate import (
     EvaluationReport,
     evaluate_translator,
     execution_match,
+    is_statically_valid,
 )
 
 __all__ = [
@@ -39,4 +40,5 @@ __all__ = [
     "EvaluationReport",
     "evaluate_translator",
     "execution_match",
+    "is_statically_valid",
 ]

@@ -6,6 +6,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.sqlcheck import check_sql
 from repro.errors import ReproError
 from repro.sql import Database
 from repro.text2sql.workload import (
@@ -20,11 +21,20 @@ Translator = Callable[[str], str]
 
 @dataclass
 class EvaluationReport:
-    """Execution accuracy, overall and per hardness level."""
+    """Execution accuracy, overall and per hardness level.
+
+    ``static_valid`` counts predictions that pass semantic validation
+    (:func:`repro.analysis.sqlcheck.check_sql`) against the workload's
+    catalog — schema errors caught *without* running the query. It is
+    reported alongside ``valid_sql`` (the execution-based validity
+    check) so the gap between the two shows queries that are
+    schema-consistent yet still crash, and vice versa.
+    """
 
     total: int = 0
     correct: int = 0
     valid_sql: int = 0
+    static_valid: int = 0
     by_hardness: Dict[str, Tuple[int, int]] = field(default_factory=dict)
 
     @property
@@ -34,6 +44,10 @@ class EvaluationReport:
     @property
     def validity_rate(self) -> float:
         return self.valid_sql / self.total if self.total else 0.0
+
+    @property
+    def static_valid_rate(self) -> float:
+        return self.static_valid / self.total if self.total else 0.0
 
     def hardness_accuracy(self, level: str) -> float:
         correct, total = self.by_hardness.get(level, (0, 0))
@@ -71,6 +85,16 @@ def is_valid_sql(db: Database, sql: str) -> bool:
         return False
 
 
+def is_statically_valid(db: Database, sql: str) -> bool:
+    """True if the query passes semantic validation without executing.
+
+    Parses the (linearized) query and resolves every table/column
+    reference and type against the database catalog via
+    :func:`repro.analysis.sqlcheck.check_sql`.
+    """
+    return not check_sql(sql_to_engine_dialect(sql), db.catalog)
+
+
 def evaluate_translator(
     translate: Translator,
     workload: Text2SQLWorkload,
@@ -83,9 +107,11 @@ def evaluate_translator(
         predicted = translate(example.question)
         ok = bool(predicted) and execution_match(workload.db, predicted, example.sql)
         valid = bool(predicted) and is_valid_sql(workload.db, predicted)
+        static = bool(predicted) and is_statically_valid(workload.db, predicted)
         report.total += 1
         report.correct += int(ok)
         report.valid_sql += int(valid)
+        report.static_valid += int(static)
         bucket = counts.setdefault(example.hardness, [0, 0])
         bucket[0] += int(ok)
         bucket[1] += 1

@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.sqlcheck import check_sql
 from repro.autograd import cross_entropy
 from repro.errors import Text2SQLError
 from repro.generation import GenerationConfig, generate
@@ -25,7 +26,11 @@ from repro.training.data import IGNORE_INDEX
 from repro.training.optim import AdamW
 from repro.training.schedule import CosineSchedule
 from repro.text2sql.constraint import SQLGrammarConstraint
-from repro.text2sql.workload import Text2SQLExample, Text2SQLWorkload
+from repro.text2sql.workload import (
+    Text2SQLExample,
+    Text2SQLWorkload,
+    sql_to_engine_dialect,
+)
 from repro.utils.rng import SeededRNG
 
 PROMPT_PREFIX = "q :"
@@ -55,8 +60,16 @@ class LMTranslator:
         question: str,
         constrained: bool = False,
         max_new_tokens: int = 40,
+        vet: bool = False,
     ) -> str:
-        """Translate a question to linearized SQL tokens."""
+        """Translate a question to linearized SQL tokens.
+
+        With ``vet=True`` the decoded SQL is semantically validated
+        against the workload's catalog (tables, columns, types) via
+        :func:`repro.analysis.sqlcheck.check_sql` and replaced by ``""``
+        when invalid — a cheap post-hoc filter for unconstrained
+        decoding, which can emit schema-inconsistent SQL.
+        """
         prompt_ids = self.tokenizer.encode(build_prompt(question), add_bos=True).ids
         constraint = (
             SQLGrammarConstraint(self.workload, self.tokenizer, question)
@@ -72,7 +85,14 @@ class LMTranslator:
             out_ids = generate(self.model, prompt_ids, config, constraint)
         except Text2SQLError:
             return ""  # constrained decoding dead end: treat as failure
-        return self.tokenizer.decode(out_ids)
+        decoded = self.tokenizer.decode(out_ids)
+        if vet and decoded:
+            findings = check_sql(
+                sql_to_engine_dialect(decoded), self.workload.db.catalog
+            )
+            if findings:
+                return ""  # statically invalid: treat as failure
+        return decoded
 
 
 def train_translator(

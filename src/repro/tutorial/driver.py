@@ -37,7 +37,7 @@ def _demo_transformer(seed: int) -> str:
     from repro.nn import MultiHeadAttention
 
     attention = MultiHeadAttention(16, 2, SeededRNG(seed), causal=True)
-    attention(Tensor(np.random.default_rng(seed).normal(size=(1, 5, 16))))
+    attention(Tensor(SeededRNG(seed).normal((1, 5, 16))))
     weights = attention.last_attention
     return (
         "Causal self-attention over 5 positions; upper triangle is masked: "

@@ -1,0 +1,353 @@
+"""Tests for repro.analysis: pycheck, sqlcheck, and the repo linter."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import check_python, check_sql
+from repro.analysis.findings import Finding, render_findings
+from repro.analysis.lint import lint_paths, lint_source
+from repro.analysis.pycheck import IMPORT_ALLOWLIST, assert_safe
+from repro.errors import CodexDBError, StaticAnalysisError
+from repro.sql import Database
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    database.execute("CREATE TABLE emp (name TEXT, dept TEXT, salary INT)")
+    database.execute(
+        "INSERT INTO emp VALUES ('a', 'eng', 100), ('b', 'sales', 80)"
+    )
+    database.execute("CREATE TABLE dept (dept TEXT, building TEXT)")
+    database.execute("INSERT INTO dept VALUES ('eng', 'A'), ('sales', 'B')")
+    return database
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestPycheck:
+    def test_clean_generated_style_program(self):
+        code = (
+            "rows = [dict(r) for r in tables['emp']]\n"
+            "result = [(r['name'],) for r in rows]\n"
+            "columns = ['name']\n"
+        )
+        assert check_python(code) == []
+
+    def test_allowlisted_import_ok(self):
+        code = "import time\n_t = time.perf_counter()\nresult = []\ncolumns = []\n"
+        assert check_python(code) == []
+
+    def test_banned_import_with_line(self):
+        code = "x = 1\nimport os\nresult = []\ncolumns = []\n"
+        findings = check_python(code)
+        assert rules_of(findings) == ["banned-import"]
+        assert findings[0].line == 2
+        assert "os" in findings[0].message
+
+    def test_from_import_banned(self):
+        findings = check_python("from subprocess import run\nresult = []\ncolumns = []\n")
+        assert rules_of(findings) == ["banned-import"]
+
+    def test_class_escape_chain(self):
+        code = (
+            "result = ().__class__.__bases__[0].__subclasses__()\n"
+            "columns = []\n"
+        )
+        findings = check_python(code)
+        assert set(rules_of(findings)) == {"banned-attribute"}
+        assert all(f.line == 1 for f in findings)
+
+    def test_globals_attribute(self):
+        code = "f = min\nresult = f.__globals__\ncolumns = []\n"
+        assert "banned-attribute" in rules_of(check_python(code))
+
+    def test_open_and_eval_banned(self):
+        code = "result = open('x').read()\ncolumns = []\n"
+        assert "banned-call" in rules_of(check_python(code))
+        code = "result = eval('1')\ncolumns = []\n"
+        assert "banned-call" in rules_of(check_python(code))
+
+    def test_getattr_banned(self):
+        code = "result = getattr(tables, 'clear')\ncolumns = []\n"
+        assert "banned-call" in rules_of(check_python(code))
+
+    def test_infinite_loop_flagged(self):
+        code = "while True:\n    x = 1\nresult = []\ncolumns = []\n"
+        assert "unbounded-loop" in rules_of(check_python(code))
+
+    def test_loop_with_break_ok(self):
+        code = (
+            "while True:\n    if len(tables) >= 0:\n        break\n"
+            "result = []\ncolumns = []\n"
+        )
+        assert check_python(code) == []
+
+    def test_break_in_nested_loop_does_not_count(self):
+        code = (
+            "while True:\n"
+            "    for i in range(3):\n"
+            "        break\n"
+            "result = []\ncolumns = []\n"
+        )
+        assert "unbounded-loop" in rules_of(check_python(code))
+
+    def test_unknown_name(self):
+        findings = check_python("result = mystery\ncolumns = []\n")
+        assert rules_of(findings) == ["unknown-name"]
+        assert "mystery" in findings[0].message
+
+    def test_missing_result_contract(self):
+        findings = check_python("x = 1\n")
+        assert rules_of(findings) == ["output-contract", "output-contract"]
+
+    def test_contract_must_hold_on_both_branches(self):
+        code = (
+            "if len(tables) > 0:\n    result = []\n    columns = []\n"
+            "else:\n    result = []\n"
+        )
+        findings = check_python(code)
+        assert rules_of(findings) == ["output-contract"]
+        assert "columns" in findings[0].message
+
+    def test_contract_in_loop_is_not_definite(self):
+        code = "for i in range(3):\n    result = []\n    columns = []\n"
+        assert rules_of(check_python(code)) == ["output-contract", "output-contract"]
+
+    def test_syntax_error_is_a_finding(self):
+        findings = check_python("result = (\n")
+        assert rules_of(findings) == ["syntax"]
+
+    def test_assert_safe_raises_with_findings(self):
+        with pytest.raises(StaticAnalysisError) as excinfo:
+            assert_safe("import os\nresult = []\ncolumns = []\n")
+        assert excinfo.value.findings
+        assert "line 1" in str(excinfo.value)
+
+    def test_allowlist_contents(self):
+        assert {"time", "math", "collections", "itertools"} == set(IMPORT_ALLOWLIST)
+
+
+class TestSqlcheck:
+    def test_clean_query(self, db):
+        assert check_sql("SELECT name FROM emp WHERE salary > 50", db.catalog) == []
+
+    def test_unknown_table(self, db):
+        findings = check_sql("SELECT x FROM nowhere", db.catalog)
+        assert "unknown-table" in rules_of(findings)
+
+    def test_unknown_column(self, db):
+        findings = check_sql("SELECT bogus FROM emp", db.catalog)
+        assert rules_of(findings) == ["unknown-column"]
+        assert "bogus" in findings[0].message
+
+    def test_unknown_qualified_column(self, db):
+        findings = check_sql(
+            "SELECT e.bogus FROM emp e JOIN dept d ON e.dept = d.dept",
+            db.catalog,
+        )
+        assert "unknown-column" in rules_of(findings)
+
+    def test_unknown_alias(self, db):
+        findings = check_sql("SELECT z.name FROM emp e", db.catalog)
+        assert rules_of(findings) == ["unknown-alias"]
+
+    def test_ambiguous_column_across_join(self, db):
+        findings = check_sql(
+            "SELECT dept FROM emp e JOIN dept d ON e.dept = d.dept",
+            db.catalog,
+        )
+        assert rules_of(findings) == ["ambiguous-column"]
+
+    def test_type_mismatch_comparison(self, db):
+        findings = check_sql("SELECT name FROM emp WHERE salary > 'abc'", db.catalog)
+        assert rules_of(findings) == ["type-mismatch"]
+
+    def test_numeric_comparison_ok(self, db):
+        assert check_sql("SELECT name FROM emp WHERE salary > 1.5", db.catalog) == []
+
+    def test_arithmetic_on_text(self, db):
+        findings = check_sql("SELECT name + 1 FROM emp", db.catalog)
+        assert rules_of(findings) == ["type-mismatch"]
+
+    def test_aggregate_over_text(self, db):
+        findings = check_sql("SELECT SUM(name) FROM emp", db.catalog)
+        assert rules_of(findings) == ["aggregate-type"]
+
+    def test_aggregate_in_where(self, db):
+        findings = check_sql(
+            "SELECT name FROM emp WHERE COUNT(*) > 1", db.catalog
+        )
+        assert "misplaced-aggregate" in rules_of(findings)
+
+    def test_order_by_output_alias_ok(self, db):
+        sql = "SELECT dept, COUNT(*) AS cnt FROM emp GROUP BY dept ORDER BY cnt DESC"
+        assert check_sql(sql, db.catalog) == []
+
+    def test_having_may_aggregate(self, db):
+        sql = "SELECT dept FROM emp GROUP BY dept HAVING COUNT(*) > 1"
+        assert check_sql(sql, db.catalog) == []
+
+    def test_syntax_error_is_a_finding(self, db):
+        findings = check_sql("SELECT FROM WHERE", db.catalog)
+        assert rules_of(findings) == ["syntax"]
+
+    def test_in_list_type_mismatch(self, db):
+        findings = check_sql(
+            "SELECT name FROM emp WHERE salary IN (1, 'two')", db.catalog
+        )
+        assert "type-mismatch" in rules_of(findings)
+
+    def test_between_type_mismatch(self, db):
+        findings = check_sql(
+            "SELECT name FROM emp WHERE salary BETWEEN 1 AND 'nine'", db.catalog
+        )
+        assert "type-mismatch" in rules_of(findings)
+
+    def test_non_select_statements_pass(self, db):
+        assert check_sql("CREATE TABLE t (x INT)", db.catalog) == []
+
+
+class TestLintRules:
+    def test_mutable_default_list(self):
+        code = "def f(x, items=[]):\n    return items\n"
+        findings = lint_source(code)
+        assert rules_of(findings) == ["mutable-default"]
+
+    def test_mutable_default_dict_call(self):
+        code = "def f(cache=dict()):\n    return cache\n"
+        assert rules_of(lint_source(code)) == ["mutable-default"]
+
+    def test_none_default_ok(self):
+        code = "def f(items=None):\n    return items or []\n"
+        assert lint_source(code) == []
+
+    def test_bare_except(self):
+        code = "try:\n    x = 1\nexcept:\n    pass\n"
+        findings = lint_source(code)
+        assert rules_of(findings) == ["bare-except"]
+        assert findings[0].line == 3
+
+    def test_typed_except_ok(self):
+        code = "try:\n    x = 1\nexcept ValueError:\n    pass\n"
+        assert lint_source(code) == []
+
+    def test_future_annotations_required_when_annotating(self):
+        code = "def f(x: int) -> int:\n    return x\n"
+        assert rules_of(lint_source(code)) == ["future-annotations"]
+
+    def test_future_annotations_satisfied(self):
+        code = (
+            "from __future__ import annotations\n"
+            "def f(x: int) -> int:\n    return x\n"
+        )
+        assert lint_source(code) == []
+
+    def test_no_annotations_no_requirement(self):
+        assert lint_source("def f(x):\n    return x\n") == []
+
+    def test_init_module_exempt(self):
+        code = "def f(x: int) -> int:\n    return x\n"
+        assert lint_source(code, path="pkg/__init__.py") == []
+
+    def test_numpy_random_flagged(self):
+        code = "import numpy as np\nx = np.random.default_rng(0).normal()\n"
+        assert "numpy-random" in rules_of(lint_source(code))
+
+    def test_numpy_random_exempt_in_rng_module(self):
+        code = "import numpy as np\nx = np.random.default_rng(0)\n"
+        assert lint_source(code, path="src/repro/utils/rng.py") == []
+
+    def test_exec_eval_flagged(self):
+        code = "exec('x = 1')\n"
+        assert rules_of(lint_source(code)) == ["exec-eval"]
+        code = "y = eval('2')\n"
+        assert rules_of(lint_source(code)) == ["exec-eval"]
+
+    def test_exec_exempt_in_sandbox(self):
+        code = "exec('x = 1')\n"
+        assert lint_source(code, path="src/repro/codexdb/sandbox.py") == []
+
+    def test_method_named_eval_not_flagged(self):
+        code = "model.eval()\n"
+        assert lint_source(code) == []
+
+
+class TestNoqaSuppression:
+    def test_noqa_suppresses_named_rule(self):
+        code = "def f(items=[]):  # repro: noqa[mutable-default]\n    return items\n"
+        assert lint_source(code) == []
+
+    def test_noqa_wrong_rule_does_not_suppress(self):
+        code = "def f(items=[]):  # repro: noqa[bare-except]\n    return items\n"
+        assert rules_of(lint_source(code)) == ["mutable-default"]
+
+    def test_noqa_comma_list(self):
+        code = (
+            "def f(items=[], cache={}):  "
+            "# repro: noqa[mutable-default, bare-except]\n"
+            "    return items, cache\n"
+        )
+        assert lint_source(code) == []
+
+    def test_noqa_only_applies_to_its_line(self):
+        code = (
+            "x = 1  # repro: noqa[bare-except]\n"
+            "try:\n    x = 2\nexcept:\n    pass\n"
+        )
+        assert rules_of(lint_source(code)) == ["bare-except"]
+
+
+class TestLintGate:
+    """The repo linter is part of the tier-1 gate: src/ must stay clean."""
+
+    def test_src_tree_is_clean(self):
+        findings = lint_paths([REPO_ROOT / "src"])
+        assert findings == [], "\n" + render_findings(findings)
+
+    def test_tests_and_benchmarks_are_clean(self):
+        findings = lint_paths([REPO_ROOT / "tests", REPO_ROOT / "benchmarks"])
+        assert findings == [], "\n" + render_findings(findings)
+
+    def test_cli_exit_codes(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def f(x):\n    return x\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def f(items=[]):\n    return items\n")
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        ok = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.lint", str(clean)],
+            capture_output=True, text=True, env=env,
+        )
+        assert ok.returncode == 0
+        bad = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.lint", str(dirty)],
+            capture_output=True, text=True, env=env,
+        )
+        assert bad.returncode == 1
+        assert "mutable-default" in bad.stdout
+
+    def test_cli_rejects_missing_path(self):
+        from repro.analysis.lint import main
+
+        assert main(["/no/such/dir"]) == 2
+
+
+class TestFindingRendering:
+    def test_render_with_line(self):
+        f = Finding(rule="bare-except", message="msg", line=3, source="a.py")
+        assert f.render() == "a.py:line 3: [bare-except] msg"
+
+    def test_render_without_line(self):
+        f = Finding(rule="output-contract", message="msg")
+        assert f.render() == "[output-contract] msg"

@@ -1,5 +1,7 @@
 """Tests for the autograd engine, including finite-difference checks."""
 
+from __future__ import annotations
+
 import numpy as np
 import pytest
 

@@ -188,3 +188,111 @@ class TestRetryLoop:
         system = CodexDB(db, codex)
         system.run("SELECT COUNT(*) FROM emp")
         assert codex.samples_served == 1
+
+
+class TestStaticVetting:
+    """Generated programs are vetted by AST analysis before exec."""
+
+    def tables_of(self, db):
+        return {name: db.table(name) for name in db.table_names()}
+
+    def test_import_os_rejected_without_executing(self, db):
+        from repro.errors import StaticAnalysisError
+
+        tables = self.tables_of(db)
+        code = "import os\ntables.clear()\nresult = []\ncolumns = []"
+        with pytest.raises(StaticAnalysisError) as excinfo:
+            run_generated_code(code, tables)
+        # The offending line is named...
+        assert "line 1" in str(excinfo.value)
+        assert any(f.rule == "banned-import" for f in excinfo.value.findings)
+        # ...and nothing executed: the tables dict is untouched.
+        assert tables
+
+    def test_dunder_escape_rejected(self, db):
+        from repro.errors import StaticAnalysisError
+
+        tables = self.tables_of(db)
+        code = (
+            "result = ().__class__.__bases__[0].__subclasses__()\n"
+            "columns = []"
+        )
+        with pytest.raises(StaticAnalysisError) as excinfo:
+            run_generated_code(code, tables)
+        assert any(f.rule == "banned-attribute" for f in excinfo.value.findings)
+        assert all(f.line == 1 for f in excinfo.value.findings)
+
+    def test_globals_read_rejected(self, db):
+        from repro.errors import StaticAnalysisError
+
+        tables = self.tables_of(db)
+        with pytest.raises(StaticAnalysisError):
+            run_generated_code(
+                "f = min\nresult = f.__globals__\ncolumns = []", tables
+            )
+
+    def test_static_error_is_a_codexdb_error(self, db):
+        from repro.errors import StaticAnalysisError
+
+        # The retry loop catches CodexDBError; static rejections must
+        # stay inside that hierarchy.
+        assert issubclass(StaticAnalysisError, CodexDBError)
+
+    def test_guarded_importer_blocks_outside_allowlist(self):
+        from repro.codexdb.sandbox import _SAFE_BUILTINS
+
+        importer = _SAFE_BUILTINS["__import__"]
+        assert importer("math").sqrt(4) == 2.0
+        with pytest.raises(ImportError):
+            importer("os")
+        with pytest.raises(ImportError):
+            importer("collections.abc", level=1)
+
+    def test_generated_programs_pass_vetting(self, db):
+        from repro.codexdb import vet_generated_code
+
+        steps = plan_query("SELECT dept, COUNT(*) FROM emp GROUP BY dept")
+        code = generate_python(steps, CodeGenOptions(profile=True, logging=True))
+        vet_generated_code(code)  # must not raise
+
+    def test_invalid_query_rejected_before_synthesis(self, db):
+        from repro.errors import StaticAnalysisError
+
+        codex = SimulatedCodex(error_rate=0.0)
+        system = CodexDB(db, codex)
+        with pytest.raises(StaticAnalysisError):
+            system.run("SELECT bogus_col FROM emp")
+        assert codex.samples_served == 0
+
+    def test_unsafe_candidates_rejected_then_repaired(self, db):
+        codex = SimulatedCodex(error_rate=0.0, seed=0, unsafe_rate=0.95)
+        system = CodexDB(db, codex)
+        result = system.run("SELECT name FROM emp WHERE salary > 85", max_attempts=4)
+        # Feedback regeneration repairs after the first static rejection.
+        assert result.succeeded
+        assert result.static_rejections >= 1
+        assert result.attempts == result.static_rejections + 1
+
+    def test_invalid_unsafe_rate(self):
+        with pytest.raises(CodexDBError):
+            SimulatedCodex(unsafe_rate=1.0)
+
+    def test_report_breaks_down_failures(self, db):
+        report = evaluate_codexdb(
+            db,
+            ["SELECT name FROM emp WHERE salary > 85"] * 6,
+            max_attempts=3, error_rate=0.0, unsafe_rate=0.6, seed=1,
+        )
+        assert report.success_rate == 1.0
+        assert report.rejected_static >= 1
+        assert report.failed_runtime == 0
+
+    def test_report_counts_rejected_queries(self, db):
+        report = evaluate_codexdb(
+            db,
+            ["SELECT COUNT(*) FROM emp", "SELECT bogus FROM emp"],
+            max_attempts=1, error_rate=0.0,
+        )
+        assert report.total == 2
+        assert report.rejected_queries == 1
+        assert report.succeeded == 1

@@ -235,3 +235,54 @@ class TestLMTranslator:
             workload, test,
         )
         assert constrained.accuracy > 0.2  # far above the ~0 random baseline
+
+
+class TestStaticValidity:
+    """The static_valid metric: schema-level vetting without execution."""
+
+    def test_statically_valid_query(self, workload):
+        from repro.text2sql import is_statically_valid
+
+        t = workload.entity_table
+        assert is_statically_valid(workload.db, f"select count ( * ) from {t}")
+
+    def test_unknown_column_caught_without_execution(self, workload):
+        from repro.text2sql import is_statically_valid
+
+        t = workload.entity_table
+        assert not is_statically_valid(
+            workload.db, f"select no_such_column from {t}"
+        )
+
+    def test_unknown_table_caught(self, workload):
+        from repro.text2sql import is_statically_valid
+
+        assert not is_statically_valid(workload.db, "select 1 from no_such_table")
+
+    def test_report_includes_static_valid(self, workload):
+        translator = RuleBasedTranslator(workload)
+        report = evaluate_translator(translator.translate, workload, workload.examples)
+        assert report.static_valid == report.total
+        assert report.static_valid_rate == 1.0
+
+    def test_static_valid_counts_only_clean_predictions(self, workload):
+        report = evaluate_translator(
+            lambda q: "select no_such_column from " + workload.entity_table,
+            workload, workload.examples[:4],
+        )
+        assert report.static_valid == 0
+        assert report.static_valid_rate == 0.0
+
+    def test_empty_prediction_not_statically_valid(self, workload):
+        report = evaluate_translator(lambda q: "", workload, workload.examples[:4])
+        assert report.static_valid == 0
+
+    def test_translate_vet_filters_invalid_sql(self, trained_translator, workload):
+        _, test = workload.split(test_fraction=0.2, seed=1)
+        from repro.text2sql.evaluate import is_statically_valid
+
+        for example in test:
+            predicted = trained_translator.translate(
+                example.question, constrained=False, vet=True
+            )
+            assert predicted == "" or is_statically_valid(workload.db, predicted)
