@@ -18,7 +18,11 @@ the offending line):
   benchmarks may build fixture arrays directly and are exempt);
 * ``exec-eval``            — ``exec()``/``eval()`` calls outside the
   CodexDB sandbox module (the one audited place allowed to run
-  generated code).
+  generated code);
+* ``wall-clock``           — direct ``time.sleep``/``time.monotonic``
+  calls outside ``reliability/clock.py`` (all waiting and timeout logic
+  must flow through a :class:`~repro.reliability.clock.Clock` so it is
+  testable on a virtual clock).
 """
 
 from __future__ import annotations
@@ -37,12 +41,14 @@ RULE_NAMES = (
     "future-annotations",
     "numpy-random",
     "exec-eval",
+    "wall-clock",
 )
 
 #: files allowed to break one specific rule, by path suffix
 _RULE_EXEMPT_SUFFIXES = {
     "numpy-random": ("utils/rng.py",),
     "exec-eval": ("codexdb/sandbox.py",),
+    "wall-clock": ("reliability/clock.py",),
 }
 
 #: directories (path components) exempt from one specific rule
@@ -76,6 +82,8 @@ def lint_source(code: str, path: str = "<string>") -> List[Finding]:
         findings += _check_numpy_random(tree, path)
     if not _exempt(path, "exec-eval"):
         findings += _check_exec_eval(tree, path)
+    if not _exempt(path, "wall-clock"):
+        findings += _check_wall_clock(tree, path)
     suppressed = _suppressions(code)
     return sorted(
         (
@@ -261,6 +269,42 @@ def _check_exec_eval(tree: ast.Module, path: str) -> List[Finding]:
         and isinstance(node.func, ast.Name)
         and node.func.id in ("exec", "eval")
     ]
+
+
+_WALL_CLOCK_NAMES = ("sleep", "monotonic")
+
+
+def _check_wall_clock(tree: ast.Module, path: str) -> List[Finding]:
+    imported = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in _WALL_CLOCK_NAMES:
+                    imported.add(alias.asname or alias.name)
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        direct = (
+            isinstance(func, ast.Attribute)
+            and func.attr in _WALL_CLOCK_NAMES
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        )
+        via_import = isinstance(func, ast.Name) and func.id in imported
+        if direct or via_import:
+            findings.append(
+                Finding(
+                    rule="wall-clock",
+                    message="direct wall-clock call; route sleeps and "
+                    "timeouts through repro.reliability.clock so they run "
+                    "on a virtual clock in tests",
+                    line=node.lineno,
+                    source=path,
+                )
+            )
+    return findings
 
 
 # -- CLI -------------------------------------------------------------------

@@ -19,7 +19,13 @@ from repro.api.pipelines import (
     TextGenerationPipeline,
     pipeline,
 )
-from repro.api.client import CompletionChoice, CompletionClient, CompletionResponse, Usage
+from repro.api.client import (
+    CompletionChoice,
+    CompletionClient,
+    CompletionResponse,
+    EngineStats,
+    Usage,
+)
 
 __all__ = [
     "ModelHub",
@@ -33,5 +39,6 @@ __all__ = [
     "CompletionClient",
     "CompletionResponse",
     "CompletionChoice",
+    "EngineStats",
     "Usage",
 ]

@@ -9,7 +9,7 @@ shape of ``openai.Completion.create``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ModelError
 from repro.generation import GenerationConfig, generate
@@ -24,6 +24,24 @@ class Usage:
 
     prompt_tokens: int
     completion_tokens: int
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+
+@dataclass
+class EngineStats:
+    """Cumulative serving counters for one engine.
+
+    The single counter surface for reliability metrics and batching:
+    everything a client served is attributed to the engine that did the
+    work.
+    """
+
+    requests: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
 
     @property
     def total_tokens(self) -> int:
@@ -58,7 +76,7 @@ class CompletionClient:
 
     def __init__(self, hub: ModelHub) -> None:
         self.hub = hub
-        self._requests_served = 0
+        self._stats: Dict[str, EngineStats] = {}
 
     def complete(
         self,
@@ -99,18 +117,30 @@ class CompletionClient:
                 seed=seed + index,
             )
             out_ids = generate(model, prompt_ids, config, constraint)
-            completion_tokens += len(out_ids)
             text = tokenizer.decode(out_ids)
-            finish_reason = "length" if len(out_ids) >= max_tokens else "stop"
+            truncated = False
             for stop_string in stop:
                 cut = text.find(stop_string)
                 if cut >= 0:
                     text = text[:cut]
-                    finish_reason = "stop"
+                    truncated = True
+            text = text.strip()
+            if truncated:
+                # Usage must bill the *returned* text, not the tokens
+                # generated past the stop string.
+                choice_tokens = len(tokenizer.encode(text).ids) if text else 0
+                finish_reason = "stop"
+            else:
+                choice_tokens = len(out_ids)
+                finish_reason = "length" if len(out_ids) >= max_tokens else "stop"
+            completion_tokens += choice_tokens
             choices.append(
-                CompletionChoice(text=text.strip(), index=index, finish_reason=finish_reason)
+                CompletionChoice(text=text, index=index, finish_reason=finish_reason)
             )
-        self._requests_served += 1
+        stats = self.engine_stats(engine)
+        stats.requests += 1
+        stats.prompt_tokens += len(prompt_ids)
+        stats.completion_tokens += completion_tokens
         return CompletionResponse(
             engine=engine,
             choices=choices,
@@ -119,6 +149,18 @@ class CompletionClient:
             ),
         )
 
+    def engine_stats(self, engine: str) -> EngineStats:
+        """Cumulative counters for one engine (created on first use)."""
+        if engine not in self._stats:
+            self._stats[engine] = EngineStats()
+        return self._stats[engine]
+
+    @property
+    def stats(self) -> Dict[str, EngineStats]:
+        """Per-engine serving counters."""
+        return self._stats
+
     @property
     def requests_served(self) -> int:
-        return self._requests_served
+        """Total requests across all engines (legacy counter)."""
+        return sum(s.requests for s in self._stats.values())

@@ -17,7 +17,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.findings import Finding, render_findings
 from repro.analysis.sqlcheck import check_sql
-from repro.errors import CodexDBError, StaticAnalysisError
+from repro.errors import (
+    CodexDBError,
+    DeadlineExceededError,
+    StaticAnalysisError,
+    TransientError,
+)
+from repro.reliability.retry import Retrier
 from repro.sql import Database, Table
 from repro.sql.ast import BinaryOp, ColumnRef, Literal, SelectItem
 from repro.codexdb.codegen import CodeGenOptions, generate_python
@@ -33,6 +39,8 @@ class SynthesisResult:
     ``static_rejections`` and ``runtime_failures`` break down the failed
     attempts: candidates the analyzer refused to execute versus
     candidates that crashed (or misbehaved) while running.
+    ``transient_failures`` counts attempts lost to the serving channel
+    itself — requests that still failed after the retrier gave up.
     """
 
     code: str
@@ -41,6 +49,7 @@ class SynthesisResult:
     succeeded: bool
     static_rejections: int = 0
     runtime_failures: int = 0
+    transient_failures: int = 0
 
 
 class SimulatedCodex:
@@ -140,10 +149,14 @@ class CodexDB:
         db: Database,
         codex: SimulatedCodex,
         options: CodeGenOptions = CodeGenOptions(),
+        retrier: Optional[Retrier] = None,
     ) -> None:
         self.db = db
         self.codex = codex
         self.options = options
+        #: when set, every sample_program call runs under retry/backoff
+        #: (the resilient path for a fault-injected Codex channel)
+        self.retrier = retrier
 
     def run(self, sql: str, max_attempts: int = 4) -> SynthesisResult:
         """Request programs until one validates (or attempts run out).
@@ -151,6 +164,10 @@ class CodexDB:
         Candidates that static analysis rejects never execute; their
         findings are fed back into the next :meth:`sample_program` call
         so the simulated model can regenerate a repaired candidate.
+        With a retrier configured, transient serving failures (rate
+        limits, server errors, timeouts) are retried with backoff; an
+        attempt whose retries run out is recorded as a transient
+        failure, not an unhandled exception.
         """
         query_findings = check_sql(sql, self.db.catalog)
         if query_findings:
@@ -164,9 +181,15 @@ class CodexDB:
         last_code = ""
         static_rejections = 0
         runtime_failures = 0
+        transient_failures = 0
         feedback: Optional[Sequence[Finding]] = None
         for attempt in range(1, max_attempts + 1):
-            code = self.codex.sample_program(sql, self.options, feedback=feedback)
+            try:
+                code = self._sample(sql, feedback)
+            except (TransientError, DeadlineExceededError):
+                transient_failures += 1
+                feedback = None
+                continue
             last_code = code
             feedback = None
             try:
@@ -190,6 +213,7 @@ class CodexDB:
                     succeeded=True,
                     static_rejections=static_rejections,
                     runtime_failures=runtime_failures,
+                    transient_failures=transient_failures,
                 )
             runtime_failures += 1
         return SynthesisResult(
@@ -199,7 +223,17 @@ class CodexDB:
             succeeded=False,
             static_rejections=static_rejections,
             runtime_failures=runtime_failures,
+            transient_failures=transient_failures,
         )
+
+    def _sample(self, sql: str, feedback: Optional[Sequence[Finding]]) -> str:
+        """One Codex request, retried with backoff when configured."""
+        def request() -> str:
+            return self.codex.sample_program(sql, self.options, feedback=feedback)
+
+        if self.retrier is None:
+            return request()
+        return self.retrier.call(request)
 
     def _reference_rows(self, sql: str) -> List[Tuple]:
         return self.db.execute(sql).rows

@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import StaticAnalysisError
+from repro.reliability.clock import Clock, VirtualClock
+from repro.reliability.faults import FaultInjector, FaultProfile, FaultyCodex
+from repro.reliability.retry import Retrier, RetryPolicy
 from repro.sql import Database
 from repro.codexdb.codegen import CodeGenOptions
 from repro.codexdb.codex import CodexDB, SimulatedCodex
@@ -19,7 +22,10 @@ class CodexDBReport:
     analyzer rejected before execution (``rejected_static``) and
     programs that executed but crashed or returned wrong rows
     (``failed_runtime``) — the two call for different fixes: tighter
-    generation versus better validation.
+    generation versus better validation. Under fault injection,
+    ``reliability`` carries what the serving channel did to us and what
+    the retry layer did about it (injected fault counts, retries,
+    backoff time, attempts lost after retries ran out).
     """
 
     total: int = 0
@@ -28,6 +34,8 @@ class CodexDBReport:
     rejected_static: int = 0
     failed_runtime: int = 0
     rejected_queries: int = 0
+    failed_transient: int = 0
+    reliability: Optional[Dict[str, float]] = None
 
     @property
     def success_rate(self) -> float:
@@ -50,15 +58,32 @@ def evaluate_codexdb(
     options: CodeGenOptions = CodeGenOptions(),
     seed: int = 0,
     unsafe_rate: float = 0.0,
+    fault_profile: Optional[FaultProfile] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    clock: Optional[Clock] = None,
 ) -> CodexDBReport:
     """Run CodexDB over ``queries``; report success rate and retries.
 
     Queries that the SQL vetting pass rejects outright (unknown table or
     column, type mismatch) are counted in ``rejected_queries`` and never
-    reach synthesis.
+    reach synthesis. With a ``fault_profile``, the Codex channel is
+    wrapped in a seeded :class:`FaultInjector` and every request runs
+    under retry/backoff on a deterministic virtual clock (pass ``clock``
+    to override); the report then carries a ``reliability`` section.
     """
     codex = SimulatedCodex(error_rate=error_rate, seed=seed, unsafe_rate=unsafe_rate)
-    system = CodexDB(db, codex, options)
+    retrier = None
+    injector = None
+    if fault_profile is not None:
+        clock = clock if clock is not None else VirtualClock()
+        injector = FaultInjector(fault_profile, seed=seed, clock=clock)
+        codex = FaultyCodex(codex, injector)
+        retrier = Retrier(
+            retry_policy if retry_policy is not None else RetryPolicy(),
+            clock=clock,
+            seed=seed,
+        )
+    system = CodexDB(db, codex, options, retrier=retrier)
     report = CodexDBReport()
     for sql in queries:
         report.total += 1
@@ -71,4 +96,13 @@ def evaluate_codexdb(
         report.attempts_used.append(result.attempts)
         report.rejected_static += result.static_rejections
         report.failed_runtime += result.runtime_failures
+        report.failed_transient += result.transient_failures
+    if retrier is not None and injector is not None:
+        report.reliability = {
+            "retries": retrier.retries,
+            "rate_limited": retrier.rate_limited,
+            "backoff_seconds": retrier.backoff_seconds,
+            "failed_transient": report.failed_transient,
+            **{f"injected_{kind}": n for kind, n in injector.counts.items()},
+        }
     return report

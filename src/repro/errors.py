@@ -95,3 +95,40 @@ class StaticAnalysisError(CodexDBError):
 
 class NeuralDBError(ReproError):
     """Raised for invalid NeuralDB operations."""
+
+
+class TransientError(ReproError):
+    """A retryable serving failure (the 5xx of the simulated API).
+
+    The resilience layer (:mod:`repro.reliability`) treats any
+    ``TransientError`` as retry-with-backoff material; every other
+    :class:`ReproError` is permanent and propagates immediately.
+    """
+
+
+class RateLimitError(TransientError):
+    """The serving path refused a request for quota reasons (a 429).
+
+    ``retry_after`` carries the server-advertised wait in seconds;
+    retry loops must not come back sooner.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class RequestTimeoutError(TransientError):
+    """A single request attempt timed out in flight (retryable)."""
+
+
+class DeadlineExceededError(ReproError):
+    """The caller's total time budget for a request ran out.
+
+    Unlike :class:`RequestTimeoutError` (one attempt, retryable), this
+    is terminal for the request: retrying would overspend the budget.
+    """
+
+
+class CircuitOpenError(ReproError):
+    """A circuit breaker is open and the request was never attempted."""

@@ -1,0 +1,57 @@
+"""Reliability for the model-serving path (Section 2.4, hardened).
+
+The remote-API channel practitioners actually use rate-limits, times
+out, and returns garbage under load. This package makes the simulated
+channel fail the same way — deterministically — and makes the client
+side survive it:
+
+* :mod:`~repro.reliability.clock` — ``SystemClock`` / ``VirtualClock``;
+  all sleeps and timeouts are simulated-time-testable.
+* :mod:`~repro.reliability.faults` — seeded ``FaultInjector`` plus
+  faulty wrappers for the completion client and the simulated Codex.
+* :mod:`~repro.reliability.retry` — ``RetryPolicy`` + ``Retrier``
+  (exponential backoff, decorrelated jitter, deadline budgets).
+* :mod:`~repro.reliability.breaker` — per-engine ``CircuitBreaker``.
+* :mod:`~repro.reliability.ratelimit` — ``TokenBucket`` self-throttle.
+* :mod:`~repro.reliability.client` — ``ResilientClient`` tying it all
+  together with fallback engine chains and graceful degradation.
+"""
+
+from repro.reliability.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.reliability.client import (
+    DEGRADED_ENGINE,
+    ReliabilityMetrics,
+    ResilientClient,
+)
+from repro.reliability.clock import Clock, SystemClock, VirtualClock
+from repro.reliability.faults import (
+    FAULT_FREE,
+    FaultInjector,
+    FaultProfile,
+    FaultyCodex,
+    FaultyCompletionClient,
+)
+from repro.reliability.ratelimit import TokenBucket
+from repro.reliability.retry import Retrier, RetryPolicy, decorrelated_jitter
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "CircuitBreaker",
+    "DEGRADED_ENGINE",
+    "ReliabilityMetrics",
+    "ResilientClient",
+    "Clock",
+    "SystemClock",
+    "VirtualClock",
+    "FAULT_FREE",
+    "FaultInjector",
+    "FaultProfile",
+    "FaultyCodex",
+    "FaultyCompletionClient",
+    "TokenBucket",
+    "Retrier",
+    "RetryPolicy",
+    "decorrelated_jitter",
+]

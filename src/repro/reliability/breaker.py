@@ -1,0 +1,80 @@
+"""A per-engine circuit breaker (closed / open / half-open).
+
+After ``failure_threshold`` consecutive failures the breaker opens and
+fails fast for ``reset_timeout`` clock seconds; it then lets a single
+probe through (half-open). A successful probe closes the circuit, a
+failed one reopens it for another full timeout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.reliability.clock import Clock, SystemClock
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a clock-driven reset timeout."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ReproError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ReproError("reset_timeout must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.clock: Clock = clock if clock is not None else SystemClock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        #: times the breaker transitioned closed/half-open -> open
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, accounting for reset-timeout expiry."""
+        if self._state == OPEN and self._timeout_elapsed():
+            self._state = HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request be attempted right now?
+
+        Open circuits refuse; a half-open circuit admits the probe.
+        """
+        return self.state != OPEN
+
+    def record_success(self) -> None:
+        """A request succeeded: close the circuit and clear the count."""
+        self._state = CLOSED
+        self._consecutive_failures = 0
+
+    def record_failure(self) -> bool:
+        """A request failed; returns True when this failure trips open."""
+        if self.state == HALF_OPEN:
+            self._trip()
+            return True
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._trip()
+            return True
+        return False
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self.clock.monotonic()
+        self._consecutive_failures = 0
+        self.trips += 1
+
+    def _timeout_elapsed(self) -> bool:
+        return self.clock.monotonic() - self._opened_at >= self.reset_timeout

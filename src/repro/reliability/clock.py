@@ -1,0 +1,76 @@
+"""Clocks: the single place this library is allowed to touch wall time.
+
+Every sleep, timeout, and backoff in the resilience layer is expressed
+against a :class:`Clock` so that the *same* code path runs in two modes:
+
+* :class:`SystemClock` — real ``time.monotonic``/``time.sleep`` for
+  production-style use;
+* :class:`VirtualClock` — a deterministic simulated clock for tests and
+  benchmarks, where ``sleep`` advances simulated time instantly.
+
+The repo linter (rule ``wall-clock``) forbids direct ``time.sleep`` /
+``time.monotonic`` calls anywhere else in the tree, so all timing
+behaviour stays testable without wall-clock waits.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Protocol
+
+from repro.errors import ReproError
+
+
+class Clock(Protocol):
+    """The two operations the resilience layer needs from time."""
+
+    def monotonic(self) -> float:
+        """Seconds on a monotonically increasing clock."""
+        ...
+
+    def sleep(self, seconds: float) -> None:
+        """Block (or simulate blocking) for ``seconds``."""
+        ...
+
+
+class SystemClock:
+    """Real time. The only sanctioned caller of the ``time`` module."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ReproError(f"cannot sleep a negative duration: {seconds}")
+        time.sleep(seconds)
+
+
+class VirtualClock:
+    """A simulated clock: ``sleep`` advances time without waiting.
+
+    Keeps a log of every sleep so tests can assert the exact backoff
+    schedule a retry loop produced.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        #: total simulated seconds spent sleeping
+        self.slept = 0.0
+        #: individual sleep durations, in call order
+        self.sleep_log: List[float] = []
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ReproError(f"cannot sleep a negative duration: {seconds}")
+        self._now += seconds
+        self.slept += seconds
+        self.sleep_log.append(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep (external delay)."""
+        if seconds < 0:
+            raise ReproError(f"cannot advance a negative duration: {seconds}")
+        self._now += seconds

@@ -1,0 +1,84 @@
+"""A token-bucket rate limiter driven by a :class:`Clock`.
+
+The bucket refills continuously at ``rate`` tokens per second up to
+``capacity`` (the allowed burst). ``acquire`` blocks — via the clock, so
+deterministically under a :class:`~repro.reliability.clock.VirtualClock`
+— until a token is available, which smooths a client's request rate to
+stay under the serving path's quota instead of bouncing off 429s.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.reliability.clock import Clock, SystemClock
+
+
+class TokenBucket:
+    """Continuous-refill token bucket."""
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: Optional[float] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if rate <= 0:
+            raise ReproError("rate must be positive (tokens per second)")
+        self.rate = float(rate)
+        self.capacity = float(capacity) if capacity is not None else max(1.0, rate)
+        if self.capacity < 1:
+            raise ReproError("capacity must allow at least one token")
+        self.clock: Clock = clock if clock is not None else SystemClock()
+        self._tokens = self.capacity
+        self._last_refill = self.clock.monotonic()
+        #: total seconds spent waiting for tokens
+        self.waited = 0.0
+
+    def _refill(self) -> None:
+        now = self.clock.monotonic()
+        self._tokens = min(
+            self.capacity, self._tokens + (now - self._last_refill) * self.rate
+        )
+        self._last_refill = now
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now."""
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available without waiting."""
+        self._check(tokens)
+        self._refill()
+        if self._tokens < tokens:
+            return False
+        self._tokens -= tokens
+        return True
+
+    def acquire(self, tokens: float = 1.0) -> float:
+        """Take ``tokens``, sleeping until the bucket refills enough.
+
+        Returns the seconds waited (0.0 when the bucket had capacity).
+        """
+        self._check(tokens)
+        self._refill()
+        wait = 0.0
+        if self._tokens < tokens:
+            wait = (tokens - self._tokens) / self.rate
+            self.clock.sleep(wait)
+            self._refill()
+        self._tokens -= tokens
+        self.waited += wait
+        return wait
+
+    def _check(self, tokens: float) -> None:
+        if tokens <= 0:
+            raise ReproError("must acquire a positive number of tokens")
+        if tokens > self.capacity:
+            raise ReproError(
+                f"cannot acquire {tokens} tokens from a bucket of "
+                f"capacity {self.capacity}"
+            )

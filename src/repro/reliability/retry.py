@@ -1,0 +1,119 @@
+"""Retry with exponential backoff and decorrelated jitter.
+
+The policy follows the AWS "decorrelated jitter" recipe: each delay is
+drawn uniformly from ``[base_delay, 3 * previous_delay]`` and capped at
+``max_delay``, which spreads concurrent retriers apart instead of
+synchronizing them into retry storms. Randomness flows through
+:class:`~repro.utils.rng.SeededRNG`, so a seeded retrier produces the
+exact same backoff schedule on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+from repro.errors import DeadlineExceededError, RateLimitError, ReproError, TransientError
+from repro.reliability.clock import Clock, SystemClock
+from repro.utils.rng import SeededRNG
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a request may be retried and how long it may take in total.
+
+    ``deadline`` is a per-request *budget* in clock seconds spanning all
+    attempts and backoff sleeps (None = unbounded). A retry loop raises
+    :class:`~repro.errors.DeadlineExceededError` rather than start a
+    sleep that would overspend the budget.
+    """
+
+    max_retries: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 5.0
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ReproError("max_retries must be >= 0")
+        if self.base_delay <= 0 or self.max_delay < self.base_delay:
+            raise ReproError("need 0 < base_delay <= max_delay")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ReproError("deadline must be positive when set")
+
+
+def decorrelated_jitter(
+    policy: RetryPolicy, previous_delay: float, rng: SeededRNG
+) -> float:
+    """Draw the next backoff delay from the decorrelated-jitter scheme."""
+    high = max(previous_delay * 3.0, policy.base_delay)
+    return min(policy.max_delay, rng.uniform(policy.base_delay, high))
+
+
+class Retrier:
+    """Run callables under a :class:`RetryPolicy`, counting what happened.
+
+    Only :class:`~repro.errors.TransientError` (and subclasses) are
+    retried; every other exception propagates untouched. A
+    :class:`~repro.errors.RateLimitError` never retries sooner than its
+    advertised ``retry_after``.
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy = RetryPolicy(),
+        clock: Optional[Clock] = None,
+        seed: int = 0,
+    ) -> None:
+        self.policy = policy
+        self.clock: Clock = clock if clock is not None else SystemClock()
+        self._rng = SeededRNG(seed).spawn("retry")
+        #: retries performed (attempts beyond the first, across all calls)
+        self.retries = 0
+        #: rate-limit responses observed
+        self.rate_limited = 0
+        #: simulated/real seconds spent backing off
+        self.backoff_seconds = 0.0
+
+    def call(self, fn: Callable[[], T], start: Optional[float] = None) -> T:
+        """Invoke ``fn`` until it succeeds, retries run out, or the
+        deadline would be overspent.
+
+        ``start`` anchors the deadline budget; callers sharing one
+        budget across several ``call``s (e.g. a fallback chain) pass the
+        same anchor each time.
+        """
+        anchor = self.clock.monotonic() if start is None else start
+        delay = self.policy.base_delay
+        failures = 0
+        while True:
+            self._check_deadline(anchor, 0.0, None)
+            try:
+                return fn()
+            except TransientError as exc:
+                if isinstance(exc, RateLimitError):
+                    self.rate_limited += 1
+                failures += 1
+                if failures > self.policy.max_retries:
+                    raise
+                delay = decorrelated_jitter(self.policy, delay, self._rng)
+                if isinstance(exc, RateLimitError):
+                    delay = max(delay, exc.retry_after)
+                self._check_deadline(anchor, delay, exc)
+                self.retries += 1
+                self.backoff_seconds += delay
+                self.clock.sleep(delay)
+
+    def _check_deadline(
+        self, anchor: float, upcoming: float, cause: Optional[Exception]
+    ) -> None:
+        if self.policy.deadline is None:
+            return
+        projected = self.clock.monotonic() - anchor + upcoming
+        if projected > self.policy.deadline:
+            raise DeadlineExceededError(
+                f"request budget of {self.policy.deadline:.3f}s exhausted "
+                f"(would reach {projected:.3f}s)"
+            ) from cause

@@ -20,7 +20,12 @@ from repro.text2sql.workload import (
 )
 from repro.text2sql.baseline import RuleBasedTranslator
 from repro.text2sql.constraint import SQLGrammarConstraint, allowed_continuations
-from repro.text2sql.translator import LMTranslator, train_translator
+from repro.text2sql.translator import (
+    ClientTranslator,
+    LMTranslator,
+    register_translator,
+    train_translator,
+)
 from repro.text2sql.evaluate import (
     EvaluationReport,
     evaluate_translator,
@@ -34,6 +39,8 @@ __all__ = [
     "generate_workload",
     "RuleBasedTranslator",
     "LMTranslator",
+    "ClientTranslator",
+    "register_translator",
     "train_translator",
     "SQLGrammarConstraint",
     "allowed_continuations",

@@ -29,6 +29,11 @@ class EvaluationReport:
     reported alongside ``valid_sql`` (the execution-based validity
     check) so the gap between the two shows queries that are
     schema-consistent yet still crash, and vice versa.
+
+    When the translator was served through the resilient API channel,
+    ``reliability`` carries the serving-side counters (retries,
+    fallbacks, breaker trips, degraded answers) next to accuracy — both
+    halves of the question "did it answer, and was it right?".
     """
 
     total: int = 0
@@ -36,6 +41,7 @@ class EvaluationReport:
     valid_sql: int = 0
     static_valid: int = 0
     by_hardness: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    reliability: Optional[Dict[str, float]] = None
 
     @property
     def accuracy(self) -> float:
@@ -99,8 +105,14 @@ def evaluate_translator(
     translate: Translator,
     workload: Text2SQLWorkload,
     examples: Sequence[Text2SQLExample],
+    reliability_source: Optional[object] = None,
 ) -> EvaluationReport:
-    """Score a translator by execution accuracy on ``examples``."""
+    """Score a translator by execution accuracy on ``examples``.
+
+    ``reliability_source`` is anything exposing a ``metrics`` attribute
+    with ``as_dict()`` (a :class:`~repro.reliability.ResilientClient`);
+    its snapshot is attached to the report as ``reliability``.
+    """
     report = EvaluationReport()
     counts: Dict[str, List[int]] = {}
     for example in examples:
@@ -116,4 +128,6 @@ def evaluate_translator(
         bucket[0] += int(ok)
         bucket[1] += 1
     report.by_hardness = {k: (v[0], v[1]) for k, v in counts.items()}
+    if reliability_source is not None:
+        report.reliability = dict(reliability_source.metrics.as_dict())
     return report

@@ -7,18 +7,31 @@ Each training example is linearized as::
 At inference the model is prompted with ``q : <question> ; sql :`` and
 decoded greedily — optionally under the PICARD-style
 :class:`~repro.text2sql.constraint.SQLGrammarConstraint`.
+
+Two serving shapes are provided: :class:`LMTranslator` calls the model
+in process, and :class:`ClientTranslator` routes the same prompt
+through the remote-API channel (a
+:class:`~repro.api.client.CompletionClient`-shaped object — typically a
+:class:`~repro.reliability.client.ResilientClient` — so translation
+survives rate limits and transient serving errors, degrading to a
+non-LLM fallback translator when the channel is down).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.sqlcheck import check_sql
 from repro.autograd import cross_entropy
-from repro.errors import Text2SQLError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    Text2SQLError,
+    TransientError,
+)
 from repro.generation import GenerationConfig, generate
 from repro.models import GPTModel, ModelConfig
 from repro.tokenizers import Tokenizer, WhitespaceTokenizer
@@ -93,6 +106,65 @@ class LMTranslator:
             if findings:
                 return ""  # statically invalid: treat as failure
         return decoded
+
+
+def register_translator(hub, name: str, translator: LMTranslator) -> str:
+    """Expose a fine-tuned translator as a named engine in a model hub.
+
+    Returns the engine name, for symmetry with
+    ``ClientTranslator(client, engine=...)``.
+    """
+    hub.register(name, translator.model, translator.tokenizer)
+    return name
+
+
+@dataclass
+class ClientTranslator:
+    """Text-to-SQL served over the (possibly unreliable) API channel.
+
+    ``client`` is anything with the ``CompletionClient.complete``
+    interface; pass a :class:`~repro.reliability.ResilientClient` to get
+    retry/backoff, circuit breaking, and engine fallback for free. When
+    the channel still fails terminally — deadline spent, circuit open,
+    retries exhausted — translation degrades to ``fallback`` (e.g. the
+    rule-based baseline) instead of raising, and ``degraded`` counts how
+    often that happened.
+    """
+
+    client: object
+    engine: str
+    workload: Text2SQLWorkload
+    max_new_tokens: int = 40
+    vet: bool = False
+    fallback: Optional[Callable[[str], str]] = None
+
+    def __post_init__(self) -> None:
+        self.degraded = 0
+
+    def translate(self, question: str) -> str:
+        """Translate one question, never raising a serving error."""
+        try:
+            response = self.client.complete(
+                self.engine, build_prompt(question), max_tokens=self.max_new_tokens
+            )
+        except (TransientError, DeadlineExceededError, CircuitOpenError):
+            return self._degrade(question)
+        decoded = response.text
+        if response.choices[0].finish_reason in ("garbled", "degraded"):
+            # A corrupted or baseline-produced completion is not trusted
+            # as SQL; fall back rather than execute garbage.
+            return self._degrade(question)
+        if self.vet and decoded:
+            findings = check_sql(
+                sql_to_engine_dialect(decoded), self.workload.db.catalog
+            )
+            if findings:
+                return ""  # statically invalid: treat as failure
+        return decoded
+
+    def _degrade(self, question: str) -> str:
+        self.degraded += 1
+        return self.fallback(question) if self.fallback is not None else ""
 
 
 def train_translator(

@@ -31,6 +31,7 @@ from repro.wrangle.errors_task import (
     evaluate_detector,
 )
 from repro.wrangle.imputation import (
+    ClientImputer,
     MajorityImputer,
     FinetunedImputer,
     evaluate_imputer,
@@ -60,6 +61,7 @@ __all__ = [
     "RuleErrorDetector",
     "FinetunedErrorDetector",
     "evaluate_detector",
+    "ClientImputer",
     "MajorityImputer",
     "FinetunedImputer",
     "evaluate_imputer",

@@ -7,7 +7,13 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import WrangleError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    TransientError,
+    WrangleError,
+)
+from repro.utils.rng import SeededRNG
 from repro.models import BERTModel, ModelConfig, SequenceClassifier
 from repro.tokenizers import Tokenizer, WhitespaceTokenizer
 from repro.training import LabeledExample, finetune_classifier
@@ -91,6 +97,86 @@ class FinetunedImputer:
             np.array([encoding.ids]), np.array([encoding.attention_mask])
         )
         return self.classes[int(prediction[0])]
+
+    @staticmethod
+    def _text(example: ImputationExample) -> str:
+        visible = {
+            k: v for k, v in example.record.items()
+            if k not in ("id", example.target_column)
+        }
+        return serialize_record(visible)
+
+
+class ClientImputer:
+    """Few-shot imputation over the (possibly unreliable) API channel.
+
+    Builds a k-shot prompt of worked records and asks a completion
+    engine for the hidden value — the zero-training recipe of Narayan et
+    al. applied through the remote channel. ``client`` is anything with
+    the ``CompletionClient.complete`` interface; with a
+    :class:`~repro.reliability.ResilientClient` the task survives rate
+    limits and transient errors. Terminal serving failures *and*
+    completions that name no known class degrade to the majority
+    baseline (never an exception); ``degraded`` and ``fallbacks`` count
+    the two cases separately.
+    """
+
+    def __init__(
+        self, client, engine: str, shots: int = 4, seed: int = 0
+    ) -> None:
+        self.client = client
+        self.engine = engine
+        self.shots = shots
+        self.seed = seed
+        self.classes: List[str] = []
+        self._shot_examples: List[ImputationExample] = []
+        self._fallback: Optional[MajorityImputer] = None
+        #: predictions answered by the majority baseline after a
+        #: terminal serving failure
+        self.degraded = 0
+        #: predictions answered by the majority baseline because the
+        #: completion named no known class
+        self.fallbacks = 0
+
+    def fit(self, examples: Sequence[ImputationExample]) -> "ClientImputer":
+        if not examples:
+            raise WrangleError("cannot fit on zero examples")
+        self._fallback = MajorityImputer().fit(examples)
+        self.classes = sorted({e.target_value for e in examples})
+        rng = SeededRNG(self.seed).spawn("shots")
+        self._shot_examples = rng.sample(
+            list(examples), min(self.shots, len(examples))
+        )
+        return self
+
+    def _prompt(self, example: ImputationExample) -> str:
+        lines = [
+            f"record : {self._text(shot)} ; {shot.target_column} : "
+            f"{shot.target_value}"
+            for shot in self._shot_examples
+        ]
+        lines.append(
+            f"record : {self._text(example)} ; {example.target_column} :"
+        )
+        return " \n ".join(lines)
+
+    def predict(self, example: ImputationExample) -> str:
+        if self._fallback is None:
+            raise WrangleError("imputer is not fitted")
+        try:
+            response = self.client.complete(
+                self.engine, self._prompt(example), max_tokens=3, stop=[";"]
+            )
+        except (TransientError, DeadlineExceededError, CircuitOpenError):
+            self.degraded += 1
+            return self._fallback.predict(example)
+        words = response.text.split()
+        guess = words[0].lower() if words else ""
+        for value in self.classes:
+            if value.lower() == guess:
+                return value
+        self.fallbacks += 1
+        return self._fallback.predict(example)
 
     @staticmethod
     def _text(example: ImputationExample) -> str:

@@ -282,6 +282,38 @@ class TestLintRules:
         code = "model.eval()\n"
         assert lint_source(code) == []
 
+    def test_wall_clock_sleep_flagged(self):
+        code = "import time\ntime.sleep(1.0)\n"
+        assert rules_of(lint_source(code)) == ["wall-clock"]
+
+    def test_wall_clock_monotonic_flagged(self):
+        code = "import time\nstart = time.monotonic()\n"
+        assert rules_of(lint_source(code)) == ["wall-clock"]
+
+    def test_wall_clock_from_import_flagged(self):
+        code = "from time import sleep\nsleep(2)\n"
+        assert rules_of(lint_source(code)) == ["wall-clock"]
+
+    def test_wall_clock_aliased_import_flagged(self):
+        code = "from time import sleep as snooze\nsnooze(2)\n"
+        assert rules_of(lint_source(code)) == ["wall-clock"]
+
+    def test_wall_clock_perf_counter_allowed(self):
+        code = "import time\nstart = time.perf_counter()\n"
+        assert lint_source(code) == []
+
+    def test_wall_clock_other_sleep_not_flagged(self):
+        code = "clock.sleep(1.0)\n"
+        assert lint_source(code) == []
+
+    def test_wall_clock_exempt_in_clock_module(self):
+        code = "import time\ntime.sleep(1.0)\n"
+        assert lint_source(code, path="src/repro/reliability/clock.py") == []
+
+    def test_wall_clock_noqa_escape_hatch(self):
+        code = "import time\ntime.sleep(1.0)  # repro: noqa[wall-clock]\n"
+        assert lint_source(code) == []
+
 
 class TestNoqaSuppression:
     def test_noqa_suppresses_named_rule(self):

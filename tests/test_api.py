@@ -166,3 +166,91 @@ class TestCompletionClient:
         client.complete("tiny-gpt", "a b", max_tokens=2)
         client.complete("tiny-gpt", "a b", max_tokens=2)
         assert client.requests_served == 2
+
+    def test_per_engine_stats(self, hub):
+        client = CompletionClient(hub)
+        first = client.complete("tiny-gpt", "the database stores", max_tokens=3)
+        second = client.complete("tiny-gpt", "the index", max_tokens=3)
+        stats = client.stats["tiny-gpt"]
+        assert stats.requests == 2
+        assert stats.prompt_tokens == (
+            first.usage.prompt_tokens + second.usage.prompt_tokens
+        )
+        assert stats.completion_tokens == (
+            first.usage.completion_tokens + second.usage.completion_tokens
+        )
+        assert stats.total_tokens == stats.prompt_tokens + stats.completion_tokens
+
+    def test_stats_empty_engine(self, hub):
+        client = CompletionClient(hub)
+        assert client.engine_stats("tiny-gpt").requests == 0
+        assert client.requests_served == 0
+
+    def test_usage_counts_returned_text_after_stop(self, hub):
+        client = CompletionClient(hub)
+        full = client.complete("tiny-gpt", "the database", max_tokens=8)
+        words = full.text.split()
+        if len(words) >= 2:
+            cut = client.complete(
+                "tiny-gpt", "the database", max_tokens=8, stop=[words[1]]
+            )
+            # usage bills the truncated text, so it must shrink with it
+            assert cut.usage.completion_tokens < full.usage.completion_tokens
+            entry = hub.get("tiny-gpt")
+            assert cut.usage.completion_tokens == len(
+                entry.tokenizer.encode(cut.text).ids
+            )
+            assert cut.choices[0].finish_reason == "stop"
+
+    def test_multiple_stop_strings_truncate_at_earliest(self, hub):
+        client = CompletionClient(hub)
+        full = client.complete("tiny-gpt", "the database", max_tokens=8)
+        words = full.text.split()
+        if len(words) >= 3:
+            one = client.complete(
+                "tiny-gpt", "the database", max_tokens=8, stop=[words[2]]
+            ).text
+            both = client.complete(
+                "tiny-gpt", "the database", max_tokens=8,
+                stop=[words[2], words[1]],
+            ).text
+            assert len(both) <= len(one)
+            assert words[1] not in both and words[2] not in both
+
+    def test_stop_string_in_prompt_only_is_harmless(self, hub):
+        client = CompletionClient(hub)
+        response = client.complete(
+            "tiny-gpt", "the database", max_tokens=4, stop=["zzzznope"]
+        )
+        assert response.choices[0].finish_reason in ("stop", "length")
+
+    def test_n_choices_are_independently_seeded(self, hub):
+        client = CompletionClient(hub)
+        response = client.complete(
+            "tiny-gpt", "the table", max_tokens=6, temperature=1.5, n=4, seed=9
+        )
+        again = client.complete(
+            "tiny-gpt", "the table", max_tokens=6, temperature=1.5, n=4, seed=9
+        )
+        # same request, same seed: identical alternatives in order
+        assert [c.text for c in response.choices] == [c.text for c in again.choices]
+        assert [c.index for c in response.choices] == [0, 1, 2, 3]
+        # choice i of an n=4 request equals an n=1 request at seed+i
+        solo = client.complete(
+            "tiny-gpt", "the table", max_tokens=6, temperature=1.5, n=1, seed=11
+        )
+        assert response.choices[2].text == solo.text
+
+    def test_empty_prompt_completes(self, hub):
+        client = CompletionClient(hub)
+        response = client.complete("tiny-gpt", "", max_tokens=4)
+        assert isinstance(response.text, str)
+        assert response.usage.prompt_tokens >= 1  # the BOS token
+
+    def test_usage_accumulates_over_n(self, hub):
+        client = CompletionClient(hub)
+        response = client.complete(
+            "tiny-gpt", "the table", max_tokens=4, temperature=1.0, n=3
+        )
+        assert response.usage.completion_tokens <= 3 * 4
+        assert response.usage.completion_tokens > 0
