@@ -1,0 +1,138 @@
+"""DURABILITY — what crash safety costs and what recovery buys back.
+
+Three measurements:
+
+* the per-statement overhead of WAL-before-apply (plus fsync) over the
+  plain in-memory :class:`~repro.sql.Database`, with the no-fsync
+  (``durable=False``) variant separating logging cost from fsync cost;
+* recovery time as the log grows, and the factor a snapshot compaction
+  takes back off it;
+* the crash matrix as a workload: every reachable crash point of a
+  seeded DML workload, crash -> reopen -> verify, reported as a
+  pass/fail summary.
+"""
+
+import time
+
+from repro.durability import DurableDatabase, run_crash_matrix
+from repro.sql import Database
+
+#: the statement mix timed by the overhead benchmark
+N_STATEMENTS = 60
+
+
+def _workload_statements():
+    ops = ["CREATE TABLE bench (id INT, grp TEXT, val FLOAT)"]
+    for i in range(N_STATEMENTS):
+        if i % 10 == 7:
+            ops.append(f"UPDATE bench SET val = val + 1 WHERE id = {i - 5}")
+        elif i % 10 == 9:
+            ops.append(f"DELETE FROM bench WHERE id = {i - 9}")
+        else:
+            ops.append(f"INSERT INTO bench VALUES ({i}, 'g{i % 3}', {i}.5)")
+    return ops
+
+
+def _time_per_statement(make_db):
+    ops = _workload_statements()
+    db = make_db()
+    start = time.perf_counter()
+    for op in ops:
+        db.execute(op)
+    elapsed = time.perf_counter() - start
+    close = getattr(db, "close", None)
+    if close:
+        close()
+    return elapsed / len(ops)
+
+
+def test_bench_wal_overhead(benchmark, report_printer, tmp_path):
+    """DURABILITY-a: per-statement cost of WAL-before-apply + fsync."""
+    plain = _time_per_statement(Database)
+    logged = _time_per_statement(
+        lambda: DurableDatabase.open(tmp_path / "nofsync", durable=False)
+    )
+
+    counter = [0]
+
+    def durable_run():
+        counter[0] += 1
+        return _time_per_statement(
+            lambda: DurableDatabase.open(tmp_path / f"fsync{counter[0]}")
+        )
+
+    durable = benchmark(durable_run)
+    report_printer(
+        "DURABILITY-a: WAL overhead per mutating statement "
+        f"({N_STATEMENTS + 1} statements)",
+        [
+            f"plain Database          : {plain * 1e6:8.1f} us/stmt",
+            f"WAL, no fsync           : {logged * 1e6:8.1f} us/stmt "
+            f"({logged / plain:.1f}x)",
+            f"WAL + fsync per commit  : {durable * 1e6:8.1f} us/stmt "
+            f"({durable / plain:.1f}x)",
+            f"logging-only overhead   : {(logged / plain - 1) * 100:+.0f}%",
+            f"full durability overhead: {(durable / plain - 1) * 100:+.0f}%",
+        ],
+    )
+    # Logging must not dwarf execution; fsync dominates by design.
+    assert logged < plain * 20
+
+
+def test_bench_recovery_and_compaction(report_printer, tmp_path):
+    """DURABILITY-b: replay time vs log length; what compaction buys."""
+    lines = []
+    long_dir = tmp_path / "long"
+    for n_records in (100, 400, 1600):
+        directory = tmp_path / f"log{n_records}"
+        with DurableDatabase.open(directory, durable=False) as db:
+            db.execute("CREATE TABLE t (id INT, val FLOAT)")
+            db.begin()
+            for i in range(n_records):
+                db.execute(f"INSERT INTO t VALUES ({i}, {i}.5)")
+            db.commit()
+        start = time.perf_counter()
+        with DurableDatabase.open(directory) as db:
+            stats = db.last_recovery
+        replay = time.perf_counter() - start
+        lines.append(
+            f"replay {stats.wal_records:5d} WAL records "
+            f"({stats.replayed_statements:5d} stmts): {replay * 1000:7.1f} ms "
+            f"({stats.replayed_statements / replay:,.0f} stmt/s)"
+        )
+        if n_records == 1600:
+            long_dir = directory
+            uncompacted = replay
+
+    with DurableDatabase.open(long_dir) as db:
+        db.compact()
+    start = time.perf_counter()
+    with DurableDatabase.open(long_dir) as db:
+        stats = db.last_recovery
+    compacted = time.perf_counter() - start
+    lines += [
+        f"after compaction (snapshot + {stats.wal_records} records): "
+        f"{compacted * 1000:7.1f} ms",
+        f"compaction speedup over replaying 1600 records: "
+        f"{uncompacted / compacted:.1f}x",
+    ]
+    report_printer("DURABILITY-b: recovery time vs log length", lines)
+    assert stats.snapshot_loaded
+    assert compacted < uncompacted
+
+
+def test_bench_crash_matrix(report_printer, tmp_path):
+    """DURABILITY-c: the crash matrix as a workload — every reachable
+    crash point, crash -> reopen -> verify, across three seeds."""
+    start = time.perf_counter()
+    report = run_crash_matrix(tmp_path, seeds=(0, 1, 2), num_statements=26)
+    elapsed = time.perf_counter() - start
+    report_printer(
+        "DURABILITY-c: crash matrix (crash -> reopen -> verify)",
+        report.render()
+        + [
+            f"seeds: 3, wall time: {elapsed:.1f} s "
+            f"({elapsed / len(report.trials) * 1000:.0f} ms/trial)"
+        ],
+    )
+    assert report.all_ok, "\n".join(report.render())

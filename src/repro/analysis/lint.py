@@ -22,7 +22,11 @@ the offending line):
 * ``wall-clock``           — direct ``time.sleep``/``time.monotonic``
   calls outside ``reliability/clock.py`` (all waiting and timeout logic
   must flow through a :class:`~repro.reliability.clock.Clock` so it is
-  testable on a virtual clock).
+  testable on a virtual clock);
+* ``atomic-write``         — ``open()`` in a write/append/create mode
+  outside ``repro/durability/`` (file writes must go through the atomic
+  temp-file + fsync + rename helpers of :mod:`repro.durability.io` so a
+  crash can never leave a torn file; tests and benchmarks are exempt).
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ RULE_NAMES = (
     "numpy-random",
     "exec-eval",
     "wall-clock",
+    "atomic-write",
 )
 
 #: files allowed to break one specific rule, by path suffix
@@ -54,6 +59,7 @@ _RULE_EXEMPT_SUFFIXES = {
 #: directories (path components) exempt from one specific rule
 _RULE_EXEMPT_DIRS = {
     "numpy-random": ("tests", "benchmarks"),
+    "atomic-write": ("durability", "tests", "benchmarks", "examples"),
 }
 
 _NOQA_PATTERN = re.compile(r"#\s*repro:\s*noqa\[([a-z\-,\s]+)\]")
@@ -84,6 +90,8 @@ def lint_source(code: str, path: str = "<string>") -> List[Finding]:
         findings += _check_exec_eval(tree, path)
     if not _exempt(path, "wall-clock"):
         findings += _check_wall_clock(tree, path)
+    if not _exempt(path, "atomic-write"):
+        findings += _check_atomic_write(tree, path)
     suppressed = _suppressions(code)
     return sorted(
         (
@@ -300,6 +308,40 @@ def _check_wall_clock(tree: ast.Module, path: str) -> List[Finding]:
                     message="direct wall-clock call; route sleeps and "
                     "timeouts through repro.reliability.clock so they run "
                     "on a virtual clock in tests",
+                    line=node.lineno,
+                    source=path,
+                )
+            )
+    return findings
+
+
+def _check_atomic_write(tree: ast.Module, path: str) -> List[Finding]:
+    """Flag ``open()`` calls whose mode writes, appends, or creates."""
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Name) and func.id == "open"):
+            continue
+        mode = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if (
+            isinstance(mode, ast.Constant)
+            and isinstance(mode.value, str)
+            and any(flag in mode.value for flag in "wax+")
+        ):
+            findings.append(
+                Finding(
+                    rule="atomic-write",
+                    message=f"open(..., {mode.value!r}) writes without "
+                    "crash safety; route file writes through the atomic "
+                    "temp-file + fsync + rename helpers in "
+                    "repro.durability.io",
                     line=node.lineno,
                     source=path,
                 )

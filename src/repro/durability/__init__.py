@@ -1,0 +1,81 @@
+"""Durable storage: write-ahead logging, crash injection, recovery.
+
+The tutorial's stateful stores (the SQL engine under CodexDB and
+text-to-SQL, NeuralDB's fact store, model checkpoints) live in memory
+or behind torn-write-prone file writes. This package makes the storage
+path survive process crashes the way :mod:`repro.reliability` made the
+request path survive network faults — deterministically injected,
+automatically recovered, and verifiable:
+
+* :mod:`~repro.durability.crash` — seeded :class:`CrashInjector` with
+  named crash points raising :class:`~repro.errors.SimulatedCrash`;
+* :mod:`~repro.durability.io` — atomic temp-file + fsync + rename
+  writes (the only place in the tree allowed to open files for write);
+* :mod:`~repro.durability.wal` — :class:`WriteAheadLog`: length-prefixed,
+  CRC32-checked JSON records, torn-tail classification and repair;
+* :mod:`~repro.durability.database` — :class:`DurableDatabase`:
+  WAL-before-apply, begin/commit/rollback, replay on open, atomic
+  snapshot-then-truncate compaction;
+* :mod:`~repro.durability.neural` — :class:`DurableNeuralDatabase`:
+  the persisted fact log behind NeuralDB;
+* :mod:`~repro.durability.harness` — randomized DML workloads and the
+  crash matrix (crash at every reachable point, reopen, verify).
+"""
+
+from repro.durability.crash import CrashInjector
+from repro.durability.io import (
+    atomic_write_bytes,
+    atomic_write_text,
+    fsync_directory,
+    fsync_handle,
+)
+from repro.durability.wal import (
+    WALReadResult,
+    WriteAheadLog,
+    encode_record,
+    read_wal,
+    scan_wal_bytes,
+)
+from repro.durability.database import (
+    DurableDatabase,
+    RecoveryStats,
+    dump_database,
+    dump_table,
+    restore_database,
+    restore_table,
+)
+from repro.durability.neural import DurableNeuralDatabase
+from repro.durability.harness import (
+    CrashMatrixReport,
+    TrialResult,
+    discover_crash_points,
+    random_dml_workload,
+    run_crash_matrix,
+    run_crash_trial,
+)
+
+__all__ = [
+    "CrashInjector",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_directory",
+    "fsync_handle",
+    "WALReadResult",
+    "WriteAheadLog",
+    "encode_record",
+    "read_wal",
+    "scan_wal_bytes",
+    "DurableDatabase",
+    "RecoveryStats",
+    "dump_database",
+    "dump_table",
+    "restore_database",
+    "restore_table",
+    "DurableNeuralDatabase",
+    "CrashMatrixReport",
+    "TrialResult",
+    "discover_crash_points",
+    "random_dml_workload",
+    "run_crash_matrix",
+    "run_crash_trial",
+]

@@ -1,0 +1,87 @@
+"""Deterministic process-crash injection for the storage path.
+
+The storage-side sibling of :class:`repro.reliability.FaultInjector`:
+where that injector makes the *network* fail, this one kills the
+*process* at named points inside the durability I/O layer
+(``wal-torn-append``, ``mid-snapshot-rename``, ...) by raising
+:class:`~repro.errors.SimulatedCrash`.
+
+Two modes, composable:
+
+* **armed points** — :meth:`CrashInjector.at` schedules a crash at the
+  Nth time a specific point is reached, which is what the crash-matrix
+  harness uses to enumerate every reachable crash site;
+* **seeded random crashes** — a ``crash_rate`` drawn from one
+  :class:`~repro.utils.rng.SeededRNG`, for fuzz-style workloads that
+  crash *somewhere* reproducibly.
+
+An injector with nothing armed and rate 0 is a pure recorder: it counts
+every point it passes through (:attr:`seen`), so a harness can first run
+a workload crash-free to discover which points are reachable and how
+often.
+
+The simulated failure model is a *process* crash: bytes already handed
+to the OS survive (we do not simulate power loss), and the torn-write
+points model the partially flushed states a real kill can leave behind.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import DurabilityError, SimulatedCrash
+from repro.utils.rng import SeededRNG
+
+
+class CrashInjector:
+    """Decide, at every named crash point, whether the process dies now."""
+
+    def __init__(self, seed: int = 0, crash_rate: float = 0.0) -> None:
+        if not 0.0 <= crash_rate < 1.0:
+            raise DurabilityError(
+                f"crash_rate must be in [0, 1), got {crash_rate}"
+            )
+        self.crash_rate = crash_rate
+        self._rng = SeededRNG(seed).spawn("crashes")
+        #: point name -> occurrence (1-based) at which to crash
+        self._armed: Dict[str, int] = {}
+        #: how many times each point has been reached
+        self.seen: Dict[str, int] = {}
+        #: total injected crashes
+        self.crashes = 0
+
+    def at(self, point: str, occurrence: int = 1) -> "CrashInjector":
+        """Arm a crash at the ``occurrence``-th time ``point`` is reached."""
+        if occurrence < 1:
+            raise DurabilityError(
+                f"occurrence is 1-based, got {occurrence}"
+            )
+        self._armed[point] = occurrence
+        return self
+
+    def disarm(self, point: Optional[str] = None) -> None:
+        """Disarm one point (or all of them) without resetting counters."""
+        if point is None:
+            self._armed.clear()
+        else:
+            self._armed.pop(point, None)
+
+    def reach(self, point: str) -> None:
+        """Record passing through ``point``; raise if a crash is due."""
+        count = self.seen.get(point, 0) + 1
+        self.seen[point] = count
+        if self._armed.get(point) == count or (
+            self.crash_rate and self._rng.coin(self.crash_rate)
+        ):
+            self.crashes += 1
+            raise SimulatedCrash(point, count)
+
+    def reached(self, point: str) -> int:
+        """How many times ``point`` has been passed through."""
+        return self.seen.get(point, 0)
+
+
+def reach(crash: Optional[CrashInjector], point: str) -> None:
+    """Hit a crash point if an injector is present (no-op otherwise)."""
+    if crash is not None:
+        crash.reach(point)

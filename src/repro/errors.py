@@ -24,6 +24,15 @@ class ModelError(ReproError):
     """Raised for invalid model configurations or checkpoint mismatches."""
 
 
+class CorruptCheckpointError(ModelError):
+    """A model checkpoint failed its integrity checks.
+
+    Raised when a ``.npz`` checkpoint is truncated, garbled, fails its
+    embedded SHA-256 payload digest, or has the wrong internal schema —
+    always instead of surfacing raw numpy/JSON/zipfile exceptions.
+    """
+
+
 class TrainingError(ReproError):
     """Raised for invalid training setups (empty datasets, bad splits)."""
 
@@ -132,3 +141,36 @@ class DeadlineExceededError(ReproError):
 
 class CircuitOpenError(ReproError):
     """A circuit breaker is open and the request was never attempted."""
+
+
+class DurabilityError(ReproError):
+    """Base class for durable-storage errors (:mod:`repro.durability`)."""
+
+
+class WALCorruptionError(DurabilityError):
+    """A write-ahead log record failed its checksum or framing checks.
+
+    Torn *tails* (a record cut short by a crash mid-append) are expected
+    and repaired silently; this error means bytes of a fully written
+    record were altered afterwards — real corruption, not a torn write.
+    """
+
+
+class SnapshotCorruptionError(DurabilityError):
+    """A database snapshot failed its SHA-256 integrity check."""
+
+
+class SimulatedCrash(DurabilityError):
+    """An injected process crash from a :class:`~repro.durability.CrashInjector`.
+
+    Raised inside the durability I/O layer at named crash points so
+    recovery tests can kill the "process" at any byte boundary that
+    matters. Carries the crash point and which occurrence of it fired.
+    """
+
+    def __init__(self, point: str, occurrence: int) -> None:
+        super().__init__(
+            f"simulated crash at point {point!r} (occurrence #{occurrence})"
+        )
+        self.point = point
+        self.occurrence = occurrence

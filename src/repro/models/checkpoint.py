@@ -1,15 +1,29 @@
-"""Save/load model checkpoints (config + weights) as ``.npz`` files."""
+"""Save/load model checkpoints (config + weights) as ``.npz`` files.
+
+Checkpoints are written atomically (temp file + fsync + rename via
+:mod:`repro.durability.io`), so an interrupted save never leaves a
+half-written ``.npz`` at the destination. The metadata embeds a SHA-256
+digest of the parameter payload; :func:`load_model` recomputes and
+compares it, and reports *any* corruption — truncation, flipped bytes,
+garbled metadata, wrong schema — as
+:class:`~repro.errors.CorruptCheckpointError` /
+:class:`~repro.errors.ModelError` instead of surfacing raw
+numpy/JSON/zipfile internals.
+"""
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
+import zipfile
+from io import BytesIO
 from pathlib import Path
-from typing import Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
-from repro.errors import ModelError
+from repro.errors import CorruptCheckpointError, ModelError
 from repro.models.bert import BERTModel
 from repro.models.config import ModelConfig
 from repro.models.gpt import GPTModel
@@ -18,43 +32,125 @@ AnyModel = Union[GPTModel, BERTModel]
 
 _MODEL_CLASSES = {"GPTModel": GPTModel, "BERTModel": BERTModel}
 
+CHECKPOINT_FORMAT = 1
 
-def save_model(model: AnyModel, path: Union[str, Path]) -> Path:
-    """Serialize a model's config and weights to one ``.npz`` file."""
+
+def _payload_digest(meta_core: Dict, state: Dict[str, np.ndarray]) -> str:
+    """SHA-256 over the config and every parameter (name, dtype, bytes)."""
+    digest = hashlib.sha256()
+    digest.update(json.dumps(meta_core, sort_keys=True).encode("utf-8"))
+    for name in sorted(state):
+        array = np.ascontiguousarray(state[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(str(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def save_model(
+    model: AnyModel, path: Union[str, Path], crash=None
+) -> Path:
+    """Serialize a model's config and weights to one ``.npz`` file.
+
+    The write is atomic: the archive is built in memory and swapped in
+    with temp-file + fsync + rename, exposing the ``checkpoint-*``
+    crash points of :func:`repro.durability.io.atomic_write_bytes`.
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
-    meta = {
+    state = model.state_dict()
+    meta_core = {
         "model_class": type(model).__name__,
         "config": dataclasses.asdict(model.config),
     }
-    arrays = {f"param::{k}": v for k, v in model.state_dict().items()}
+    meta = {
+        **meta_core,
+        "format": CHECKPOINT_FORMAT,
+        "sha256": _payload_digest(meta_core, state),
+    }
+    arrays = {f"param::{k}": v for k, v in state.items()}
     arrays["__meta__"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
-    np.savez(path, **arrays)
+    buffer = BytesIO()
+    np.savez(buffer, **arrays)
+    # Deferred import: repro.durability pulls in neuraldb -> models, so a
+    # module-level import here would be circular.
+    from repro.durability.io import atomic_write_bytes
+
+    atomic_write_bytes(path, buffer.getvalue(), crash=crash, label="checkpoint")
     return path
 
 
 def load_model(path: Union[str, Path]) -> AnyModel:
-    """Reconstruct a model saved by :func:`save_model`."""
+    """Reconstruct a model saved by :func:`save_model`.
+
+    Raises :class:`ModelError` for a missing file or a file that is not
+    a repro checkpoint, and :class:`CorruptCheckpointError` when the
+    archive is truncated, garbled, or fails its SHA-256 payload digest.
+    """
     path = Path(path)
     if not path.exists():
         raise ModelError(f"checkpoint not found: {path}")
-    with np.load(path) as archive:
-        try:
-            meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
-        except KeyError:
-            raise ModelError(f"{path} is not a repro checkpoint") from None
-        state = {
-            key[len("param::"):]: archive[key]
-            for key in archive.files
-            if key.startswith("param::")
-        }
+    meta, state = _read_archive(path)
+    if not isinstance(meta, dict):
+        raise CorruptCheckpointError(
+            f"{path}: checkpoint metadata is not an object"
+        )
+    missing = {"model_class", "config"} - set(meta)
+    if missing:
+        raise CorruptCheckpointError(
+            f"{path}: checkpoint metadata lacks {sorted(missing)}"
+        )
+    expected: Optional[str] = meta.get("sha256")
+    if expected is not None:
+        meta_core = {"model_class": meta["model_class"], "config": meta["config"]}
+        actual = _payload_digest(meta_core, state)
+        if actual != expected:
+            raise CorruptCheckpointError(
+                f"{path}: parameter payload fails its SHA-256 check "
+                f"(stored {expected[:12]}..., computed {actual[:12]}...)"
+            )
     model_class = _MODEL_CLASSES.get(meta["model_class"])
     if model_class is None:
         raise ModelError(f"unknown model class {meta['model_class']!r}")
-    config = ModelConfig(**meta["config"])
+    try:
+        config = ModelConfig(**meta["config"])
+    except TypeError as exc:
+        raise CorruptCheckpointError(
+            f"{path}: checkpoint config does not match ModelConfig: {exc}"
+        ) from exc
     model = model_class(config)
     model.load_state_dict(state)
     return model
+
+
+def _read_archive(path: Path):
+    """Open the ``.npz``, converting every raw failure to a typed error."""
+    try:
+        with np.load(path) as archive:
+            if "__meta__" not in archive.files:
+                raise ModelError(f"{path} is not a repro checkpoint")
+            meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+            state = {
+                key[len("param::"):]: archive[key]
+                for key in archive.files
+                if key.startswith("param::")
+            }
+            return meta, state
+    except ModelError:
+        raise
+    except (
+        zipfile.BadZipFile,
+        json.JSONDecodeError,
+        UnicodeDecodeError,
+        KeyError,
+        ValueError,
+        EOFError,
+        OSError,
+    ) as exc:
+        raise CorruptCheckpointError(
+            f"{path}: checkpoint is corrupt or truncated ({exc})"
+        ) from exc

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import csv
+from io import StringIO
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -128,14 +129,21 @@ class Table:
 
     # -- CSV I/O --------------------------------------------------------------
     def to_csv(self, path: Union[str, Path]) -> Path:
-        """Write the table to a CSV file (header + rows, NULL as empty)."""
-        path = Path(path)
-        with open(path, "w", newline="") as handle:
-            writer = csv.writer(handle)
-            writer.writerow(self.schema.column_names)
-            for row in self.rows:
-                writer.writerow(["" if v is None else v for v in row])
-        return path
+        """Write the table to a CSV file (header + rows, NULL as empty).
+
+        The file is replaced atomically (temp + fsync + rename), so a
+        crash mid-export never leaves a truncated CSV behind.
+        """
+        buffer = StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.schema.column_names)
+        for row in self.rows:
+            writer.writerow(["" if v is None else v for v in row])
+        # Deferred import: repro.durability depends on repro.sql, so a
+        # module-level import here would be circular.
+        from repro.durability.io import atomic_write_text
+
+        return atomic_write_text(path, buffer.getvalue(), label="csv")
 
     @classmethod
     def from_csv(

@@ -39,8 +39,11 @@ def save_tokenizer(tokenizer: Tokenizer, path: Union[str, Path]) -> Path:
         payload["lowercase"] = tokenizer.lowercase
     if isinstance(tokenizer, WordPieceTokenizer):
         payload["max_subword_len"] = tokenizer.max_subword_len
-    with open(path, "w") as handle:
-        json.dump(payload, handle)
+    # Deferred import: repro.durability depends (via neuraldb/models) on
+    # the tokenizers package, so a module-level import would be circular.
+    from repro.durability.io import atomic_write_text
+
+    atomic_write_text(path, json.dumps(payload), label="tokenizer")
     return path
 
 
@@ -49,8 +52,15 @@ def load_tokenizer(path: Union[str, Path]) -> Tokenizer:
     path = Path(path)
     if not path.exists():
         raise TokenizerError(f"tokenizer file not found: {path}")
-    with open(path) as handle:
-        payload = json.load(handle)
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise TokenizerError(
+            f"tokenizer file {path} is corrupt: {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise TokenizerError(f"tokenizer file {path} has the wrong schema")
     cls = _CLASSES.get(payload.get("class", ""))
     if cls is None:
         raise TokenizerError(f"unknown tokenizer class {payload.get('class')!r}")
@@ -63,7 +73,9 @@ def load_tokenizer(path: Union[str, Path]) -> Tokenizer:
     tokenizer = cls(**kwargs)
 
     specials = SpecialTokens()
-    tokens = payload["tokens"]
+    tokens = payload.get("tokens")
+    if not isinstance(tokens, list):
+        raise TokenizerError(f"tokenizer file {path} lacks a token list")
     if tokens[: len(specials.all())] != specials.all():
         raise TokenizerError("tokenizer file has unexpected special tokens")
     tokenizer.vocab = Vocabulary(specials=specials)

@@ -315,6 +315,35 @@ class TestLintRules:
         assert lint_source(code) == []
 
 
+    def test_atomic_write_open_w_flagged(self):
+        code = "handle = open('out.txt', 'w')\n"
+        assert rules_of(lint_source(code)) == ["atomic-write"]
+
+    def test_atomic_write_open_wb_flagged(self):
+        code = "with open(path, 'wb') as f:\n    f.write(b'x')\n"
+        assert "atomic-write" in rules_of(lint_source(code))
+
+    def test_atomic_write_mode_keyword_flagged(self):
+        code = "handle = open(path, mode='a')\n"
+        assert rules_of(lint_source(code)) == ["atomic-write"]
+
+    def test_atomic_write_read_modes_ok(self):
+        assert lint_source("h = open(path)\n") == []
+        assert lint_source("h = open(path, 'rb')\n") == []
+
+    def test_atomic_write_exempt_in_durability(self):
+        code = "h = open(path, 'wb')\n"
+        assert lint_source(code, path="src/repro/durability/io.py") == []
+
+    def test_atomic_write_exempt_in_tests(self):
+        code = "h = open(path, 'w')\n"
+        assert lint_source(code, path="tests/test_x.py") == []
+
+    def test_atomic_write_noqa_escape_hatch(self):
+        code = "h = open(path, 'w')  # repro: noqa[atomic-write]\n"
+        assert lint_source(code) == []
+
+
 class TestNoqaSuppression:
     def test_noqa_suppresses_named_rule(self):
         code = "def f(items=[]):  # repro: noqa[mutable-default]\n    return items\n"

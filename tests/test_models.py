@@ -212,3 +212,123 @@ class TestCheckpoint:
         np.savez(path, a=np.zeros(3))
         with pytest.raises(ModelError):
             load_model(path)
+
+
+class TestCheckpointIntegrity:
+    """Every corruption mode surfaces as a typed error, never a raw
+    numpy/JSON/zipfile exception, and saves are atomic under crashes."""
+
+    @pytest.fixture()
+    def saved(self, tmp_path):
+        model = GPTModel(ModelConfig.tiny(vocab_size=25), seed=9)
+        path = save_model(model, tmp_path / "model.npz")
+        return model, path
+
+    def test_truncated_file_raises_typed_error(self, saved):
+        from repro.errors import CorruptCheckpointError
+
+        _, path = saved
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CorruptCheckpointError):
+            load_model(path)
+
+    def test_garbage_file_raises_typed_error(self, saved):
+        from repro.errors import CorruptCheckpointError
+
+        _, path = saved
+        path.write_bytes(b"\x00\x01garbage" * 40)
+        with pytest.raises(CorruptCheckpointError):
+            load_model(path)
+
+    def test_flipped_payload_byte_raises_typed_error(self, saved):
+        from repro.errors import CorruptCheckpointError
+
+        _, path = saved
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(CorruptCheckpointError):
+            load_model(path)
+
+    def test_sha_mismatch_raises_typed_error(self, tmp_path):
+        import dataclasses
+        import json
+
+        from repro.errors import CorruptCheckpointError
+
+        model = GPTModel(ModelConfig.tiny(vocab_size=25), seed=9)
+        meta = {
+            "model_class": "GPTModel",
+            "config": dataclasses.asdict(model.config),
+            "format": 1,
+            "sha256": "0" * 64,
+        }
+        arrays = {f"param::{k}": v for k, v in model.state_dict().items()}
+        arrays["__meta__"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        path = tmp_path / "tampered.npz"
+        np.savez(path, **arrays)
+        with pytest.raises(CorruptCheckpointError, match="SHA-256"):
+            load_model(path)
+
+    def test_garbled_metadata_raises_typed_error(self, tmp_path):
+        from repro.errors import CorruptCheckpointError
+
+        path = tmp_path / "bad_meta.npz"
+        np.savez(
+            path,
+            __meta__=np.frombuffer(b"{not json", dtype=np.uint8),
+        )
+        with pytest.raises(CorruptCheckpointError):
+            load_model(path)
+
+    def test_wrong_schema_metadata_raises_typed_error(self, tmp_path):
+        import json
+
+        from repro.errors import CorruptCheckpointError
+
+        path = tmp_path / "wrong_schema.npz"
+        np.savez(
+            path,
+            __meta__=np.frombuffer(
+                json.dumps({"hello": "world"}).encode("utf-8"), dtype=np.uint8
+            ),
+        )
+        with pytest.raises(CorruptCheckpointError):
+            load_model(path)
+
+    @pytest.mark.parametrize(
+        "point",
+        [
+            "checkpoint-before-write",
+            "checkpoint-torn-write",
+            "checkpoint-before-fsync",
+            "mid-checkpoint-rename",
+        ],
+    )
+    def test_interrupted_save_keeps_previous_checkpoint(self, saved, point):
+        from repro.durability import CrashInjector
+        from repro.errors import SimulatedCrash
+
+        old_model, path = saved
+        new_model = GPTModel(ModelConfig.tiny(vocab_size=25), seed=77)
+        with pytest.raises(SimulatedCrash):
+            save_model(new_model, path, crash=CrashInjector().at(point))
+        restored = load_model(path)  # the old checkpoint is intact
+        ids = np.array([[1, 2, 3]])
+        np.testing.assert_allclose(old_model(ids).data, restored(ids).data)
+
+    def test_interrupted_save_on_fresh_path_leaves_nothing(self, tmp_path):
+        from repro.durability import CrashInjector
+        from repro.errors import SimulatedCrash
+
+        model = GPTModel(ModelConfig.tiny(vocab_size=25), seed=9)
+        path = tmp_path / "fresh.npz"
+        with pytest.raises(SimulatedCrash):
+            save_model(
+                model, path, crash=CrashInjector().at("checkpoint-torn-write")
+            )
+        with pytest.raises(ModelError):
+            load_model(path)
