@@ -26,7 +26,12 @@ the offending line):
 * ``atomic-write``         — ``open()`` in a write/append/create mode
   outside ``repro/durability/`` (file writes must go through the atomic
   temp-file + fsync + rename helpers of :mod:`repro.durability.io` so a
-  crash can never leave a torn file; tests and benchmarks are exempt).
+  crash can never leave a torn file; tests and benchmarks are exempt);
+* ``per-prompt-loop``      — a ``.complete()`` call inside a loop (or
+  comprehension) in the application subsystems (``codexdb``,
+  ``text2sql``, ``wrangle``); hot per-prompt loops should batch through
+  ``complete_batch`` / :func:`repro.serving.complete_many` so prompts
+  share vectorized model forwards.
 """
 
 from __future__ import annotations
@@ -47,6 +52,7 @@ RULE_NAMES = (
     "exec-eval",
     "wall-clock",
     "atomic-write",
+    "per-prompt-loop",
 )
 
 #: files allowed to break one specific rule, by path suffix
@@ -60,6 +66,11 @@ _RULE_EXEMPT_SUFFIXES = {
 _RULE_EXEMPT_DIRS = {
     "numpy-random": ("tests", "benchmarks"),
     "atomic-write": ("durability", "tests", "benchmarks", "examples"),
+}
+
+#: directories (path components) a rule applies to *exclusively*
+_RULE_ONLY_DIRS = {
+    "per-prompt-loop": ("codexdb", "text2sql", "wrangle"),
 }
 
 _NOQA_PATTERN = re.compile(r"#\s*repro:\s*noqa\[([a-z\-,\s]+)\]")
@@ -92,6 +103,8 @@ def lint_source(code: str, path: str = "<string>") -> List[Finding]:
         findings += _check_wall_clock(tree, path)
     if not _exempt(path, "atomic-write"):
         findings += _check_atomic_write(tree, path)
+    if _applies(path, "per-prompt-loop"):
+        findings += _check_per_prompt_loop(tree, path)
     suppressed = _suppressions(code)
     return sorted(
         (
@@ -133,6 +146,15 @@ def _exempt(path: str, rule: str) -> bool:
         return True
     parts = normalized.split("/")
     return any(d in parts for d in _RULE_EXEMPT_DIRS.get(rule, ()))
+
+
+def _applies(path: str, rule: str) -> bool:
+    """True when a directory-scoped rule covers ``path`` at all."""
+    only = _RULE_ONLY_DIRS.get(rule)
+    if only is None:
+        return True
+    parts = path.replace("\\", "/").split("/")
+    return any(d in parts for d in only)
 
 
 def _suppressions(code: str) -> set:
@@ -342,6 +364,50 @@ def _check_atomic_write(tree: ast.Module, path: str) -> List[Finding]:
                     "crash safety; route file writes through the atomic "
                     "temp-file + fsync + rename helpers in "
                     "repro.durability.io",
+                    line=node.lineno,
+                    source=path,
+                )
+            )
+    return findings
+
+
+_LOOP_NODES = (
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+def _check_per_prompt_loop(tree: ast.Module, path: str) -> List[Finding]:
+    """Flag per-prompt ``.complete()`` calls issued from inside a loop."""
+    seen = set()
+    findings = []
+    for loop in ast.walk(tree):
+        if not isinstance(loop, _LOOP_NODES):
+            continue
+        for node in ast.walk(loop):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "complete"
+            ):
+                continue
+            key = (node.lineno, node.col_offset)
+            if key in seen:
+                # Nested loops walk the same call twice; report it once.
+                continue
+            seen.add(key)
+            findings.append(
+                Finding(
+                    rule="per-prompt-loop",
+                    message="per-prompt complete() call inside a loop; "
+                    "batch it through complete_batch / "
+                    "repro.serving.complete_many so prompts share "
+                    "vectorized model forwards",
                     line=node.lineno,
                     source=path,
                 )

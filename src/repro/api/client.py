@@ -16,6 +16,7 @@ from repro.generation import GenerationConfig, generate
 from repro.generation.decoding import TokenConstraint
 from repro.models import GPTModel
 from repro.api.hub import ModelHub
+from repro.serving import BatchRequest, BatchScheduler
 
 
 @dataclass(frozen=True)
@@ -71,6 +72,50 @@ class CompletionResponse:
         return self.choices[0].text
 
 
+def _request_config(
+    tokenizer, max_tokens: int, temperature: float, top_p: float, seed: int
+) -> GenerationConfig:
+    """Decoding config for one request (OpenAI temperature conventions)."""
+    return GenerationConfig(
+        max_new_tokens=max_tokens,
+        strategy="greedy" if temperature == 0.0 else "sample",
+        temperature=max(temperature, 1e-6) if temperature else 1.0,
+        top_p=top_p,
+        stop_ids=(tokenizer.vocab.eos_id,),
+        seed=seed,
+    )
+
+
+def _finish_choice(
+    tokenizer,
+    out_ids: Sequence[int],
+    index: int,
+    stop: Sequence[str],
+    max_tokens: int,
+):
+    """Decode, stop-truncate and bill one choice: (choice, billed tokens)."""
+    text = tokenizer.decode(list(out_ids))
+    truncated = False
+    for stop_string in stop:
+        cut = text.find(stop_string)
+        if cut >= 0:
+            text = text[:cut]
+            truncated = True
+    text = text.strip()
+    if truncated:
+        # Usage must bill the *returned* text, not the tokens
+        # generated past the stop string.
+        choice_tokens = len(tokenizer.encode(text).ids) if text else 0
+        finish_reason = "stop"
+    else:
+        choice_tokens = len(out_ids)
+        finish_reason = "length" if len(out_ids) >= max_tokens else "stop"
+    return (
+        CompletionChoice(text=text, index=index, finish_reason=finish_reason),
+        choice_tokens,
+    )
+
+
 class CompletionClient:
     """Issue completion requests against named engines in a hub."""
 
@@ -108,35 +153,15 @@ class CompletionClient:
         choices: List[CompletionChoice] = []
         completion_tokens = 0
         for index in range(n):
-            config = GenerationConfig(
-                max_new_tokens=max_tokens,
-                strategy="greedy" if temperature == 0.0 else "sample",
-                temperature=max(temperature, 1e-6) if temperature else 1.0,
-                top_p=top_p,
-                stop_ids=(tokenizer.vocab.eos_id,),
-                seed=seed + index,
+            config = _request_config(
+                tokenizer, max_tokens, temperature, top_p, seed + index
             )
             out_ids = generate(model, prompt_ids, config, constraint)
-            text = tokenizer.decode(out_ids)
-            truncated = False
-            for stop_string in stop:
-                cut = text.find(stop_string)
-                if cut >= 0:
-                    text = text[:cut]
-                    truncated = True
-            text = text.strip()
-            if truncated:
-                # Usage must bill the *returned* text, not the tokens
-                # generated past the stop string.
-                choice_tokens = len(tokenizer.encode(text).ids) if text else 0
-                finish_reason = "stop"
-            else:
-                choice_tokens = len(out_ids)
-                finish_reason = "length" if len(out_ids) >= max_tokens else "stop"
-            completion_tokens += choice_tokens
-            choices.append(
-                CompletionChoice(text=text, index=index, finish_reason=finish_reason)
+            choice, choice_tokens = _finish_choice(
+                tokenizer, out_ids, index, stop, max_tokens
             )
+            completion_tokens += choice_tokens
+            choices.append(choice)
         stats = self.engine_stats(engine)
         stats.requests += 1
         stats.prompt_tokens += len(prompt_ids)
@@ -148,6 +173,86 @@ class CompletionClient:
                 prompt_tokens=len(prompt_ids), completion_tokens=completion_tokens
             ),
         )
+
+    def complete_batch(
+        self,
+        engine: str,
+        prompts: Sequence[str],
+        max_tokens: int = 32,
+        temperature: float = 0.0,
+        top_p: float = 1.0,
+        n: int = 1,
+        stop: Sequence[str] = (),
+        seed: int = 0,
+        constraints: Optional[Sequence[Optional[TokenConstraint]]] = None,
+        max_batch_size: int = 8,
+        prefill_chunk: Optional[int] = None,
+    ) -> List[CompletionResponse]:
+        """Complete many prompts in microbatches; one response per prompt.
+
+        Decoding semantics match per-prompt :meth:`complete` — greedy at
+        ``temperature == 0``, choice ``j`` samples with ``seed + j`` —
+        but prompts share vectorized model forwards (and a request's
+        ``n`` choices share one prompt prefill), so throughput scales
+        with the batch instead of the per-request latency. Engine usage
+        is attributed exactly as if each prompt were a request of its
+        own. ``constraints`` optionally carries one per-prompt decoding
+        constraint, aligned with ``prompts``.
+        """
+        entry = self.hub.get(engine)
+        model = entry.model
+        if not isinstance(model, GPTModel):
+            raise ModelError(f"engine {engine!r} is not a causal (completion) model")
+        tokenizer = entry.tokenizer
+        if n <= 0:
+            raise ModelError("n must be positive")
+        if constraints is not None and len(constraints) != len(prompts):
+            raise ModelError("constraints must align one-to-one with prompts")
+        if not prompts:
+            return []
+
+        scheduler = BatchScheduler(
+            model, max_batch_size=max_batch_size, prefill_chunk=prefill_chunk
+        )
+        config = _request_config(tokenizer, max_tokens, temperature, top_p, seed)
+        tickets = []
+        encoded = []
+        for i, prompt in enumerate(prompts):
+            prompt_ids = tokenizer.encode(prompt, add_bos=True).ids
+            encoded.append(prompt_ids)
+            constraint = constraints[i] if constraints is not None else None
+            tickets.append(
+                scheduler.submit(
+                    BatchRequest(prompt_ids, config, constraint=constraint, n=n)
+                )
+            )
+        results = scheduler.run()
+
+        stats = self.engine_stats(engine)
+        responses: List[CompletionResponse] = []
+        for prompt_ids, ticket in zip(encoded, tickets):
+            choices: List[CompletionChoice] = []
+            completion_tokens = 0
+            for index, out_ids in enumerate(results[ticket].sequences):
+                choice, choice_tokens = _finish_choice(
+                    tokenizer, out_ids, index, stop, max_tokens
+                )
+                completion_tokens += choice_tokens
+                choices.append(choice)
+            stats.requests += 1
+            stats.prompt_tokens += len(prompt_ids)
+            stats.completion_tokens += completion_tokens
+            responses.append(
+                CompletionResponse(
+                    engine=engine,
+                    choices=choices,
+                    usage=Usage(
+                        prompt_tokens=len(prompt_ids),
+                        completion_tokens=completion_tokens,
+                    ),
+                )
+            )
+        return responses
 
     def engine_stats(self, engine: str) -> EngineStats:
         """Cumulative counters for one engine (created on first use)."""

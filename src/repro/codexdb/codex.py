@@ -99,6 +99,23 @@ class SimulatedCodex:
             steps = self._corrupt(steps)
         return generate_python(steps, options)
 
+    def sample_programs(
+        self,
+        sql: str,
+        options: CodeGenOptions,
+        k: int,
+        feedback: Optional[Sequence[Finding]] = None,
+    ) -> List[str]:
+        """Draw ``k`` candidate programs in one batched request.
+
+        Candidate ``i`` consumes the error-model RNG exactly as the
+        ``i``-th :meth:`sample_program` call would, so a batch of ``k``
+        is bit-identical to ``k`` sequential draws.
+        """
+        if k <= 0:
+            raise CodexDBError("k must be positive")
+        return [self.sample_program(sql, options, feedback=feedback) for _ in range(k)]
+
     def _corrupt(self, steps: List[PlanStep]) -> List[PlanStep]:
         """Inject one plausible bug into the plan."""
         mode = self._rng.randint(0, 3)
@@ -150,13 +167,19 @@ class CodexDB:
         codex: SimulatedCodex,
         options: CodeGenOptions = CodeGenOptions(),
         retrier: Optional[Retrier] = None,
+        speculative: int = 1,
     ) -> None:
+        if speculative <= 0:
+            raise CodexDBError("speculative must be positive")
         self.db = db
         self.codex = codex
         self.options = options
         #: when set, every sample_program call runs under retry/backoff
         #: (the resilient path for a fault-injected Codex channel)
         self.retrier = retrier
+        #: candidates drawn per Codex request: > 1 samples a speculative
+        #: wave up-front (one batched request covers several attempts)
+        self.speculative = speculative
 
     def run(self, sql: str, max_attempts: int = 4) -> SynthesisResult:
         """Request programs until one validates (or attempts run out).
@@ -183,9 +206,12 @@ class CodexDB:
         runtime_failures = 0
         transient_failures = 0
         feedback: Optional[Sequence[Finding]] = None
+        queue: List[str] = []
         for attempt in range(1, max_attempts + 1):
             try:
-                code = self._sample(sql, feedback)
+                code = self._next_candidate(
+                    sql, feedback, queue, max_attempts - attempt + 1
+                )
             except (TransientError, DeadlineExceededError):
                 transient_failures += 1
                 feedback = None
@@ -226,10 +252,42 @@ class CodexDB:
             transient_failures=transient_failures,
         )
 
+    def _next_candidate(
+        self,
+        sql: str,
+        feedback: Optional[Sequence[Finding]],
+        queue: List[str],
+        remaining: int,
+    ) -> str:
+        """The next candidate to execute, refilling the speculative queue.
+
+        Analyzer feedback invalidates any queued candidates — they were
+        drawn without the error report in the prompt — so the repair
+        path always regenerates sequentially.
+        """
+        if feedback is not None:
+            queue.clear()
+            return self._sample(sql, feedback)
+        if not queue:
+            wave = min(self.speculative, remaining)
+            if wave <= 1:
+                return self._sample(sql, None)
+            queue.extend(self._sample_wave(sql, wave))
+        return queue.pop(0)
+
     def _sample(self, sql: str, feedback: Optional[Sequence[Finding]]) -> str:
         """One Codex request, retried with backoff when configured."""
         def request() -> str:
             return self.codex.sample_program(sql, self.options, feedback=feedback)
+
+        if self.retrier is None:
+            return request()
+        return self.retrier.call(request)
+
+    def _sample_wave(self, sql: str, k: int) -> List[str]:
+        """One batched Codex request for ``k`` speculative candidates."""
+        def request() -> List[str]:
+            return list(self.codex.sample_programs(sql, self.options, k))
 
         if self.retrier is None:
             return request()

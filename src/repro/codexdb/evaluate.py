@@ -61,6 +61,7 @@ def evaluate_codexdb(
     fault_profile: Optional[FaultProfile] = None,
     retry_policy: Optional[RetryPolicy] = None,
     clock: Optional[Clock] = None,
+    speculative: int = 1,
 ) -> CodexDBReport:
     """Run CodexDB over ``queries``; report success rate and retries.
 
@@ -70,6 +71,8 @@ def evaluate_codexdb(
     wrapped in a seeded :class:`FaultInjector` and every request runs
     under retry/backoff on a deterministic virtual clock (pass ``clock``
     to override); the report then carries a ``reliability`` section.
+    ``speculative > 1`` draws that many candidates per Codex request (a
+    batched wave covering several attempts) instead of one at a time.
     """
     codex = SimulatedCodex(error_rate=error_rate, seed=seed, unsafe_rate=unsafe_rate)
     retrier = None
@@ -83,7 +86,7 @@ def evaluate_codexdb(
             clock=clock,
             seed=seed,
         )
-    system = CodexDB(db, codex, options, retrier=retrier)
+    system = CodexDB(db, codex, options, retrier=retrier, speculative=speculative)
     report = CodexDBReport()
     for sql in queries:
         report.total += 1

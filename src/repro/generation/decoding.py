@@ -17,6 +17,7 @@ import numpy as np
 from repro.autograd import no_grad
 from repro.errors import GenerationError
 from repro.models.gpt import GPTModel
+from repro.nn.attention import causal_mask
 from repro.tokenizers import Tokenizer
 from repro.utils.rng import SeededRNG
 
@@ -75,7 +76,7 @@ def generate(
     prompt_ids: Sequence[int],
     config: Optional[GenerationConfig] = None,
     constraint: Optional[TokenConstraint] = None,
-    use_cache: bool = False,
+    use_cache: bool = True,
 ) -> List[int]:
     """Generate token ids continuing ``prompt_ids``.
 
@@ -83,12 +84,13 @@ def generate(
     context window slides if the sequence would exceed the model's
     ``max_seq_len``.
 
-    With ``use_cache=True`` decoding reuses per-layer key/value caches
-    (the standard incremental-decoding optimization): each step costs
-    O(context) attention instead of a full O(context^2) re-encode, with
-    bit-identical greedy outputs. The cached path requires the whole
-    sequence to fit the context window; otherwise it falls back to the
-    sliding-window re-encode.
+    ``use_cache=True`` (the default) reuses per-layer key/value caches
+    (the standard incremental-decoding optimization): the prompt is
+    primed with one chunked causal forward and each step then costs
+    O(context) attention instead of a full O(context^2) re-encode,
+    producing the same greedy token sequences. The cached path requires
+    the whole sequence to fit the context window; otherwise it falls
+    back to the sliding-window re-encode automatically.
     """
     config = config or GenerationConfig()
     if not prompt_ids:
@@ -135,15 +137,16 @@ def _generate_cached(
     generated: List[int] = []
 
     with no_grad():
-        # Prime the cache with the prompt, one position at a time.
-        next_logits = None
-        for position, token in enumerate(prompt_ids):
-            logits = model.forward_incremental(
-                np.array([[token]], dtype=np.int64), position, caches
-            )
-            next_logits = logits.data[0, -1].copy()
+        # Chunked causal prefill: one forward over the whole prompt with
+        # an in-chunk causal mask, instead of priming one token at a time.
+        length = len(prompt_ids)
+        prompt = np.array([prompt_ids], dtype=np.int64)
+        positions = np.arange(length)[None, :]
+        blocked = causal_mask(length)[None, None, :, :]
+        logits = model.forward_chunk(prompt, positions, caches, blocked=blocked)
+        next_logits = logits.data[0, -1].copy()
 
-        position = len(prompt_ids)
+        position = length
         for _ in range(config.max_new_tokens):
             next_id = _next_token(next_logits, generated, config, constraint, rng)
             if next_id is None or next_id in config.stop_ids:
@@ -183,9 +186,15 @@ def _pick_token(logits: np.ndarray, config: GenerationConfig, rng: SeededRNG) ->
         return int(np.argmax(logits))
 
     scaled = logits / config.temperature
-    if config.top_k > 0:
-        cutoff = np.sort(scaled)[-config.top_k]
-        scaled = np.where(scaled < cutoff, -np.inf, scaled)
+    if 0 < config.top_k < scaled.size:
+        # Keep exactly k tokens. A cutoff comparison (scaled < cutoff)
+        # would keep *every* token tied at the cutoff value, letting more
+        # than k survive; a stable sort instead breaks score ties
+        # deterministically in favour of the lowest token id.
+        keep = np.argsort(-scaled, kind="stable")[: config.top_k]
+        filtered = np.full_like(scaled, -np.inf)
+        filtered[keep] = scaled[keep]
+        scaled = filtered
     probs = _stable_softmax(scaled)
     if config.top_p < 1.0:
         order = np.argsort(-probs)
@@ -214,8 +223,13 @@ def generate_text(
     prompt: str,
     config: Optional[GenerationConfig] = None,
     constraint: Optional[TokenConstraint] = None,
+    use_cache: bool = True,
 ) -> str:
-    """Convenience wrapper: text in, text out, stopping at ``[EOS]``."""
+    """Convenience wrapper: text in, text out, stopping at ``[EOS]``.
+
+    Decodes with the KV cache by default (sequences that do not fit the
+    context window fall back to the sliding-window re-encode).
+    """
     config = config or GenerationConfig()
     if not config.stop_ids:
         config = GenerationConfig(
@@ -228,5 +242,5 @@ def generate_text(
             seed=config.seed,
         )
     prompt_ids = tokenizer.encode(prompt, add_bos=True).ids
-    out_ids = generate(model, prompt_ids, config, constraint)
+    out_ids = generate(model, prompt_ids, config, constraint, use_cache=use_cache)
     return tokenizer.decode(out_ids)

@@ -74,9 +74,65 @@ class GPTModel(Module):
         return hidden @ self.token_emb.weight.transpose(1, 0)
 
     # -- incremental decoding (KV cache) -----------------------------------
-    def init_cache(self) -> list:
-        """Fresh per-layer K/V caches for :meth:`forward_incremental`."""
-        return self.stack.init_cache()
+    def init_cache(
+        self, batch_size: Optional[int] = None, capacity: Optional[int] = None
+    ) -> list:
+        """Fresh per-layer K/V caches for cached decoding.
+
+        With no arguments: growing caches for the single-sequence
+        :meth:`forward_incremental` path. With ``batch_size`` and
+        ``capacity``: preallocated slotted caches for the padding-aware
+        batched path of :mod:`repro.serving`.
+        """
+        return self.stack.init_cache(batch_size=batch_size, capacity=capacity)
+
+    def encode_chunk(
+        self,
+        ids: np.ndarray,
+        positions: np.ndarray,
+        caches: list,
+        blocked: Optional[np.ndarray] = None,
+        write_cols: Optional[object] = None,
+        kv_len: Optional[int] = None,
+    ) -> Tensor:
+        """Hidden states for a chunk of new positions, updating the caches.
+
+        Inference-only. ``ids`` has shape (B, T) — a whole-prompt (or
+        chunked) causal prefill when T > 1, a decode step when T = 1.
+        ``positions`` holds each token's absolute position, broadcastable
+        to (B, T), so ragged batches can run rows at different offsets.
+        ``blocked``/``write_cols``/``kv_len`` are forwarded to
+        :meth:`repro.nn.MultiHeadAttention.incremental`.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.ndim != 2 or ids.shape[1] < 1:
+            raise ModelError(f"ids must be 2-D (batch, chunk), got shape {ids.shape}")
+        positions = np.broadcast_to(np.asarray(positions, dtype=np.int64), ids.shape)
+        if int(positions.max()) >= self.config.max_seq_len:
+            raise ModelError(
+                f"position {int(positions.max())} exceeds max_seq_len "
+                f"{self.config.max_seq_len}"
+            )
+        x = self.token_emb(ids) + self.pos_emb(positions)
+        return self.stack.incremental(
+            x, caches, blocked=blocked, write_cols=write_cols, kv_len=kv_len
+        )
+
+    def forward_chunk(
+        self,
+        ids: np.ndarray,
+        positions: np.ndarray,
+        caches: list,
+        blocked: Optional[np.ndarray] = None,
+        write_cols: Optional[object] = None,
+        kv_len: Optional[int] = None,
+    ) -> Tensor:
+        """Logits for a chunk of new positions (see :meth:`encode_chunk`)."""
+        hidden = self.encode_chunk(
+            ids, positions, caches,
+            blocked=blocked, write_cols=write_cols, kv_len=kv_len,
+        )
+        return self.logits_from_hidden(hidden)
 
     def forward_incremental(
         self, ids_step: np.ndarray, position: int, caches: list
@@ -94,7 +150,6 @@ class GPTModel(Module):
             raise ModelError(
                 f"position {position} exceeds max_seq_len {self.config.max_seq_len}"
             )
-        positions = np.full_like(ids_step, position)
-        x = self.token_emb(ids_step) + self.pos_emb(positions)
-        hidden = self.stack.incremental(x, caches)
-        return self.logits_from_hidden(hidden)
+        return self.forward_chunk(
+            ids_step, np.full_like(ids_step, position), caches
+        )

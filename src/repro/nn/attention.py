@@ -100,29 +100,76 @@ class MultiHeadAttention(Module):
 
     @property
     def last_attention(self) -> Optional[np.ndarray]:
-        """Attention weights of the most recent forward pass (B, H, T, T)."""
+        """Attention weights of the most recent forward pass (B, H, T, S).
+
+        Recorded by both the full :meth:`forward` and the cached
+        :meth:`incremental` path, so introspection never returns stale
+        weights from a previous non-cached call.
+        """
         return self._last_attention
 
-    def incremental(self, x: Tensor, cache: dict) -> Tensor:
-        """Attend one new position against cached keys/values.
+    def incremental(
+        self,
+        x: Tensor,
+        cache: dict,
+        blocked: Optional[np.ndarray] = None,
+        write_cols: Optional[object] = None,
+        kv_len: Optional[int] = None,
+    ) -> Tensor:
+        """Attend new positions against cached keys/values.
 
-        Inference-only fast path for autoregressive decoding: ``x`` is
-        the single new position (B, 1, D); the cache accumulates this
-        layer's K/V across steps so earlier positions are never
-        recomputed. Causality holds by construction — the new token sees
-        exactly the cached prefix plus itself.
+        Inference-only fast path for autoregressive decoding: ``x`` holds
+        the new positions (B, T, D) — a single decode step (T = 1) or a
+        prompt-prefill chunk (T > 1, with ``blocked`` carrying the
+        in-chunk causal mask). The cache accumulates this layer's K/V
+        across steps so earlier positions are never recomputed.
+
+        Two cache layouts are supported:
+
+        * **growing** (``write_cols is None``): ``cache["k"]``/``"v"``
+          are concatenated along the sequence axis each call — the
+          single-sequence layout used by :func:`repro.generation.generate`.
+        * **slotted** (``write_cols`` given): ``cache["k"]``/``"v"`` are
+          preallocated slabs of shape (B, H, capacity, D/H); the new K/V
+          are scattered at ``write_cols`` (a ``slice`` of columns for a
+          prefill chunk, or a per-row int array for ragged decode steps)
+          and only the first ``kv_len`` key columns are attended. This is
+          the padding-aware batched layout of :mod:`repro.serving`.
+
+        ``blocked`` is a boolean mask broadcastable to (B, H, T, S_kv),
+        True = position blocked (causal future, padding, or another
+        row's slots).
         """
         batch, seq, _ = x.shape
         q = self._split_heads(self.query(x), batch, seq).data
         k = self._split_heads(self.key(x), batch, seq).data
         v = self._split_heads(self.value(x), batch, seq).data
-        cache["k"] = k if "k" not in cache else np.concatenate([cache["k"], k], axis=2)
-        cache["v"] = v if "v" not in cache else np.concatenate([cache["v"], v], axis=2)
+        if write_cols is None:
+            cache["k"] = (
+                k if "k" not in cache else np.concatenate([cache["k"], k], axis=2)
+            )
+            cache["v"] = (
+                v if "v" not in cache else np.concatenate([cache["v"], v], axis=2)
+            )
+            keys, values = cache["k"], cache["v"]
+        elif isinstance(write_cols, slice):
+            cache["k"][:, :, write_cols] = k
+            cache["v"][:, :, write_cols] = v
+            keys, values = cache["k"][:, :, :kv_len], cache["v"][:, :, :kv_len]
+        else:
+            rows = np.arange(batch)
+            cols = np.asarray(write_cols)
+            cache["k"][rows, :, cols] = k[:, :, 0]
+            cache["v"][rows, :, cols] = v[:, :, 0]
+            keys, values = cache["k"][:, :, :kv_len], cache["v"][:, :, :kv_len]
 
-        scores = (q @ cache["k"].transpose(0, 1, 3, 2)) / np.sqrt(self.head_dim)
+        scores = (q @ keys.transpose(0, 1, 3, 2)) / np.sqrt(self.head_dim)
+        if blocked is not None:
+            scores = np.where(blocked, NEG_INF, scores)
         shifted = scores - scores.max(axis=-1, keepdims=True)
         weights = np.exp(shifted)
         weights = weights / weights.sum(axis=-1, keepdims=True)
-        context = weights @ cache["v"]
+        self._last_attention = weights
+        context = weights @ values
         merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
         return self.out(Tensor(merged))

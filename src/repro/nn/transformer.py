@@ -55,9 +55,19 @@ class TransformerBlock(Module):
         x = x + self.ff(self.ff_norm(x))
         return x
 
-    def incremental(self, x: Tensor, cache: dict) -> Tensor:
-        """One-new-position forward using this block's K/V cache."""
-        x = x + self.attn.incremental(self.attn_norm(x), cache)
+    def incremental(
+        self,
+        x: Tensor,
+        cache: dict,
+        blocked: Optional[np.ndarray] = None,
+        write_cols: Optional[object] = None,
+        kv_len: Optional[int] = None,
+    ) -> Tensor:
+        """Cached forward over new positions using this block's K/V cache."""
+        x = x + self.attn.incremental(
+            self.attn_norm(x), cache,
+            blocked=blocked, write_cols=write_cols, kv_len=kv_len,
+        )
         x = x + self.ff(self.ff_norm(x))
         return x
 
@@ -94,12 +104,39 @@ class TransformerStack(Module):
             x = block(x, attention_mask)
         return self.final_norm(x)
 
-    def init_cache(self) -> List[dict]:
-        """Fresh per-block K/V caches for incremental decoding."""
-        return [{} for _ in self.blocks]
+    def init_cache(
+        self, batch_size: Optional[int] = None, capacity: Optional[int] = None
+    ) -> List[dict]:
+        """Fresh per-block K/V caches for incremental decoding.
 
-    def incremental(self, x: Tensor, caches: List[dict]) -> Tensor:
-        """One-new-position forward through all blocks (inference only)."""
+        With no arguments the caches are empty dicts that grow by
+        concatenation. With ``batch_size`` and ``capacity`` they are
+        preallocated slotted slabs (B, H, capacity, D/H) for the
+        padding-aware batched layout (see
+        :meth:`MultiHeadAttention.incremental`).
+        """
+        if batch_size is None:
+            return [{} for _ in self.blocks]
+        if capacity is None or capacity <= 0 or batch_size <= 0:
+            raise ValueError("slotted caches need positive batch_size and capacity")
+        caches = []
+        for block in self.blocks:
+            attn = block.attn
+            shape = (batch_size, attn.num_heads, capacity, attn.head_dim)
+            caches.append({"k": np.zeros(shape), "v": np.zeros(shape)})
+        return caches
+
+    def incremental(
+        self,
+        x: Tensor,
+        caches: List[dict],
+        blocked: Optional[np.ndarray] = None,
+        write_cols: Optional[object] = None,
+        kv_len: Optional[int] = None,
+    ) -> Tensor:
+        """Cached forward over new positions through all blocks."""
         for block, cache in zip(self.blocks, caches):
-            x = block.incremental(x, cache)
+            x = block.incremental(
+                x, cache, blocked=blocked, write_cols=write_cols, kv_len=kv_len
+            )
         return self.final_norm(x)

@@ -145,7 +145,24 @@ class FaultyCompletionClient:
 
     def complete(self, engine: str, prompt: str, **kwargs):
         self.injector.before_request(engine)
-        response = self.inner.complete(engine, prompt, **kwargs)
+        return self._garble_response(self.inner.complete(engine, prompt, **kwargs))
+
+    def complete_batch(self, engine: str, prompts, **kwargs):
+        """Batched completion over the same bad network.
+
+        One injected-fault decision guards the whole batch (a batched
+        call is one request on the wire); garbling still strikes each
+        returned choice independently.
+        """
+        self.injector.before_request(engine)
+        batch = getattr(self.inner, "complete_batch", None)
+        if batch is None:
+            responses = [self.inner.complete(engine, p, **kwargs) for p in prompts]
+        else:
+            responses = batch(engine, list(prompts), **kwargs)
+        return [self._garble_response(response) for response in responses]
+
+    def _garble_response(self, response):
         choices = []
         any_garbled = False
         for choice in response.choices:
@@ -179,7 +196,15 @@ class FaultyCodex:
 
     def sample_program(self, sql: str, options, feedback=None) -> str:
         self.injector.before_request("codex")
-        code = self.inner.sample_program(sql, options, feedback=feedback)
+        return self._garble_code(self.inner.sample_program(sql, options, feedback=feedback))
+
+    def sample_programs(self, sql: str, options, k: int, feedback=None) -> list:
+        """Draw ``k`` candidates behind one injected-fault decision."""
+        self.injector.before_request("codex")
+        codes = self.inner.sample_programs(sql, options, k, feedback=feedback)
+        return [self._garble_code(code) for code in codes]
+
+    def _garble_code(self, code: str) -> str:
         garbled_code, garbled = self.injector.maybe_garble(code)
         if not garbled:
             return code

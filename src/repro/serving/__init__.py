@@ -1,0 +1,26 @@
+"""Batched inference serving for the numpy Transformer.
+
+Vectorizes decoding across sequences: padding-aware batched KV caches,
+chunked causal prefill, per-sequence stop handling, and a FIFO
+microbatching scheduler. See :class:`BatchedGenerator` for the engine
+and :class:`BatchScheduler` for the queueing front-end.
+"""
+
+from repro.serving.dispatch import complete_many
+from repro.serving.engine import (
+    BatchedGenerator,
+    BatchRequest,
+    BatchResult,
+    GeneratorStats,
+)
+from repro.serving.scheduler import BatchScheduler, SchedulerStats
+
+__all__ = [
+    "BatchedGenerator",
+    "BatchRequest",
+    "BatchResult",
+    "BatchScheduler",
+    "GeneratorStats",
+    "SchedulerStats",
+    "complete_many",
+]

@@ -1,0 +1,28 @@
+"""Batch-aware dispatch helpers for application subsystems.
+
+The application layers (CodexDB, text-to-SQL, data wrangling) talk to a
+completion *client* — sometimes the real :class:`repro.api.CompletionClient`,
+sometimes a reliability or fault-injection wrapper. :func:`complete_many`
+lets them batch per-prompt hot loops opportunistically: clients that
+expose ``complete_batch`` serve all prompts through the batched engine,
+anything else transparently falls back to a per-prompt loop, so wrappers
+never have to implement batching to stay compatible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def complete_many(client, engine: str, prompts: Sequence[str], **kwargs) -> List:
+    """Complete every prompt, batched when the client supports it.
+
+    Returns one :class:`~repro.api.client.CompletionResponse` per prompt,
+    in prompt order. ``kwargs`` are forwarded unchanged to the client's
+    ``complete_batch`` (or per-prompt ``complete``) call.
+    """
+    batch = getattr(client, "complete_batch", None)
+    if batch is not None:
+        return list(batch(engine, list(prompts), **kwargs))
+    # repro: noqa[per-prompt-loop] — this IS the designated fallback loop.
+    return [client.complete(engine, prompt, **kwargs) for prompt in prompts]

@@ -1,0 +1,290 @@
+"""Vectorized batched decoding over the numpy Transformer.
+
+One :class:`BatchedGenerator` turns N queued prompts into one sequence
+of model forwards: a *chunked causal prefill* (one forward over each
+prompt chunk with an in-chunk causal mask, instead of priming the cache
+one token at a time) followed by a vectorized decode loop in which every
+active sequence advances one token per forward. Ragged prompt lengths
+are handled with padding-aware slotted KV caches — each row's keys
+occupy columns ``0..len-1`` of a preallocated slab and a per-row mask
+blocks everything beyond — so sequences of different lengths share the
+same batch without influencing each other.
+
+Requests with ``n > 1`` choices prefill the prompt **once** and fork the
+cache afterwards (the choices share the prompt's K/V), which is what
+makes multi-sample recipes — CodexDB's candidate programs, GPT-3-style
+self-consistency — cheap. Finished sequences retire from the batch
+immediately (their rows are compacted away), so one long request never
+taxes the short ones that already finished.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.errors import GenerationError
+from repro.generation.decoding import (
+    GenerationConfig,
+    TokenConstraint,
+    _next_token,
+    generate,
+)
+from repro.models.gpt import GPTModel
+from repro.utils.rng import SeededRNG
+
+
+@dataclass
+class BatchRequest:
+    """One queued generation request (``n`` choices share one prefill)."""
+
+    prompt_ids: Sequence[int]
+    config: GenerationConfig = field(default_factory=GenerationConfig)
+    constraint: Optional[TokenConstraint] = None
+    n: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.prompt_ids:
+            raise GenerationError("prompt must contain at least one token")
+        if self.n <= 0:
+            raise GenerationError("n must be positive")
+
+
+@dataclass
+class BatchResult:
+    """Generated ids for one request: one sequence per choice.
+
+    ``batched`` is False when the request did not fit the context window
+    and was served by the sequential sliding-window fallback instead.
+    """
+
+    sequences: List[List[int]]
+    batched: bool = True
+
+
+@dataclass
+class GeneratorStats:
+    """Forward-pass accounting for one :class:`BatchedGenerator`."""
+
+    prefill_chunks: int = 0
+    prefill_tokens: int = 0
+    decode_steps: int = 0
+    generated_tokens: int = 0
+    retired_sequences: int = 0
+    sequential_fallbacks: int = 0
+
+
+@dataclass
+class _ChoiceState:
+    """Decode-time state of one active sequence (request choice)."""
+
+    request_index: int
+    choice_index: int
+    config: GenerationConfig
+    constraint: Optional[TokenConstraint]
+    rng: SeededRNG
+    generated: List[int] = field(default_factory=list)
+
+
+class BatchedGenerator:
+    """Decode many sequences per model forward (inference only).
+
+    ``prefill_chunk`` bounds the width of each prefill forward; ``None``
+    primes every prompt in a single chunk. Greedy decoding produces the
+    same token sequences as per-prompt :func:`repro.generation.generate`,
+    and sampling draws from per-sequence seeded RNGs exactly as the
+    sequential path does (choice ``j`` of a request samples with
+    ``config.seed + j``).
+    """
+
+    def __init__(self, model: GPTModel, prefill_chunk: Optional[int] = None) -> None:
+        if prefill_chunk is not None and prefill_chunk <= 0:
+            raise GenerationError("prefill_chunk must be positive")
+        self.model = model
+        self.prefill_chunk = prefill_chunk
+        self.stats = GeneratorStats()
+
+    def generate(self, requests: Sequence[BatchRequest]) -> List[BatchResult]:
+        """Serve ``requests`` in one batch; order follows the input."""
+        results: List[Optional[BatchResult]] = [None] * len(requests)
+        max_len = self.model.config.max_seq_len
+        batched: List[int] = []
+        for i, request in enumerate(requests):
+            if len(request.prompt_ids) + request.config.max_new_tokens <= max_len:
+                batched.append(i)
+            else:
+                results[i] = self._sequential_fallback(request)
+        if batched:
+            self.model.eval()
+            with no_grad():
+                for i, result in zip(batched, self._run([requests[i] for i in batched])):
+                    results[i] = result
+        return [r for r in results if r is not None]
+
+    def _sequential_fallback(self, request: BatchRequest) -> BatchResult:
+        """Serve one non-fitting request with sliding-window decoding."""
+        self.stats.sequential_fallbacks += 1
+        sequences = [
+            generate(
+                self.model,
+                request.prompt_ids,
+                _choice_config(request.config, choice),
+                request.constraint,
+            )
+            for choice in range(request.n)
+        ]
+        return BatchResult(sequences=sequences, batched=False)
+
+    # -- the batched path --------------------------------------------------
+    def _run(self, requests: Sequence[BatchRequest]) -> List[BatchResult]:
+        prompt_lengths = np.array([len(r.prompt_ids) for r in requests])
+        capacity = int(
+            max(
+                len(r.prompt_ids) + r.config.max_new_tokens for r in requests
+            )
+        )
+        caches = self.model.init_cache(batch_size=len(requests), capacity=capacity)
+        next_logits = self._prefill(requests, prompt_lengths, caches)
+
+        # Fork each request's prefilled cache across its n choices.
+        repeats = np.array([r.n for r in requests])
+        for cache in caches:
+            cache["k"] = np.repeat(cache["k"], repeats, axis=0)
+            cache["v"] = np.repeat(cache["v"], repeats, axis=0)
+        lengths = np.repeat(prompt_lengths, repeats)
+        next_logits = np.repeat(next_logits, repeats, axis=0)
+        states = [
+            _ChoiceState(
+                request_index=i,
+                choice_index=j,
+                config=_choice_config(request.config, j),
+                constraint=request.constraint,
+                rng=SeededRNG(request.config.seed + j),
+            )
+            for i, request in enumerate(requests)
+            for j in range(request.n)
+        ]
+
+        results = [BatchResult(sequences=[]) for _ in requests]
+        while states:
+            keep = self._advance(states, next_logits, results)
+            if not keep.all():
+                states = [s for s, k in zip(states, keep) if k]
+                lengths = lengths[keep]
+                next_logits = next_logits[keep]
+                for cache in caches:
+                    cache["k"] = cache["k"][keep]
+                    cache["v"] = cache["v"][keep]
+            if not states:
+                break
+            next_logits = self._decode_step(states, lengths, caches)
+            lengths += 1
+        for result in results:
+            result.sequences.sort(key=lambda pair: pair[0])
+            result.sequences[:] = [seq for _, seq in result.sequences]
+        return results
+
+    def _prefill(
+        self,
+        requests: Sequence[BatchRequest],
+        prompt_lengths: np.ndarray,
+        caches: list,
+    ) -> np.ndarray:
+        """Chunked causal prefill; returns each row's next-token logits."""
+        rows = len(requests)
+        longest = int(prompt_lengths.max())
+        prompts = np.zeros((rows, longest), dtype=np.int64)
+        for i, request in enumerate(requests):
+            prompts[i, : prompt_lengths[i]] = request.prompt_ids
+        next_logits = np.zeros((rows, self.model.config.vocab_size))
+        chunk = self.prefill_chunk or longest
+        for start in range(0, longest, chunk):
+            stop = min(start + chunk, longest)
+            # In-chunk causal mask over absolute columns: query at column
+            # start+t may see keys 0..start+t. Rows already past their
+            # prompt produce padding garbage that is never read.
+            blocked = (
+                np.arange(stop)[None, :] > (start + np.arange(stop - start))[:, None]
+            )
+            hidden = self.model.encode_chunk(
+                prompts[:, start:stop],
+                np.arange(start, stop)[None, :],
+                caches,
+                blocked=blocked[None, None],
+                write_cols=slice(start, stop),
+                kv_len=stop,
+            )
+            self.stats.prefill_chunks += 1
+            # Harvest logits for rows whose last prompt token is here.
+            last = prompt_lengths - 1
+            sel = (last >= start) & (last < stop)
+            if sel.any():
+                picked = hidden.data[np.where(sel)[0], last[sel] - start]
+                logits = self.model.logits_from_hidden(Tensor(picked))
+                next_logits[sel] = logits.data
+        self.stats.prefill_tokens += int(prompt_lengths.sum())
+        return next_logits
+
+    def _advance(
+        self,
+        states: List[_ChoiceState],
+        next_logits: np.ndarray,
+        results: List[BatchResult],
+    ) -> np.ndarray:
+        """Pick one token per active sequence; retire finished rows."""
+        keep = np.ones(len(states), dtype=bool)
+        plain_greedy = all(
+            s.config.strategy == "greedy" and s.constraint is None for s in states
+        )
+        greedy_ids = np.argmax(next_logits, axis=-1) if plain_greedy else None
+        for i, state in enumerate(states):
+            if greedy_ids is not None:
+                token: Optional[int] = int(greedy_ids[i])
+            else:
+                token = _next_token(
+                    next_logits[i], state.generated, state.config,
+                    state.constraint, state.rng,
+                )
+            if token is None or token in state.config.stop_ids:
+                keep[i] = False
+            else:
+                state.generated.append(token)
+                self.stats.generated_tokens += 1
+                if len(state.generated) >= state.config.max_new_tokens:
+                    keep[i] = False
+            if not keep[i]:
+                self.stats.retired_sequences += 1
+                results[state.request_index].sequences.append(
+                    (state.choice_index, state.generated)
+                )
+        return keep
+
+    def _decode_step(
+        self, states: List[_ChoiceState], lengths: np.ndarray, caches: list
+    ) -> np.ndarray:
+        """One vectorized forward advancing every active sequence."""
+        step_ids = np.array([[s.generated[-1]] for s in states], dtype=np.int64)
+        kv_len = int(lengths.max()) + 1
+        blocked = (np.arange(kv_len)[None, :] > lengths[:, None])[:, None, None, :]
+        hidden = self.model.encode_chunk(
+            step_ids,
+            lengths[:, None],
+            caches,
+            blocked=blocked,
+            write_cols=lengths,
+            kv_len=kv_len,
+        )
+        logits = self.model.logits_from_hidden(Tensor(hidden.data[:, 0]))
+        self.stats.decode_steps += 1
+        return logits.data
+
+
+def _choice_config(config: GenerationConfig, choice: int) -> GenerationConfig:
+    """Choice ``j`` of an n-way request decodes with ``seed + j``."""
+    if choice == 0:
+        return config
+    return dataclasses.replace(config, seed=config.seed + choice)

@@ -1,0 +1,98 @@
+"""Microbatching scheduler over :class:`repro.serving.BatchedGenerator`.
+
+Callers queue :class:`~repro.serving.engine.BatchRequest`\\ s with
+:meth:`BatchScheduler.submit` and receive tickets; :meth:`BatchScheduler.run`
+packs the queue into FIFO microbatches bounded by ``max_batch_size``
+*sequences* (a request with ``n`` choices occupies ``n`` slots), hands
+each microbatch to the generator — which retires finished sequences
+mid-batch — and returns results keyed by ticket. This is the
+serving-layer shape of the paper's hosted-API deployments: many callers'
+prompts share one model, and throughput comes from batching, not from
+making any single request faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import GenerationError
+from repro.models.gpt import GPTModel
+from repro.serving.engine import BatchedGenerator, BatchRequest, BatchResult
+
+
+@dataclass
+class SchedulerStats:
+    """Counters describing one scheduler's lifetime of work."""
+
+    submitted: int = 0
+    completed: int = 0
+    microbatches: int = 0
+    peak_batch: int = 0
+    sequential_fallbacks: int = 0
+    prompt_tokens: int = 0
+    generated_tokens: int = 0
+
+
+class BatchScheduler:
+    """FIFO microbatching front-end for batched generation.
+
+    ``max_batch_size`` caps the number of *sequences* (sum of each
+    request's ``n``) decoded together. A single request wider than the
+    cap still runs — alone in its own microbatch — so oversized requests
+    degrade throughput rather than deadlock the queue.
+    """
+
+    def __init__(
+        self,
+        model: GPTModel,
+        max_batch_size: int = 8,
+        prefill_chunk: Optional[int] = None,
+    ) -> None:
+        if max_batch_size <= 0:
+            raise GenerationError("max_batch_size must be positive")
+        self.generator = BatchedGenerator(model, prefill_chunk=prefill_chunk)
+        self.max_batch_size = max_batch_size
+        self.stats = SchedulerStats()
+        self._queue: List[Tuple[int, BatchRequest]] = []
+        self._next_ticket = 0
+
+    def submit(self, request: BatchRequest) -> int:
+        """Queue a request; returns a ticket identifying its result."""
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._queue.append((ticket, request))
+        self.stats.submitted += 1
+        return ticket
+
+    def run(self) -> Dict[int, BatchResult]:
+        """Drain the queue; returns ``{ticket: result}`` for all of it."""
+        results: Dict[int, BatchResult] = {}
+        while self._queue:
+            batch = self._take_microbatch()
+            self.stats.microbatches += 1
+            occupancy = sum(request.n for _, request in batch)
+            self.stats.peak_batch = max(self.stats.peak_batch, occupancy)
+            batch_results = self.generator.generate([r for _, r in batch])
+            for (ticket, request), result in zip(batch, batch_results):
+                results[ticket] = result
+                self.stats.completed += 1
+                self.stats.prompt_tokens += len(request.prompt_ids)
+                self.stats.generated_tokens += sum(
+                    len(seq) for seq in result.sequences
+                )
+                if not result.batched:
+                    self.stats.sequential_fallbacks += 1
+        return results
+
+    def _take_microbatch(self) -> List[Tuple[int, BatchRequest]]:
+        """Pop a FIFO prefix of the queue within the occupancy budget."""
+        batch: List[Tuple[int, BatchRequest]] = []
+        occupancy = 0
+        while self._queue:
+            ticket, request = self._queue[0]
+            if batch and occupancy + request.n > self.max_batch_size:
+                break
+            batch.append(self._queue.pop(0))
+            occupancy += request.n
+        return batch

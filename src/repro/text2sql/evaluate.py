@@ -106,17 +106,26 @@ def evaluate_translator(
     workload: Text2SQLWorkload,
     examples: Sequence[Text2SQLExample],
     reliability_source: Optional[object] = None,
+    translate_batch: Optional[Callable[[Sequence[str]], List[str]]] = None,
 ) -> EvaluationReport:
     """Score a translator by execution accuracy on ``examples``.
 
     ``reliability_source`` is anything exposing a ``metrics`` attribute
     with ``as_dict()`` (a :class:`~repro.reliability.ResilientClient`);
-    its snapshot is attached to the report as ``reliability``.
+    its snapshot is attached to the report as ``reliability``. With
+    ``translate_batch`` (e.g. ``ClientTranslator.translate_batch``), all
+    questions are translated in one batched serving call before scoring
+    instead of one request per example.
     """
     report = EvaluationReport()
     counts: Dict[str, List[int]] = {}
-    for example in examples:
-        predicted = translate(example.question)
+    if translate_batch is not None:
+        predictions = list(translate_batch([e.question for e in examples]))
+        if len(predictions) != len(examples):
+            raise ReproError("translate_batch returned a misaligned prediction list")
+    else:
+        predictions = [translate(example.question) for example in examples]
+    for example, predicted in zip(examples, predictions):
         ok = bool(predicted) and execution_match(workload.db, predicted, example.sql)
         valid = bool(predicted) and is_valid_sql(workload.db, predicted)
         static = bool(predicted) and is_statically_valid(workload.db, predicted)

@@ -34,6 +34,7 @@ from repro.errors import (
 )
 from repro.generation import GenerationConfig, generate
 from repro.models import GPTModel, ModelConfig
+from repro.serving import complete_many
 from repro.tokenizers import Tokenizer, WhitespaceTokenizer
 from repro.training.data import IGNORE_INDEX
 from repro.training.optim import AdamW
@@ -149,6 +150,32 @@ class ClientTranslator:
             )
         except (TransientError, DeadlineExceededError, CircuitOpenError):
             return self._degrade(question)
+        return self._accept(question, response)
+
+    def translate_batch(self, questions: Sequence[str]) -> List[str]:
+        """Translate many questions through one batched serving call.
+
+        Clients exposing ``complete_batch`` serve the whole workload in
+        vectorized microbatches; anything else transparently degrades to
+        a per-question loop — as does a terminal serving failure on the
+        batched call, so the no-raise contract of :meth:`translate`
+        holds here too.
+        """
+        questions = list(questions)
+        prompts = [build_prompt(question) for question in questions]
+        try:
+            responses = complete_many(
+                self.client, self.engine, prompts, max_tokens=self.max_new_tokens
+            )
+        except (TransientError, DeadlineExceededError, CircuitOpenError):
+            return [self.translate(question) for question in questions]
+        return [
+            self._accept(question, response)
+            for question, response in zip(questions, responses)
+        ]
+
+    def _accept(self, question: str, response) -> str:
+        """Vet one completion, degrading on untrusted channels."""
         decoded = response.text
         if response.choices[0].finish_reason in ("garbled", "degraded"):
             # A corrupted or baseline-produced completion is not trusted

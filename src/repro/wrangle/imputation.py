@@ -13,6 +13,7 @@ from repro.errors import (
     TransientError,
     WrangleError,
 )
+from repro.serving import complete_many
 from repro.utils.rng import SeededRNG
 from repro.models import BERTModel, ModelConfig, SequenceClassifier
 from repro.tokenizers import Tokenizer, WhitespaceTokenizer
@@ -170,6 +171,34 @@ class ClientImputer:
         except (TransientError, DeadlineExceededError, CircuitOpenError):
             self.degraded += 1
             return self._fallback.predict(example)
+        return self._accept(example, response)
+
+    def predict_batch(self, examples: Sequence[ImputationExample]) -> List[str]:
+        """Impute many records through one batched serving call.
+
+        Clients exposing ``complete_batch`` serve every record in
+        vectorized microbatches; anything else — and a terminal serving
+        failure on the batched call — transparently degrades to the
+        per-record :meth:`predict` path, preserving its no-raise
+        contract.
+        """
+        if self._fallback is None:
+            raise WrangleError("imputer is not fitted")
+        examples = list(examples)
+        prompts = [self._prompt(example) for example in examples]
+        try:
+            responses = complete_many(
+                self.client, self.engine, prompts, max_tokens=3, stop=[";"]
+            )
+        except (TransientError, DeadlineExceededError, CircuitOpenError):
+            return [self.predict(example) for example in examples]
+        return [
+            self._accept(example, response)
+            for example, response in zip(examples, responses)
+        ]
+
+    def _accept(self, example: ImputationExample, response) -> str:
+        """Map one completion to a known class, or the majority answer."""
         words = response.text.split()
         guess = words[0].lower() if words else ""
         for value in self.classes:
@@ -188,7 +217,15 @@ class ClientImputer:
 
 
 def evaluate_imputer(imputer, examples: Sequence[ImputationExample]) -> float:
-    """Exact-match accuracy of an imputer."""
-    predictions = [imputer.predict(e) for e in examples]
+    """Exact-match accuracy of an imputer.
+
+    Imputers exposing ``predict_batch`` (e.g. :class:`ClientImputer`)
+    are scored from one batched serving call over all records.
+    """
+    predict_batch = getattr(imputer, "predict_batch", None)
+    if predict_batch is not None:
+        predictions = list(predict_batch(examples))
+    else:
+        predictions = [imputer.predict(e) for e in examples]
     labels = [e.target_value for e in examples]
     return sum(p == l for p, l in zip(predictions, labels)) / len(examples)

@@ -262,3 +262,88 @@ class TestTrainedModelGeneration:
         # The toy grammar is SVO: a verb should follow a subject.
         verbs = {"stores", "scans", "joins", "returns", "updates"}
         assert any(v in text.split() for v in verbs)
+
+
+class TestDecodingEdgeCases:
+    """Edge cases of the token-filtering strategies themselves."""
+
+    def _support(self, logits, config, draws=300):
+        from repro.generation.decoding import _pick_token
+        from repro.utils.rng import SeededRNG
+
+        rng = SeededRNG(0)
+        return {_pick_token(np.array(logits, dtype=float), config, rng)
+                for _ in range(draws)}
+
+    def test_top_k_keeps_exactly_k_under_ties(self):
+        # Three tokens tie for the top; a cutoff comparison would keep
+        # all three. Exactly k must survive, ties broken by lowest id.
+        config = GenerationConfig(
+            strategy="sample", top_k=2, temperature=1.0, max_new_tokens=1
+        )
+        support = self._support([1.0, 1.0, 1.0, 0.0], config)
+        assert support == {0, 1}
+
+    def test_top_k_all_tied_vocabulary(self):
+        config = GenerationConfig(
+            strategy="sample", top_k=3, temperature=1.0, max_new_tokens=1
+        )
+        support = self._support([2.0] * 6, config)
+        assert support == {0, 1, 2}
+
+    def test_top_k_at_least_vocab_is_no_filter(self):
+        config = GenerationConfig(
+            strategy="sample", top_k=10, temperature=2.0, max_new_tokens=1
+        )
+        support = self._support([0.1, 0.0, -0.1], config, draws=600)
+        assert support == {0, 1, 2}
+
+    def test_top_p_exact_cumulative_boundary(self):
+        # probs == [0.5, 0.3, 0.2]; top_p = 0.5 must keep the *smallest*
+        # set reaching the threshold — only token 0.
+        logits = list(np.log([0.5, 0.3, 0.2]))
+        config = GenerationConfig(
+            strategy="sample", top_p=0.5, temperature=1.0, max_new_tokens=1
+        )
+        assert self._support(logits, config) == {0}
+
+    def test_top_p_just_past_boundary_keeps_two(self):
+        logits = list(np.log([0.5, 0.3, 0.2]))
+        config = GenerationConfig(
+            strategy="sample", top_p=0.51, temperature=1.0, max_new_tokens=1
+        )
+        assert self._support(logits, config) == {0, 1}
+
+    def test_cached_constraint_masks_under_sampling(self, model):
+        config = GenerationConfig(
+            max_new_tokens=8, strategy="sample", temperature=2.5, seed=2
+        )
+        out = generate(
+            model, [1], config, constraint=FixedConstraint([3, 7]), use_cache=True
+        )
+        assert out and set(out) <= {3, 7}
+        assert out == generate(
+            model, [1], config, constraint=FixedConstraint([3, 7]), use_cache=False
+        )
+
+    def test_incremental_records_last_attention(self, model):
+        from repro.autograd import no_grad
+
+        attn = model.stack.blocks[0].attn
+        caches = model.init_cache()
+        with no_grad():
+            model.forward_incremental(np.array([[1]]), 0, caches)
+            first = attn.last_attention
+            assert first is not None and first.shape[-1] == 1
+            model.forward_incremental(np.array([[2]]), 1, caches)
+            second = attn.last_attention
+        # The cached step must refresh the recorded weights, never leave
+        # stale introspection from an earlier call.
+        assert second is not None and second.shape[-1] == 2
+
+    def test_generate_defaults_to_cache(self, model):
+        # The cached and recompute paths must agree on default settings.
+        config = GenerationConfig(max_new_tokens=12, stop_ids=())
+        assert generate(model, [2, 4, 6], config) == generate(
+            model, [2, 4, 6], config, use_cache=False
+        )

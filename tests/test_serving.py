@@ -1,0 +1,604 @@
+"""Tests for repro.serving: the batched engine, the microbatching
+scheduler, ``complete_batch`` on the API/reliability clients, and the
+batched application-subsystem paths."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.api import CompletionClient, ModelHub
+from repro.codexdb import CodeGenOptions
+from repro.codexdb.codex import CodexDB, SimulatedCodex
+from repro.errors import GenerationError, TransientError
+from repro.generation import GenerationConfig, generate
+from repro.models import GPTModel, ModelConfig
+from repro.reliability import (
+    FaultInjector,
+    FaultProfile,
+    FaultyCompletionClient,
+    ResilientClient,
+    RetryPolicy,
+    VirtualClock,
+)
+from repro.serving import (
+    BatchedGenerator,
+    BatchRequest,
+    BatchScheduler,
+    complete_many,
+)
+from repro.sql import Database
+from repro.text2sql import (
+    ClientTranslator,
+    evaluate_translator,
+    generate_workload,
+    register_translator,
+)
+from repro.text2sql.translator import train_translator
+from repro.wrangle import ClientImputer, generate_imputation_dataset
+from repro.wrangle.imputation import evaluate_imputer
+
+
+@pytest.fixture(scope="module")
+def model():
+    return GPTModel(ModelConfig.tiny(vocab_size=48), seed=7)
+
+
+@pytest.fixture(scope="module")
+def ragged_prompts():
+    rng = np.random.default_rng(0)
+    return [list(map(int, rng.integers(1, 48, size=n))) for n in (3, 9, 1, 12, 6, 4)]
+
+
+class OddOnly:
+    """Constraint fixture: only odd token ids may be generated."""
+
+    def __init__(self, vocab):
+        self.vocab = vocab
+
+    def allowed_tokens(self, generated_ids):
+        return list(range(1, self.vocab, 2))
+
+
+class TestBatchedGenerator:
+    def test_ragged_greedy_matches_sequential(self, model, ragged_prompts):
+        config = GenerationConfig(max_new_tokens=10)
+        results = BatchedGenerator(model).generate(
+            [BatchRequest(p, config) for p in ragged_prompts]
+        )
+        expected = [generate(model, p, config) for p in ragged_prompts]
+        assert [r.sequences[0] for r in results] == expected
+        assert all(r.batched for r in results)
+
+    def test_chunked_prefill_matches_whole_prompt_prefill(
+        self, model, ragged_prompts
+    ):
+        config = GenerationConfig(max_new_tokens=8)
+        whole = BatchedGenerator(model).generate(
+            [BatchRequest(p, config) for p in ragged_prompts]
+        )
+        chunked = BatchedGenerator(model, prefill_chunk=4).generate(
+            [BatchRequest(p, config) for p in ragged_prompts]
+        )
+        assert [r.sequences for r in whole] == [r.sequences for r in chunked]
+
+    def test_sampling_matches_sequential_seeds(self, model, ragged_prompts):
+        config = GenerationConfig(
+            max_new_tokens=8, strategy="sample", temperature=0.8, top_k=6, seed=13
+        )
+        results = BatchedGenerator(model).generate(
+            [BatchRequest(p, config) for p in ragged_prompts]
+        )
+        expected = [generate(model, p, config) for p in ragged_prompts]
+        assert [r.sequences[0] for r in results] == expected
+
+    def test_per_sequence_stops(self, model, ragged_prompts):
+        base = generate(model, ragged_prompts[0], GenerationConfig(max_new_tokens=10))
+        config = GenerationConfig(max_new_tokens=10, stop_ids=(base[2],))
+        results = BatchedGenerator(model).generate(
+            [BatchRequest(p, config) for p in ragged_prompts]
+        )
+        expected = [generate(model, p, config) for p in ragged_prompts]
+        assert [r.sequences[0] for r in results] == expected
+
+    def test_n_choices_share_prefill_and_match_seed_offsets(self, model):
+        prompt = [5, 9, 2, 14]
+        config = GenerationConfig(
+            max_new_tokens=6, strategy="sample", temperature=0.9, seed=3
+        )
+        generator = BatchedGenerator(model)
+        (result,) = generator.generate([BatchRequest(prompt, config, n=3)])
+        expected = [
+            generate(model, prompt, dataclasses.replace(config, seed=config.seed + j))
+            for j in range(3)
+        ]
+        assert result.sequences == expected
+        # One prefill chunk covered all three choices.
+        assert generator.stats.prefill_chunks == 1
+        assert generator.stats.prefill_tokens == len(prompt)
+
+    def test_constraint_applies_per_sequence(self, model, ragged_prompts):
+        config = GenerationConfig(max_new_tokens=6)
+        constraint = OddOnly(model.config.vocab_size)
+        results = BatchedGenerator(model).generate(
+            [BatchRequest(p, config, constraint=constraint) for p in ragged_prompts]
+        )
+        expected = [
+            generate(model, p, config, OddOnly(model.config.vocab_size))
+            for p in ragged_prompts
+        ]
+        assert [r.sequences[0] for r in results] == expected
+        assert all(t % 2 == 1 for r in results for t in r.sequences[0])
+
+    def test_mixed_strategies_in_one_batch(self, model, ragged_prompts):
+        greedy = GenerationConfig(max_new_tokens=7)
+        sampled = GenerationConfig(
+            max_new_tokens=7, strategy="sample", temperature=0.7, seed=21
+        )
+        requests = [
+            BatchRequest(ragged_prompts[0], greedy),
+            BatchRequest(ragged_prompts[1], sampled),
+            BatchRequest(ragged_prompts[2], greedy),
+        ]
+        results = BatchedGenerator(model).generate(requests)
+        assert results[0].sequences[0] == generate(model, ragged_prompts[0], greedy)
+        assert results[1].sequences[0] == generate(model, ragged_prompts[1], sampled)
+        assert results[2].sequences[0] == generate(model, ragged_prompts[2], greedy)
+
+    def test_oversized_request_falls_back_sequentially(self, model):
+        config = GenerationConfig(max_new_tokens=model.config.max_seq_len)
+        generator = BatchedGenerator(model)
+        (result,) = generator.generate([BatchRequest([1, 2, 3], config)])
+        assert not result.batched
+        assert generator.stats.sequential_fallbacks == 1
+        assert result.sequences[0] == generate(model, [1, 2, 3], config)
+
+    def test_empty_prompt_rejected(self):
+        with pytest.raises(GenerationError):
+            BatchRequest([], GenerationConfig())
+
+    def test_bad_prefill_chunk_rejected(self, model):
+        with pytest.raises(GenerationError):
+            BatchedGenerator(model, prefill_chunk=0)
+
+
+class TestBatchScheduler:
+    def test_results_keyed_by_ticket(self, model, ragged_prompts):
+        config = GenerationConfig(max_new_tokens=9)
+        scheduler = BatchScheduler(model, max_batch_size=4)
+        tickets = [
+            scheduler.submit(BatchRequest(p, config)) for p in ragged_prompts
+        ]
+        results = scheduler.run()
+        expected = [generate(model, p, config) for p in ragged_prompts]
+        assert [results[t].sequences[0] for t in tickets] == expected
+
+    def test_microbatch_packing_stats(self, model, ragged_prompts):
+        config = GenerationConfig(max_new_tokens=4)
+        scheduler = BatchScheduler(model, max_batch_size=4)
+        for p in ragged_prompts:
+            scheduler.submit(BatchRequest(p, config))
+        scheduler.run()
+        assert scheduler.stats.submitted == 6
+        assert scheduler.stats.completed == 6
+        assert scheduler.stats.microbatches == 2
+        assert scheduler.stats.peak_batch == 4
+
+    def test_wide_request_occupies_n_slots(self, model):
+        config = GenerationConfig(
+            max_new_tokens=4, strategy="sample", temperature=0.9
+        )
+        scheduler = BatchScheduler(model, max_batch_size=4)
+        scheduler.submit(BatchRequest([1, 2], config, n=3))
+        scheduler.submit(BatchRequest([3, 4], config, n=3))
+        scheduler.run()
+        # 3 + 3 does not fit in one microbatch of 4 sequences.
+        assert scheduler.stats.microbatches == 2
+        assert scheduler.stats.peak_batch == 3
+
+    def test_oversized_single_request_still_runs(self, model):
+        config = GenerationConfig(
+            max_new_tokens=4, strategy="sample", temperature=0.9
+        )
+        scheduler = BatchScheduler(model, max_batch_size=2)
+        ticket = scheduler.submit(BatchRequest([1, 2], config, n=5))
+        results = scheduler.run()
+        assert len(results[ticket].sequences) == 5
+
+    def test_bad_batch_size_rejected(self, model):
+        with pytest.raises(GenerationError):
+            BatchScheduler(model, max_batch_size=0)
+
+
+# Module-scope aliases of session fixtures (pytest cannot inject session
+# fixtures directly into module-scope fixtures defined before them).
+@pytest.fixture(scope="module")
+def hub(tiny_gpt_module, word_tokenizer_module):
+    hub = ModelHub()
+    hub.register("tiny-gpt", tiny_gpt_module, word_tokenizer_module)
+    return hub
+
+
+@pytest.fixture(scope="module")
+def tiny_gpt_module(tiny_gpt):
+    return tiny_gpt
+
+
+@pytest.fixture(scope="module")
+def word_tokenizer_module(word_tokenizer):
+    return word_tokenizer
+
+
+PROMPTS = ["the cat sat", "a dog", "the bird flew over", "cats and dogs"]
+
+
+class TestCompleteBatch:
+    def test_greedy_matches_per_prompt_complete(self, hub):
+        client = CompletionClient(hub)
+        batch = client.complete_batch("tiny-gpt", PROMPTS, max_tokens=8)
+        single = [
+            CompletionClient(hub).complete("tiny-gpt", p, max_tokens=8)
+            for p in PROMPTS
+        ]
+        assert [r.text for r in batch] == [r.text for r in single]
+        assert [r.usage.completion_tokens for r in batch] == [
+            r.usage.completion_tokens for r in single
+        ]
+        assert [c.finish_reason for r in batch for c in r.choices] == [
+            c.finish_reason for r in single for c in r.choices
+        ]
+
+    def test_stats_attribution_matches_per_prompt(self, hub):
+        client = CompletionClient(hub)
+        client.complete_batch("tiny-gpt", PROMPTS, max_tokens=6)
+        reference = CompletionClient(hub)
+        for p in PROMPTS:
+            reference.complete("tiny-gpt", p, max_tokens=6)
+        assert (
+            client.engine_stats("tiny-gpt") == reference.engine_stats("tiny-gpt")
+        )
+
+    def test_n_choices_match_per_prompt_semantics(self, hub):
+        client = CompletionClient(hub)
+        (batched,) = client.complete_batch(
+            "tiny-gpt", [PROMPTS[0]], max_tokens=6, temperature=0.8, n=3, seed=9
+        )
+        single = CompletionClient(hub).complete(
+            "tiny-gpt", PROMPTS[0], max_tokens=6, temperature=0.8, n=3, seed=9
+        )
+        assert [c.text for c in batched.choices] == [c.text for c in single.choices]
+
+    def test_stop_strings_truncate_and_bill_identically(self, hub):
+        client = CompletionClient(hub)
+        batch = client.complete_batch(
+            "tiny-gpt", PROMPTS, max_tokens=8, stop=["the"]
+        )
+        single = [
+            CompletionClient(hub).complete("tiny-gpt", p, max_tokens=8, stop=["the"])
+            for p in PROMPTS
+        ]
+        assert [r.text for r in batch] == [r.text for r in single]
+        assert [r.usage.completion_tokens for r in batch] == [
+            r.usage.completion_tokens for r in single
+        ]
+
+    def test_empty_prompt_list(self, hub):
+        assert CompletionClient(hub).complete_batch("tiny-gpt", []) == []
+
+    def test_misaligned_constraints_rejected(self, hub):
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError):
+            CompletionClient(hub).complete_batch(
+                "tiny-gpt", PROMPTS, constraints=[None]
+            )
+
+
+class TestCompleteMany:
+    def test_uses_complete_batch_when_available(self, hub):
+        client = CompletionClient(hub)
+        responses = complete_many(client, "tiny-gpt", PROMPTS, max_tokens=6)
+        assert [r.text for r in responses] == [
+            r.text
+            for r in client.complete_batch("tiny-gpt", PROMPTS, max_tokens=6)
+        ]
+
+    def test_falls_back_to_per_prompt_loop(self, hub):
+        class Bare:
+            def __init__(self, inner):
+                self.inner = inner
+                self.calls = 0
+
+            def complete(self, engine, prompt, **kwargs):
+                self.calls += 1
+                return self.inner.complete(engine, prompt, **kwargs)
+
+        bare = Bare(CompletionClient(hub))
+        responses = complete_many(bare, "tiny-gpt", PROMPTS, max_tokens=6)
+        assert bare.calls == len(PROMPTS)
+        assert len(responses) == len(PROMPTS)
+
+
+class TestResilientBatch:
+    def test_healthy_channel_serves_one_batched_call(self, hub):
+        inner = CompletionClient(hub)
+        resilient = ResilientClient(inner, clock=VirtualClock())
+        responses = resilient.complete_batch("tiny-gpt", PROMPTS, max_tokens=6)
+        reference = CompletionClient(hub).complete_batch(
+            "tiny-gpt", PROMPTS, max_tokens=6
+        )
+        assert [r.text for r in responses] == [r.text for r in reference]
+        metrics = resilient.metrics
+        assert metrics.requests == len(PROMPTS)
+        assert metrics.successes == len(PROMPTS)
+
+    def test_inner_without_batch_uses_per_prompt_path(self, hub):
+        class Bare:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def complete(self, engine, prompt, **kwargs):
+                return self.inner.complete(engine, prompt, **kwargs)
+
+        resilient = ResilientClient(Bare(CompletionClient(hub)), clock=VirtualClock())
+        responses = resilient.complete_batch("tiny-gpt", PROMPTS, max_tokens=6)
+        assert len(responses) == len(PROMPTS)
+        assert resilient.metrics.requests == len(PROMPTS)
+
+    def test_terminal_batch_failure_degrades_per_prompt(self, hub):
+        class AlwaysDownBatch:
+            """Batch path fails terminally; per-prompt path works."""
+
+            def __init__(self, inner):
+                self.inner = inner
+
+            def complete(self, engine, prompt, **kwargs):
+                return self.inner.complete(engine, prompt, **kwargs)
+
+            def complete_batch(self, engine, prompts, **kwargs):
+                raise TransientError("batch endpoint down")
+
+        resilient = ResilientClient(
+            AlwaysDownBatch(CompletionClient(hub)),
+            policy=RetryPolicy(max_retries=1, base_delay=0.01),
+            clock=VirtualClock(),
+            baseline=lambda prompt: "baseline",
+        )
+        responses = resilient.complete_batch("tiny-gpt", PROMPTS, max_tokens=6)
+        assert len(responses) == len(PROMPTS)
+        # Every prompt still answered (by the per-prompt chain).
+        assert all(r.choices for r in responses)
+
+
+class TestFaultyBatch:
+    def test_one_fault_decision_per_batch(self, hub):
+        injector = FaultInjector(FaultProfile(), seed=0)
+        faulty = FaultyCompletionClient(CompletionClient(hub), injector)
+        faulty.complete_batch("tiny-gpt", PROMPTS, max_tokens=6)
+        assert injector.requests == 1
+
+    def test_garbled_choices_are_marked(self, hub):
+        injector = FaultInjector(FaultProfile(garble_rate=0.999), seed=1)
+        faulty = FaultyCompletionClient(CompletionClient(hub), injector)
+        responses = faulty.complete_batch("tiny-gpt", PROMPTS, max_tokens=8)
+        assert any(
+            c.finish_reason == "garbled" for r in responses for c in r.choices
+        )
+
+
+class TestSpeculativeCodexDB:
+    @pytest.fixture()
+    def db(self):
+        database = Database()
+        database.execute("CREATE TABLE users (id INT, name TEXT, age INT)")
+        database.execute(
+            "INSERT INTO users VALUES (1, 'ann', 34), (2, 'bo', 19), (3, 'cy', 51)"
+        )
+        return database
+
+    def test_speculative_wave_succeeds(self, db):
+        codex = SimulatedCodex(error_rate=0.0, seed=0)
+        system = CodexDB(db, codex, CodeGenOptions(), speculative=3)
+        result = system.run("select name from users where age > 20")
+        assert result.succeeded
+        assert result.attempts == 1
+
+    def test_feedback_discards_speculative_queue(self, db):
+        # Every raw candidate is unsafe, so the first executes and is
+        # statically rejected; the repair path must then regenerate from
+        # feedback rather than consume a stale speculative candidate.
+        codex = SimulatedCodex(error_rate=0.0, seed=0, unsafe_rate=0.999)
+        system = CodexDB(db, codex, CodeGenOptions(), speculative=3)
+        result = system.run("select name from users where age > 20")
+        assert result.succeeded
+        assert result.static_rejections == 1
+        assert result.attempts == 2
+
+    def test_speculative_must_be_positive(self, db):
+        with pytest.raises(Exception):
+            CodexDB(db, SimulatedCodex(), CodeGenOptions(), speculative=0)
+
+    def test_batched_sampling_matches_sequential_draws(self):
+        a = SimulatedCodex(error_rate=0.4, seed=5)
+        b = SimulatedCodex(error_rate=0.4, seed=5)
+        sql = "select name from users where age > 20"
+        options = CodeGenOptions()
+        wave = a.sample_programs(sql, options, 4)
+        singles = [b.sample_program(sql, options) for _ in range(4)]
+        assert wave == singles
+
+
+@pytest.fixture(scope="module")
+def text2sql_setup():
+    workload = generate_workload(seed=0, examples_per_template=3)
+    examples = workload.examples[:8]
+    translator = train_translator(workload, workload.examples, steps=40, seed=0)
+    hub = ModelHub()
+    engine = register_translator(hub, "t2s", translator)
+    return workload, examples, hub, engine
+
+
+class TestTranslateBatch:
+    def test_matches_per_question_translate(self, text2sql_setup):
+        workload, examples, hub, engine = text2sql_setup
+        questions = [e.question for e in examples]
+        batched = ClientTranslator(
+            client=CompletionClient(hub), engine=engine, workload=workload
+        )
+        sequential = ClientTranslator(
+            client=CompletionClient(hub), engine=engine, workload=workload
+        )
+        assert batched.translate_batch(questions) == [
+            sequential.translate(q) for q in questions
+        ]
+
+    def test_evaluate_translator_accepts_batch_path(self, text2sql_setup):
+        workload, examples, hub, engine = text2sql_setup
+        translator = ClientTranslator(
+            client=CompletionClient(hub), engine=engine, workload=workload
+        )
+        batched_report = evaluate_translator(
+            translator.translate,
+            workload,
+            examples,
+            translate_batch=translator.translate_batch,
+        )
+        sequential_report = evaluate_translator(
+            ClientTranslator(
+                client=CompletionClient(hub), engine=engine, workload=workload
+            ).translate,
+            workload,
+            examples,
+        )
+        assert batched_report.correct == sequential_report.correct
+        assert batched_report.total == sequential_report.total
+
+    def test_terminal_batch_failure_uses_fallback(self, text2sql_setup):
+        workload, examples, hub, engine = text2sql_setup
+
+        class Down:
+            def complete(self, engine, prompt, **kwargs):
+                raise TransientError("down")
+
+            def complete_batch(self, engine, prompts, **kwargs):
+                raise TransientError("down")
+
+        translator = ClientTranslator(
+            client=Down(),
+            engine=engine,
+            workload=workload,
+            fallback=lambda q: "select 1",
+        )
+        questions = [e.question for e in examples[:3]]
+        assert translator.translate_batch(questions) == ["select 1"] * 3
+        assert translator.degraded == 3
+
+
+class TestPredictBatch:
+    @pytest.fixture(scope="class")
+    def imputation_setup(self, hub):
+        examples = generate_imputation_dataset(num_examples=40, seed=0)
+        train, test = examples[:30], examples[30:]
+        imputer = ClientImputer(CompletionClient(hub), "tiny-gpt").fit(train)
+        return imputer, train, test
+
+    def test_matches_per_example_predict(self, hub, imputation_setup):
+        imputer, train, test = imputation_setup
+        reference = ClientImputer(CompletionClient(hub), "tiny-gpt").fit(train)
+        assert imputer.predict_batch(test[:6]) == [
+            reference.predict(e) for e in test[:6]
+        ]
+
+    def test_evaluate_imputer_uses_batch_path(self, hub, imputation_setup):
+        imputer, train, test = imputation_setup
+        reference = ClientImputer(CompletionClient(hub), "tiny-gpt").fit(train)
+        batched_accuracy = evaluate_imputer(imputer, test[:6])
+        sequential = [reference.predict(e) for e in test[:6]]
+        sequential_accuracy = sum(
+            p == e.target_value for p, e in zip(sequential, test[:6])
+        ) / 6
+        assert batched_accuracy == sequential_accuracy
+
+    def test_terminal_batch_failure_degrades(self, imputation_setup):
+        imputer, train, test = imputation_setup
+
+        class Down:
+            def complete(self, engine, prompt, **kwargs):
+                raise TransientError("down")
+
+            def complete_batch(self, engine, prompts, **kwargs):
+                raise TransientError("down")
+
+        degraded = ClientImputer(Down(), "tiny-gpt").fit(train)
+        predictions = degraded.predict_batch(test[:4])
+        assert len(predictions) == 4
+        assert degraded.degraded == 4
+
+
+class TestPerPromptLoopLint:
+    def lint(self, code, path):
+        from repro.analysis.lint import lint_source
+
+        return [
+            f for f in lint_source(code, path=path) if f.rule == "per-prompt-loop"
+        ]
+
+    def test_flags_complete_in_loop(self):
+        code = (
+            "def serve(client, prompts):\n"
+            "    out = []\n"
+            "    for p in prompts:\n"
+            "        out.append(client.complete('e', p))\n"
+            "    return out\n"
+        )
+        findings = self.lint(code, "src/repro/text2sql/translator.py")
+        assert len(findings) == 1
+        assert findings[0].line == 4
+
+    def test_flags_comprehension(self):
+        code = (
+            "def serve(client, prompts):\n"
+            "    return [client.complete('e', p) for p in prompts]\n"
+        )
+        assert self.lint(code, "src/repro/wrangle/imputation.py")
+
+    def test_only_application_dirs_covered(self):
+        code = (
+            "def serve(client, prompts):\n"
+            "    return [client.complete('e', p) for p in prompts]\n"
+        )
+        assert not self.lint(code, "src/repro/serving/dispatch.py")
+        assert not self.lint(code, "src/repro/reliability/client.py")
+
+    def test_noqa_suppresses(self):
+        code = (
+            "def serve(client, prompts):\n"
+            "    return [client.complete('e', p)  # repro: noqa[per-prompt-loop]\n"
+            "            for p in prompts]\n"
+        )
+        assert not self.lint(code, "src/repro/codexdb/codex.py")
+
+    def test_single_call_outside_loop_is_fine(self):
+        code = (
+            "def serve(client, prompt):\n"
+            "    return client.complete('e', prompt)\n"
+        )
+        assert not self.lint(code, "src/repro/text2sql/translator.py")
+
+    def test_shipped_subsystems_are_clean(self):
+        from pathlib import Path
+
+        from repro.analysis.lint import lint_paths
+
+        findings = [
+            f
+            for f in lint_paths(
+                [
+                    Path("src/repro/codexdb"),
+                    Path("src/repro/text2sql"),
+                    Path("src/repro/wrangle"),
+                ]
+            )
+            if f.rule == "per-prompt-loop"
+        ]
+        assert findings == []
