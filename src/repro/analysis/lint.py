@@ -31,7 +31,13 @@ the offending line):
   comprehension) in the application subsystems (``codexdb``,
   ``text2sql``, ``wrangle``); hot per-prompt loops should batch through
   ``complete_batch`` / :func:`repro.serving.complete_many` so prompts
-  share vectorized model forwards.
+  share vectorized model forwards;
+* ``concat-in-loop``       — ``np.concatenate`` inside a loop (or
+  comprehension) in the model/serving hot paths (``nn``,
+  ``generation``, ``serving``, ``models``); growing an array by
+  concatenation per iteration is O(n²) traffic — write into a
+  preallocated slab (:class:`repro.serving.KVCache`-style) and
+  suppress the rare amortized concat explicitly.
 """
 
 from __future__ import annotations
@@ -53,6 +59,7 @@ RULE_NAMES = (
     "wall-clock",
     "atomic-write",
     "per-prompt-loop",
+    "concat-in-loop",
 )
 
 #: files allowed to break one specific rule, by path suffix
@@ -71,6 +78,7 @@ _RULE_EXEMPT_DIRS = {
 #: directories (path components) a rule applies to *exclusively*
 _RULE_ONLY_DIRS = {
     "per-prompt-loop": ("codexdb", "text2sql", "wrangle"),
+    "concat-in-loop": ("nn", "generation", "serving", "models"),
 }
 
 _NOQA_PATTERN = re.compile(r"#\s*repro:\s*noqa\[([a-z\-,\s]+)\]")
@@ -105,6 +113,8 @@ def lint_source(code: str, path: str = "<string>") -> List[Finding]:
         findings += _check_atomic_write(tree, path)
     if _applies(path, "per-prompt-loop"):
         findings += _check_per_prompt_loop(tree, path)
+    if _applies(path, "concat-in-loop"):
+        findings += _check_concat_in_loop(tree, path)
     suppressed = _suppressions(code)
     return sorted(
         (
@@ -408,6 +418,46 @@ def _check_per_prompt_loop(tree: ast.Module, path: str) -> List[Finding]:
                     "batch it through complete_batch / "
                     "repro.serving.complete_many so prompts share "
                     "vectorized model forwards",
+                    line=node.lineno,
+                    source=path,
+                )
+            )
+    return findings
+
+
+def _check_concat_in_loop(tree: ast.Module, path: str) -> List[Finding]:
+    """Flag ``np.concatenate`` calls issued from inside a loop.
+
+    The pattern this catches is the per-token KV-cache growth bug:
+    appending one column per decode step via concatenation copies the
+    whole array every iteration. Loop-*carried* concatenation that is
+    genuinely amortized (once per admission wave, not per token) must
+    say so with ``# repro: noqa[concat-in-loop]``.
+    """
+    seen = set()
+    findings = []
+    for loop in ast.walk(tree):
+        if not isinstance(loop, _LOOP_NODES):
+            continue
+        for node in ast.walk(loop):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "concatenate"
+            ):
+                continue
+            key = (node.lineno, node.col_offset)
+            if key in seen:
+                # Nested loops walk the same call twice; report it once.
+                continue
+            seen.add(key)
+            findings.append(
+                Finding(
+                    rule="concat-in-loop",
+                    message="np.concatenate inside a loop copies the whole "
+                    "array per iteration (O(n²) traffic); write into a "
+                    "preallocated slab (repro.serving.KVCache-style) "
+                    "instead",
                     line=node.lineno,
                     source=path,
                 )

@@ -9,14 +9,14 @@ shape of ``openai.Completion.create``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ModelError
 from repro.generation import GenerationConfig, generate
 from repro.generation.decoding import TokenConstraint
 from repro.models import GPTModel
 from repro.api.hub import ModelHub
-from repro.serving import BatchRequest, BatchScheduler
+from repro.serving import BatchRequest, BatchScheduler, PrefixCache
 
 
 @dataclass(frozen=True)
@@ -37,12 +37,17 @@ class EngineStats:
 
     The single counter surface for reliability metrics and batching:
     everything a client served is attributed to the engine that did the
-    work.
+    work. ``prompt_tokens`` bills the full prompt regardless of caching;
+    ``prefix_hits``/``prefix_reused_tokens`` record how much of that
+    billed prefill was actually served from the engine's prefix cache.
     """
 
     requests: int = 0
     prompt_tokens: int = 0
     completion_tokens: int = 0
+    prefix_hits: int = 0
+    prefix_reused_tokens: int = 0
+    batch_refills: int = 0
 
     @property
     def total_tokens(self) -> int:
@@ -116,12 +121,44 @@ def _finish_choice(
     )
 
 
-class CompletionClient:
-    """Issue completion requests against named engines in a hub."""
+#: default per-engine prefix-cache byte budget
+DEFAULT_PREFIX_CACHE_BYTES = 32 * 1024 * 1024
 
-    def __init__(self, hub: ModelHub) -> None:
+
+class CompletionClient:
+    """Issue completion requests against named engines in a hub.
+
+    Each engine gets a persistent :class:`~repro.serving.PrefixCache`
+    (``prefix_cache_bytes`` budget; ``0`` disables) that survives across
+    :meth:`complete_batch` calls, so a few-shot sweep only prefills its
+    shared header once for the whole session. The cache is invalidated
+    automatically when the hub re-registers the engine with a different
+    model.
+    """
+
+    def __init__(
+        self, hub: ModelHub, prefix_cache_bytes: int = DEFAULT_PREFIX_CACHE_BYTES
+    ) -> None:
         self.hub = hub
+        self.prefix_cache_bytes = prefix_cache_bytes
         self._stats: Dict[str, EngineStats] = {}
+        self._prefix_caches: Dict[str, Tuple[object, PrefixCache]] = {}
+
+    def prefix_cache(self, engine: str) -> Optional[PrefixCache]:
+        """The engine's prompt-prefix K/V cache (None when disabled).
+
+        Cached K/V states are only valid for the exact model weights
+        that produced them, so the cache is dropped whenever the hub
+        entry's model object changes.
+        """
+        if self.prefix_cache_bytes <= 0:
+            return None
+        entry = self.hub.get(engine)
+        stored = self._prefix_caches.get(engine)
+        if stored is None or stored[0] is not entry.model:
+            stored = (entry.model, PrefixCache(max_bytes=self.prefix_cache_bytes))
+            self._prefix_caches[engine] = stored
+        return stored[1]
 
     def complete(
         self,
@@ -187,16 +224,23 @@ class CompletionClient:
         constraints: Optional[Sequence[Optional[TokenConstraint]]] = None,
         max_batch_size: int = 8,
         prefill_chunk: Optional[int] = None,
+        prefix_caching: bool = True,
+        continuous: bool = True,
     ) -> List[CompletionResponse]:
-        """Complete many prompts in microbatches; one response per prompt.
+        """Complete many prompts in one serving pass; one response per prompt.
 
         Decoding semantics match per-prompt :meth:`complete` — greedy at
         ``temperature == 0``, choice ``j`` samples with ``seed + j`` —
         but prompts share vectorized model forwards (and a request's
         ``n`` choices share one prompt prefill), so throughput scales
-        with the batch instead of the per-request latency. Engine usage
-        is attributed exactly as if each prompt were a request of its
-        own. ``constraints`` optionally carries one per-prompt decoding
+        with the batch instead of the per-request latency. By default
+        the engine's persistent prefix cache skips re-prefilling shared
+        prompt headers (``prefix_caching=False`` opts out) and the
+        scheduler runs retire-and-admit continuous batching
+        (``continuous=False`` restores barriered microbatches); both
+        are token-identical to the defaults-off path. Engine usage is
+        attributed exactly as if each prompt were a request of its own.
+        ``constraints`` optionally carries one per-prompt decoding
         constraint, aligned with ``prompts``.
         """
         entry = self.hub.get(engine)
@@ -212,7 +256,11 @@ class CompletionClient:
             return []
 
         scheduler = BatchScheduler(
-            model, max_batch_size=max_batch_size, prefill_chunk=prefill_chunk
+            model,
+            max_batch_size=max_batch_size,
+            prefill_chunk=prefill_chunk,
+            prefix_cache=self.prefix_cache(engine) if prefix_caching else None,
+            continuous=continuous,
         )
         config = _request_config(tokenizer, max_tokens, temperature, top_p, seed)
         tickets = []
@@ -229,6 +277,11 @@ class CompletionClient:
         results = scheduler.run()
 
         stats = self.engine_stats(engine)
+        # The scheduler is fresh per call, so its counters are this
+        # call's deltas.
+        stats.prefix_hits += scheduler.stats.prefix_hits
+        stats.prefix_reused_tokens += scheduler.stats.prefix_reused_tokens
+        stats.batch_refills += scheduler.stats.refills
         responses: List[CompletionResponse] = []
         for prompt_ids, ticket in zip(encoded, tickets):
             choices: List[CompletionChoice] = []

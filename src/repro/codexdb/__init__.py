@@ -14,7 +14,12 @@ instead of running a fixed engine.
 from repro.codexdb.planner import PlanStep, plan_query
 from repro.codexdb.codegen import CodeGenOptions, generate_python
 from repro.codexdb.sandbox import run_generated_code, vet_generated_code
-from repro.codexdb.codex import CodexDB, SimulatedCodex, SynthesisResult
+from repro.codexdb.codex import (
+    ClientCodex,
+    CodexDB,
+    SimulatedCodex,
+    SynthesisResult,
+)
 from repro.codexdb.evaluate import CodexDBReport, evaluate_codexdb
 
 __all__ = [
@@ -25,6 +30,7 @@ __all__ = [
     "run_generated_code",
     "vet_generated_code",
     "SimulatedCodex",
+    "ClientCodex",
     "CodexDB",
     "SynthesisResult",
     "CodexDBReport",

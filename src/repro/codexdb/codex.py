@@ -24,6 +24,7 @@ from repro.errors import (
     TransientError,
 )
 from repro.reliability.retry import Retrier
+from repro.serving import complete_many, engine_serving_stats
 from repro.sql import Database, Table
 from repro.sql.ast import BinaryOp, ColumnRef, Literal, SelectItem
 from repro.codexdb.codegen import CodeGenOptions, generate_python
@@ -151,6 +152,83 @@ class SimulatedCodex:
             else:
                 corrupted = corrupted[:-1] if len(corrupted) > 1 else corrupted
         return corrupted
+
+
+#: instruction header shared by every ClientCodex prompt — the constant
+#: prefix is what the serving layer's prefix cache amortizes across a
+#: workload of queries.
+CODEX_PROMPT_HEADER = (
+    "task : translate sql queries into python programs over in-memory "
+    "tables ; emit only code ;"
+)
+
+
+class ClientCodex:
+    """Codex served over the completion-API channel.
+
+    Drop-in for :class:`SimulatedCodex` in the :class:`CodexDB` loop,
+    but the candidate programs come from a hub-registered LM through a
+    :class:`~repro.api.CompletionClient`-shaped object. Every prompt is
+    the fixed :data:`CODEX_PROMPT_HEADER` plus the query (and any
+    analyzer feedback as comment lines), so across a workload the
+    engine's prefix cache absorbs the header's prefill and a ``k``-wide
+    speculative wave shares one prompt prefill (``n=k``).
+
+    The tiny models in this repo do not actually emit runnable Python —
+    candidates flow into the sandbox and are rejected statically, which
+    exercises exactly the CodexDB failure path the paper describes for
+    unvetted model output.
+    """
+
+    def __init__(self, client, engine: str, max_tokens: int = 48) -> None:
+        self.client = client
+        self.engine = engine
+        self.max_tokens = max_tokens
+        self.samples_served = 0
+
+    def build_prompt(
+        self, sql: str, feedback: Optional[Sequence[Finding]] = None
+    ) -> str:
+        """Header + query (+ feedback comments) — header first, so every
+        prompt for the same engine shares the cacheable prefix."""
+        parts = [CODEX_PROMPT_HEADER]
+        if feedback:
+            parts.extend(f"# fix : {f.message}" for f in feedback)
+        parts.append(f"# sql : {sql}")
+        return " ".join(parts)
+
+    def sample_program(
+        self,
+        sql: str,
+        options: CodeGenOptions,
+        feedback: Optional[Sequence[Finding]] = None,
+    ) -> str:
+        """Return one candidate program from the serving channel."""
+        return self.sample_programs(sql, options, 1, feedback=feedback)[0]
+
+    def sample_programs(
+        self,
+        sql: str,
+        options: CodeGenOptions,
+        k: int,
+        feedback: Optional[Sequence[Finding]] = None,
+    ) -> List[str]:
+        """Draw ``k`` candidates as one ``n=k`` batched request."""
+        if k <= 0:
+            raise CodexDBError("k must be positive")
+        response = complete_many(
+            self.client,
+            self.engine,
+            [self.build_prompt(sql, feedback)],
+            max_tokens=self.max_tokens,
+            n=k,
+        )[0]
+        self.samples_served += k
+        return [choice.text for choice in response.choices]
+
+    def serving_stats(self) -> dict:
+        """Prefix-cache / batching counters for this Codex's engine."""
+        return engine_serving_stats(self.client, self.engine)
 
 
 class CodexDB:

@@ -36,6 +36,7 @@ class CodexDBReport:
     rejected_queries: int = 0
     failed_transient: int = 0
     reliability: Optional[Dict[str, float]] = None
+    serving: Optional[Dict[str, float]] = None
 
     @property
     def success_rate(self) -> float:
@@ -62,6 +63,7 @@ def evaluate_codexdb(
     retry_policy: Optional[RetryPolicy] = None,
     clock: Optional[Clock] = None,
     speculative: int = 1,
+    codex: Optional[object] = None,
 ) -> CodexDBReport:
     """Run CodexDB over ``queries``; report success rate and retries.
 
@@ -73,8 +75,15 @@ def evaluate_codexdb(
     to override); the report then carries a ``reliability`` section.
     ``speculative > 1`` draws that many candidates per Codex request (a
     batched wave covering several attempts) instead of one at a time.
+    ``codex`` overrides the model channel entirely (e.g. a
+    :class:`~repro.codexdb.codex.ClientCodex` over a hub engine); when
+    it exposes ``serving_stats`` the report carries a ``serving``
+    section with the engine's prefix-cache and batching counters.
     """
-    codex = SimulatedCodex(error_rate=error_rate, seed=seed, unsafe_rate=unsafe_rate)
+    if codex is None:
+        codex = SimulatedCodex(
+            error_rate=error_rate, seed=seed, unsafe_rate=unsafe_rate
+        )
     retrier = None
     injector = None
     if fault_profile is not None:
@@ -100,6 +109,9 @@ def evaluate_codexdb(
         report.rejected_static += result.static_rejections
         report.failed_runtime += result.runtime_failures
         report.failed_transient += result.transient_failures
+    serving_stats = getattr(codex, "serving_stats", None)
+    if serving_stats is not None:
+        report.serving = dict(serving_stats())
     if retrier is not None and injector is not None:
         report.reliability = {
             "retries": retrier.retries,

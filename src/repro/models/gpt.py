@@ -75,16 +75,23 @@ class GPTModel(Module):
 
     # -- incremental decoding (KV cache) -----------------------------------
     def init_cache(
-        self, batch_size: Optional[int] = None, capacity: Optional[int] = None
+        self,
+        batch_size: Optional[int] = None,
+        capacity: Optional[int] = None,
+        layout: str = "slab",
     ) -> list:
         """Fresh per-layer K/V caches for cached decoding.
 
-        With no arguments: growing caches for the single-sequence
-        :meth:`forward_incremental` path. With ``batch_size`` and
-        ``capacity``: preallocated slotted caches for the padding-aware
-        batched path of :mod:`repro.serving`.
+        With no arguments: in-place :class:`~repro.serving.kvcache.KVCache`
+        slabs for the single-sequence :meth:`forward_incremental` path
+        (``layout="legacy"`` selects the old concatenate-per-token
+        dicts). With ``batch_size`` and ``capacity``: preallocated
+        slotted caches for the padding-aware batched path of
+        :mod:`repro.serving`.
         """
-        return self.stack.init_cache(batch_size=batch_size, capacity=capacity)
+        return self.stack.init_cache(
+            batch_size=batch_size, capacity=capacity, layout=layout
+        )
 
     def encode_chunk(
         self,

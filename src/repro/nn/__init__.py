@@ -8,7 +8,12 @@ BERT-style encoder and the GPT-style decoder.
 
 from repro.nn.module import Module, ParameterDict
 from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear
-from repro.nn.attention import MultiHeadAttention, causal_mask, padding_mask
+from repro.nn.attention import (
+    MultiHeadAttention,
+    causal_mask,
+    chunk_causal_mask,
+    padding_mask,
+)
 from repro.nn.transformer import FeedForward, TransformerBlock, TransformerStack
 
 __all__ = [
@@ -20,6 +25,7 @@ __all__ = [
     "Dropout",
     "MultiHeadAttention",
     "causal_mask",
+    "chunk_causal_mask",
     "padding_mask",
     "FeedForward",
     "TransformerBlock",

@@ -21,10 +21,41 @@ from repro.utils.rng import SeededRNG
 
 NEG_INF = -1e9
 
+# One cached upper-triangular mask, grown geometrically and sliced per
+# request: every (seq, cached_len) mask shape used by full forwards,
+# chunked prefill, and decode steps is a view into this triangle, so the
+# hot path never rebuilds a boolean matrix per forward. The cache is
+# read-only; callers that need to mutate must copy.
+_MASK_CAPACITY = 0
+_MASK: Optional[np.ndarray] = None
+
 
 def causal_mask(seq_len: int) -> np.ndarray:
-    """Return a (seq_len, seq_len) bool mask blocking future positions."""
-    return np.triu(np.ones((seq_len, seq_len), dtype=bool), k=1)
+    """Return a (seq_len, seq_len) bool mask blocking future positions.
+
+    The returned array is a read-only view into a shared cached
+    triangle (rebuilt only when a larger ``seq_len`` is requested), so
+    repeated calls cost a slice, not an allocation.
+    """
+    global _MASK, _MASK_CAPACITY
+    if seq_len > _MASK_CAPACITY:
+        _MASK_CAPACITY = max(seq_len, 2 * _MASK_CAPACITY, 64)
+        _MASK = np.triu(
+            np.ones((_MASK_CAPACITY, _MASK_CAPACITY), dtype=bool), k=1
+        )
+        _MASK.setflags(write=False)
+    return _MASK[:seq_len, :seq_len]
+
+
+def chunk_causal_mask(start: int, stop: int) -> np.ndarray:
+    """Causal mask for a prefill chunk over absolute columns.
+
+    Shape (stop - start, stop): the query at absolute position
+    ``start + t`` may attend keys ``0..start + t`` (earlier chunks and
+    any cache-preloaded prefix included). A read-only view into the
+    same cached triangle as :func:`causal_mask`.
+    """
+    return causal_mask(stop)[start:stop]
 
 
 def padding_mask(attention_mask: np.ndarray) -> np.ndarray:
@@ -124,11 +155,18 @@ class MultiHeadAttention(Module):
         in-chunk causal mask). The cache accumulates this layer's K/V
         across steps so earlier positions are never recomputed.
 
-        Two cache layouts are supported:
+        Three cache layouts are supported:
 
-        * **growing** (``write_cols is None``): ``cache["k"]``/``"v"``
-          are concatenated along the sequence axis each call — the
-          single-sequence layout used by :func:`repro.generation.generate`.
+        * **slab** (``write_cols is None``, cache is a
+          :class:`repro.serving.kvcache.KVCache`): the new K/V columns
+          are written in place into a preallocated slab with amortized
+          capacity doubling — the default single-sequence layout of
+          :func:`repro.generation.generate` (recognized by duck typing
+          so ``repro.nn`` never imports ``repro.serving``).
+        * **growing** (``write_cols is None``, cache is a dict):
+          ``cache["k"]``/``"v"`` are concatenated along the sequence
+          axis each call — the legacy O(n²)-traffic layout, kept as the
+          regression reference for the slab path.
         * **slotted** (``write_cols`` given): ``cache["k"]``/``"v"`` are
           preallocated slabs of shape (B, H, capacity, D/H); the new K/V
           are scattered at ``write_cols`` (a ``slice`` of columns for a
@@ -145,13 +183,18 @@ class MultiHeadAttention(Module):
         k = self._split_heads(self.key(x), batch, seq).data
         v = self._split_heads(self.value(x), batch, seq).data
         if write_cols is None:
-            cache["k"] = (
-                k if "k" not in cache else np.concatenate([cache["k"], k], axis=2)
-            )
-            cache["v"] = (
-                v if "v" not in cache else np.concatenate([cache["v"], v], axis=2)
-            )
-            keys, values = cache["k"], cache["v"]
+            if isinstance(cache, dict):
+                # Legacy growing layout: O(n²) traffic over a decode,
+                # kept only as the regression reference for the slab.
+                cache["k"] = (
+                    k if "k" not in cache else np.concatenate([cache["k"], k], axis=2)
+                )
+                cache["v"] = (
+                    v if "v" not in cache else np.concatenate([cache["v"], v], axis=2)
+                )
+                keys, values = cache["k"], cache["v"]
+            else:
+                keys, values = cache.append(k, v)
         elif isinstance(write_cols, slice):
             cache["k"][:, :, write_cols] = k
             cache["v"][:, :, write_cols] = v

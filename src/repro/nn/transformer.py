@@ -105,18 +105,32 @@ class TransformerStack(Module):
         return self.final_norm(x)
 
     def init_cache(
-        self, batch_size: Optional[int] = None, capacity: Optional[int] = None
-    ) -> List[dict]:
+        self,
+        batch_size: Optional[int] = None,
+        capacity: Optional[int] = None,
+        layout: str = "slab",
+    ) -> List[object]:
         """Fresh per-block K/V caches for incremental decoding.
 
-        With no arguments the caches are empty dicts that grow by
-        concatenation. With ``batch_size`` and ``capacity`` they are
-        preallocated slotted slabs (B, H, capacity, D/H) for the
-        padding-aware batched layout (see
+        With no arguments the caches are preallocated
+        :class:`~repro.serving.kvcache.KVCache` slabs that append in
+        place with amortized capacity doubling (``layout="legacy"``
+        returns the old empty dicts that grow by ``np.concatenate`` —
+        kept as the regression reference). With ``batch_size`` and
+        ``capacity`` they are preallocated slotted slabs
+        (B, H, capacity, D/H) for the padding-aware batched layout (see
         :meth:`MultiHeadAttention.incremental`).
         """
         if batch_size is None:
-            return [{} for _ in self.blocks]
+            if layout == "legacy":
+                return [{} for _ in self.blocks]
+            if layout != "slab":
+                raise ValueError(f"unknown cache layout {layout!r}")
+            # Imported here (not at module top) because repro.serving
+            # imports repro.nn; at call time both are fully loaded.
+            from repro.serving.kvcache import KVCache
+
+            return [KVCache() for _ in self.blocks]
         if capacity is None or capacity <= 0 or batch_size <= 0:
             raise ValueError("slotted caches need positive batch_size and capacity")
         caches = []

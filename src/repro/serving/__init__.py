@@ -1,18 +1,22 @@
 """Batched inference serving for the numpy Transformer.
 
-Vectorizes decoding across sequences: padding-aware batched KV caches,
-chunked causal prefill, per-sequence stop handling, and a FIFO
-microbatching scheduler. See :class:`BatchedGenerator` for the engine
-and :class:`BatchScheduler` for the queueing front-end.
+Vectorizes decoding across sequences: preallocated KV slabs
+(:class:`KVCache`), padding-aware batched KV caches, chunked causal
+prefill, per-sequence stop handling, a prompt-prefix K/V cache
+(:class:`PrefixCache`), retire-and-admit continuous batching, and a
+FIFO microbatching scheduler. See :class:`BatchedGenerator` for the
+engine and :class:`BatchScheduler` for the queueing front-end.
 """
 
-from repro.serving.dispatch import complete_many
+from repro.serving.dispatch import complete_many, engine_serving_stats
 from repro.serving.engine import (
     BatchedGenerator,
     BatchRequest,
     BatchResult,
     GeneratorStats,
 )
+from repro.serving.kvcache import KVCache
+from repro.serving.prefix import PrefixCache, PrefixCacheStats
 from repro.serving.scheduler import BatchScheduler, SchedulerStats
 
 __all__ = [
@@ -21,6 +25,10 @@ __all__ = [
     "BatchResult",
     "BatchScheduler",
     "GeneratorStats",
+    "KVCache",
+    "PrefixCache",
+    "PrefixCacheStats",
     "SchedulerStats",
     "complete_many",
+    "engine_serving_stats",
 ]

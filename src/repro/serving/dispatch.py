@@ -26,3 +26,28 @@ def complete_many(client, engine: str, prompts: Sequence[str], **kwargs) -> List
         return list(batch(engine, list(prompts), **kwargs))
     # repro: noqa[per-prompt-loop] — this IS the designated fallback loop.
     return [client.complete(engine, prompt, **kwargs) for prompt in prompts]
+
+
+def engine_serving_stats(client, engine: str) -> dict:
+    """Serving-side counters for one engine, as a plain float dict.
+
+    Unwraps reliability/fault wrappers (anything holding its inner
+    client as ``.client``) until it finds an object exposing
+    ``engine_stats``; returns ``{}`` when no layer does. The dict is the
+    application-report shape: prompt/completion token totals plus the
+    prefix-cache and continuous-batching counters.
+    """
+    inner = client
+    while inner is not None and getattr(inner, "engine_stats", None) is None:
+        inner = getattr(inner, "client", None)
+    if inner is None:
+        return {}
+    stats = inner.engine_stats(engine)
+    return {
+        "requests": float(stats.requests),
+        "prompt_tokens": float(stats.prompt_tokens),
+        "completion_tokens": float(stats.completion_tokens),
+        "prefix_hits": float(getattr(stats, "prefix_hits", 0)),
+        "prefix_reused_tokens": float(getattr(stats, "prefix_reused_tokens", 0)),
+        "batch_refills": float(getattr(stats, "batch_refills", 0)),
+    }

@@ -16,13 +16,29 @@ makes multi-sample recipes — CodexDB's candidate programs, GPT-3-style
 self-consistency — cheap. Finished sequences retire from the batch
 immediately (their rows are compacted away), so one long request never
 taxes the short ones that already finished.
+
+Two reuse layers ride on top:
+
+* a :class:`~repro.serving.prefix.PrefixCache` lets prompts that share
+  a prefix (the few-shot header of a text2sql sweep, an imputation
+  shot block) skip re-prefilling it — the engine preloads the cached
+  K/V columns, prefills only the suffix, and stores each new prompt's
+  states back for later requests. When several queued prompts share a
+  prefix that is not cached yet, the engine prefills that header
+  *once* (one single-row forward) before the batch so every row reuses
+  it.
+* :meth:`BatchedGenerator.generate_continuous` replaces the microbatch
+  barrier with retire-and-admit **continuous batching**: when a
+  sequence finishes mid-decode its slot is refilled from the queue
+  immediately, so the batch stays full instead of draining to the
+  slowest request.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,6 +51,8 @@ from repro.generation.decoding import (
     generate,
 )
 from repro.models.gpt import GPTModel
+from repro.nn.attention import chunk_causal_mask
+from repro.serving.prefix import PrefixCache, common_prefix_length
 from repro.utils.rng import SeededRNG
 
 
@@ -68,7 +86,14 @@ class BatchResult:
 
 @dataclass
 class GeneratorStats:
-    """Forward-pass accounting for one :class:`BatchedGenerator`."""
+    """Forward-pass accounting for one :class:`BatchedGenerator`.
+
+    ``prefill_tokens`` counts prompt tokens actually pushed through the
+    model; tokens served from the prefix cache instead are counted in
+    ``prefix_reused_tokens``. ``refills`` counts requests admitted into
+    freed slots mid-decode (continuous batching); ``peak_active`` is
+    the widest decode batch observed.
+    """
 
     prefill_chunks: int = 0
     prefill_tokens: int = 0
@@ -76,6 +101,11 @@ class GeneratorStats:
     generated_tokens: int = 0
     retired_sequences: int = 0
     sequential_fallbacks: int = 0
+    prefix_hits: int = 0
+    prefix_misses: int = 0
+    prefix_reused_tokens: int = 0
+    refills: int = 0
+    peak_active: int = 0
 
 
 @dataclass
@@ -94,27 +124,35 @@ class BatchedGenerator:
     """Decode many sequences per model forward (inference only).
 
     ``prefill_chunk`` bounds the width of each prefill forward; ``None``
-    primes every prompt in a single chunk. Greedy decoding produces the
-    same token sequences as per-prompt :func:`repro.generation.generate`,
-    and sampling draws from per-sequence seeded RNGs exactly as the
-    sequential path does (choice ``j`` of a request samples with
+    primes every prompt in a single chunk. With a ``prefix_cache``,
+    prompt prefixes already seen by the cache are loaded instead of
+    recomputed and every prefilled prompt is stored back. Greedy
+    decoding produces the same token sequences as per-prompt
+    :func:`repro.generation.generate` — with or without the prefix
+    cache — and sampling draws from per-sequence seeded RNGs exactly as
+    the sequential path does (choice ``j`` of a request samples with
     ``config.seed + j``).
     """
 
-    def __init__(self, model: GPTModel, prefill_chunk: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        model: GPTModel,
+        prefill_chunk: Optional[int] = None,
+        prefix_cache: Optional[PrefixCache] = None,
+    ) -> None:
         if prefill_chunk is not None and prefill_chunk <= 0:
             raise GenerationError("prefill_chunk must be positive")
         self.model = model
         self.prefill_chunk = prefill_chunk
+        self.prefix_cache = prefix_cache
         self.stats = GeneratorStats()
 
     def generate(self, requests: Sequence[BatchRequest]) -> List[BatchResult]:
         """Serve ``requests`` in one batch; order follows the input."""
         results: List[Optional[BatchResult]] = [None] * len(requests)
-        max_len = self.model.config.max_seq_len
         batched: List[int] = []
         for i, request in enumerate(requests):
-            if len(request.prompt_ids) + request.config.max_new_tokens <= max_len:
+            if self._fits(request):
                 batched.append(i)
             else:
                 results[i] = self._sequential_fallback(request)
@@ -124,6 +162,42 @@ class BatchedGenerator:
                 for i, result in zip(batched, self._run([requests[i] for i in batched])):
                     results[i] = result
         return [r for r in results if r is not None]
+
+    def generate_continuous(
+        self, requests: Sequence[BatchRequest], max_active: int = 8
+    ) -> List[BatchResult]:
+        """Serve ``requests`` with retire-and-admit continuous batching.
+
+        At most ``max_active`` sequences decode together; whenever one
+        finishes, its slot is refilled from the queue *immediately*
+        (prefilling the newcomer mid-decode) instead of waiting for the
+        whole microbatch to drain. Output order follows the input and
+        every sequence is token-identical to :meth:`generate`.
+        """
+        if max_active <= 0:
+            raise GenerationError("max_active must be positive")
+        results: List[Optional[BatchResult]] = [None] * len(requests)
+        pending: List[Tuple[int, BatchRequest]] = []
+        for i, request in enumerate(requests):
+            if self._fits(request):
+                pending.append((i, request))
+            else:
+                results[i] = self._sequential_fallback(request)
+        if pending:
+            capacity = int(
+                max(
+                    len(r.prompt_ids) + r.config.max_new_tokens
+                    for _, r in pending
+                )
+            )
+            self.model.eval()
+            with no_grad():
+                self._run_continuous(pending, capacity, max_active, results)
+        return [r for r in results if r is not None]
+
+    def _fits(self, request: BatchRequest) -> bool:
+        max_len = self.model.config.max_seq_len
+        return len(request.prompt_ids) + request.config.max_new_tokens <= max_len
 
     def _sequential_fallback(self, request: BatchRequest) -> BatchResult:
         """Serve one non-fitting request with sliding-window decoding."""
@@ -148,6 +222,7 @@ class BatchedGenerator:
             )
         )
         caches = self.model.init_cache(batch_size=len(requests), capacity=capacity)
+        self._seed_shared_prefix(requests)
         next_logits = self._prefill(requests, prompt_lengths, caches)
 
         # Fork each request's prefilled cache across its n choices.
@@ -171,6 +246,7 @@ class BatchedGenerator:
 
         results = [BatchResult(sequences=[]) for _ in requests]
         while states:
+            self.stats.peak_active = max(self.stats.peak_active, len(states))
             keep = self._advance(states, next_logits, results)
             if not keep.all():
                 states = [s for s, k in zip(states, keep) if k]
@@ -188,28 +264,221 @@ class BatchedGenerator:
             result.sequences[:] = [seq for _, seq in result.sequences]
         return results
 
+    # -- continuous batching ----------------------------------------------
+    def _run_continuous(
+        self,
+        pending: List[Tuple[int, BatchRequest]],
+        capacity: int,
+        max_active: int,
+        results: List[Optional[BatchResult]],
+    ) -> None:
+        queue = list(pending)
+        caches: Optional[list] = None
+        states: List[_ChoiceState] = []
+        lengths = np.zeros(0, dtype=np.int64)
+        next_logits = np.zeros((0, self.model.config.vocab_size))
+        admitted_any = False
+
+        while queue or states:
+            batch = self._take_admissions(queue, states, max_active)
+            if batch:
+                if admitted_any:
+                    self.stats.refills += len(batch)
+                admitted_any = True
+                caches, states, lengths, next_logits = self._admit(
+                    batch, capacity, caches, states, lengths, next_logits, results
+                )
+            if not states:
+                continue
+            self.stats.peak_active = max(self.stats.peak_active, len(states))
+            keep = self._advance(states, next_logits, results)
+            if not keep.all():
+                states = [s for s, k in zip(states, keep) if k]
+                lengths = lengths[keep]
+                next_logits = next_logits[keep]
+                for cache in caches:
+                    cache["k"] = cache["k"][keep]
+                    cache["v"] = cache["v"][keep]
+            if not states:
+                continue  # freed slots may admit queued work next turn
+            next_logits = self._decode_step(states, lengths, caches)
+            lengths += 1
+
+        for result in results:
+            if result is not None and result.batched:
+                result.sequences.sort(key=lambda pair: pair[0])
+                result.sequences[:] = [seq for _, seq in result.sequences]
+
+    @staticmethod
+    def _take_admissions(
+        queue: List[Tuple[int, BatchRequest]],
+        states: List[_ChoiceState],
+        max_active: int,
+    ) -> List[Tuple[int, BatchRequest]]:
+        """Pop the FIFO prefix of the queue that fits the free slots.
+
+        A request wider than ``max_active`` still runs — alone, when the
+        batch is empty — so oversized requests degrade throughput
+        rather than deadlock the queue.
+        """
+        batch: List[Tuple[int, BatchRequest]] = []
+        occupancy = len(states)
+        while queue:
+            _, request = queue[0]
+            if (batch or states) and occupancy + request.n > max_active:
+                break
+            batch.append(queue.pop(0))
+            occupancy += request.n
+        return batch
+
+    def _admit(
+        self,
+        batch: List[Tuple[int, BatchRequest]],
+        capacity: int,
+        caches: Optional[list],
+        states: List[_ChoiceState],
+        lengths: np.ndarray,
+        next_logits: np.ndarray,
+        results: List[Optional[BatchResult]],
+    ) -> Tuple[list, List[_ChoiceState], np.ndarray, np.ndarray]:
+        """Prefill newly admitted requests and splice them into the batch."""
+        requests = [request for _, request in batch]
+        prompt_lengths = np.array([len(r.prompt_ids) for r in requests])
+        fresh = self.model.init_cache(batch_size=len(requests), capacity=capacity)
+        self._seed_shared_prefix(requests)
+        logits = self._prefill(requests, prompt_lengths, fresh)
+
+        repeats = np.array([r.n for r in requests])
+        for cache in fresh:
+            cache["k"] = np.repeat(cache["k"], repeats, axis=0)
+            cache["v"] = np.repeat(cache["v"], repeats, axis=0)
+        new_lengths = np.repeat(prompt_lengths, repeats)
+        new_logits = np.repeat(logits, repeats, axis=0)
+        for (index, request) in batch:
+            results[index] = BatchResult(sequences=[])
+        new_states = [
+            _ChoiceState(
+                request_index=index,
+                choice_index=j,
+                config=_choice_config(request.config, j),
+                constraint=request.constraint,
+                rng=SeededRNG(request.config.seed + j),
+            )
+            for index, request in batch
+            for j in range(request.n)
+        ]
+
+        if caches is None:
+            return fresh, new_states, new_lengths, new_logits
+        for cache, addition in zip(caches, fresh):
+            # Row-axis splice, once per admission wave (amortized over
+            # the wave's whole decode, not per token).
+            cache["k"] = np.concatenate(  # repro: noqa[concat-in-loop]
+                [cache["k"], addition["k"]], axis=0
+            )
+            cache["v"] = np.concatenate(  # repro: noqa[concat-in-loop]
+                [cache["v"], addition["v"]], axis=0
+            )
+        return (
+            caches,
+            states + new_states,
+            np.concatenate([lengths, new_lengths]),
+            np.concatenate([next_logits, new_logits]),
+        )
+
+    # -- prefill with prefix reuse -----------------------------------------
+    def _seed_shared_prefix(self, requests: Sequence[BatchRequest]) -> None:
+        """Prefill a shared, uncached prompt header once for the batch.
+
+        When every queued prompt starts with the same token prefix (a
+        few-shot header) and the prefix cache does not cover it yet,
+        one single-row prefill of the header populates the cache so
+        each row's own prefill only touches its suffix.
+        """
+        if self.prefix_cache is None or len(requests) < 2:
+            return
+        prompts = [list(r.prompt_ids) for r in requests]
+        shared = common_prefix_length(prompts)
+        # Leave at least the final prompt token for every row to
+        # prefill — that forward produces the row's next-token logits.
+        shared = min(shared, min(len(p) for p in prompts) - 1)
+        if shared < 2 or self.prefix_cache.peek_length(prompts[0]) >= shared:
+            return
+        header = BatchRequest(prompts[0][:shared])
+        caches = self.model.init_cache(batch_size=1, capacity=shared)
+        self._prefill([header], np.array([shared]), caches)
+
+    def _load_prefixes(
+        self,
+        requests: Sequence[BatchRequest],
+        prompt_lengths: np.ndarray,
+        caches: list,
+    ) -> np.ndarray:
+        """Preload cached prompt-prefix K/V; returns per-row reuse lengths."""
+        reused = np.zeros(len(requests), dtype=np.int64)
+        if self.prefix_cache is None:
+            return reused
+        for i, request in enumerate(requests):
+            match, layers = self.prefix_cache.lookup(
+                request.prompt_ids, max_len=int(prompt_lengths[i]) - 1
+            )
+            if not match:
+                self.stats.prefix_misses += 1
+                continue
+            self.stats.prefix_hits += 1
+            self.stats.prefix_reused_tokens += match
+            reused[i] = match
+            for cache, (keys, values) in zip(caches, layers):
+                cache["k"][i, :, :match] = keys
+                cache["v"][i, :, :match] = values
+        return reused
+
+    def _store_prefixes(
+        self,
+        requests: Sequence[BatchRequest],
+        prompt_lengths: np.ndarray,
+        caches: list,
+    ) -> None:
+        """Insert each prompt's prefilled K/V into the prefix cache."""
+        if self.prefix_cache is None:
+            return
+        for i, request in enumerate(requests):
+            length = int(prompt_lengths[i])
+            layers = [
+                (cache["k"][i, :, :length], cache["v"][i, :, :length])
+                for cache in caches
+            ]
+            self.prefix_cache.insert(list(request.prompt_ids), layers)
+
     def _prefill(
         self,
         requests: Sequence[BatchRequest],
         prompt_lengths: np.ndarray,
         caches: list,
     ) -> np.ndarray:
-        """Chunked causal prefill; returns each row's next-token logits."""
+        """Chunked causal prefill; returns each row's next-token logits.
+
+        Rows whose prompt prefix is cached start from the shortest
+        uncached column instead of zero: the cached K/V columns are
+        preloaded into the slab and attention sees them through the
+        chunk mask exactly as if they had been computed this call.
+        """
         rows = len(requests)
         longest = int(prompt_lengths.max())
         prompts = np.zeros((rows, longest), dtype=np.int64)
         for i, request in enumerate(requests):
             prompts[i, : prompt_lengths[i]] = request.prompt_ids
+        reused = self._load_prefixes(requests, prompt_lengths, caches)
+        first = int(reused.min())
         next_logits = np.zeros((rows, self.model.config.vocab_size))
-        chunk = self.prefill_chunk or longest
-        for start in range(0, longest, chunk):
+        chunk = self.prefill_chunk or (longest - first)
+        for start in range(first, longest, chunk):
             stop = min(start + chunk, longest)
             # In-chunk causal mask over absolute columns: query at column
-            # start+t may see keys 0..start+t. Rows already past their
-            # prompt produce padding garbage that is never read.
-            blocked = (
-                np.arange(stop)[None, :] > (start + np.arange(stop - start))[:, None]
-            )
+            # start+t may see keys 0..start+t (preloaded prefix columns
+            # included). Rows already past their prompt produce padding
+            # garbage that is never read.
+            blocked = chunk_causal_mask(start, stop)
             hidden = self.model.encode_chunk(
                 prompts[:, start:stop],
                 np.arange(start, stop)[None, :],
@@ -226,7 +495,8 @@ class BatchedGenerator:
                 picked = hidden.data[np.where(sel)[0], last[sel] - start]
                 logits = self.model.logits_from_hidden(Tensor(picked))
                 next_logits[sel] = logits.data
-        self.stats.prefill_tokens += int(prompt_lengths.sum())
+        self.stats.prefill_tokens += int((prompt_lengths - reused).sum())
+        self._store_prefixes(requests, prompt_lengths, caches)
         return next_logits
 
     def _advance(

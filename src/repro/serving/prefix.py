@@ -1,0 +1,227 @@
+"""Token-trie prefix cache: reuse KV states across prompts.
+
+The application workloads (text-to-SQL sweeps, few-shot imputation,
+CodexDB candidate waves) drive the model with prompts that share a long
+identical prefix — the instruction header plus the worked-example block
+— and differ only in the final row or question. Because attention keys
+and values at position ``t`` depend only on tokens ``0..t`` (and
+positions are absolute), the per-layer K/V of a shared prefix is
+*identical* across all prompts that start with it. This module caches
+those K/V columns in a token trie so one prefill of the header serves
+the whole sweep; each later request only prefills its suffix.
+
+Layout: one trie node per token, holding that position's K/V columns
+for every layer (shape ``(heads, head_dim)`` each). Lookup walks the
+trie as deep as the prompt matches and stacks the columns back into
+``(heads, match, head_dim)`` arrays; insert only allocates nodes for
+the unseen suffix, so repeated inserts of prompts sharing a header
+store the header once. Total bytes are bounded by ``max_bytes`` with
+LRU eviction of leaf nodes (evicting a leaf never orphans a deeper
+entry, so every surviving path stays reachable).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GenerationError
+
+#: default byte budget — generous for the test-scale models here
+DEFAULT_MAX_BYTES = 32 * 1024 * 1024
+
+#: per-layer (k, v) column pair, each (heads, head_dim)
+_Column = Tuple[np.ndarray, np.ndarray]
+#: per-layer (k, v) span pair, each (heads, tokens, head_dim)
+Span = Tuple[np.ndarray, np.ndarray]
+
+
+@dataclass
+class PrefixCacheStats:
+    """Hit/miss/byte accounting for one :class:`PrefixCache`."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    reused_tokens: int = 0
+    inserted_tokens: int = 0
+    evictions: int = 0
+    bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class _Node:
+    """One cached token position: K/V columns plus trie links."""
+
+    __slots__ = ("token", "parent", "children", "kv", "nbytes", "last_used")
+
+    def __init__(
+        self,
+        token: Optional[int],
+        parent: Optional["_Node"],
+        kv: Optional[List[_Column]] = None,
+    ) -> None:
+        self.token = token
+        self.parent = parent
+        self.children: Dict[int, "_Node"] = {}
+        self.kv = kv or []
+        self.nbytes = sum(k.nbytes + v.nbytes for k, v in self.kv)
+        self.last_used = 0
+
+
+class PrefixCache:
+    """LRU-bounded token-trie cache of per-layer prompt K/V states."""
+
+    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        if max_bytes <= 0:
+            raise GenerationError("max_bytes must be positive")
+        self.max_bytes = max_bytes
+        self.stats = PrefixCacheStats()
+        self._root = _Node(token=None, parent=None)
+        self._tick = 0
+
+    def __len__(self) -> int:
+        """Number of cached token positions."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += len(node.children)
+            stack.extend(node.children.values())
+        return count
+
+    def peek_length(self, token_ids: Sequence[int]) -> int:
+        """Longest cached prefix length, without touching LRU or stats."""
+        node = self._root
+        depth = 0
+        for token in token_ids:
+            child = node.children.get(int(token))
+            if child is None:
+                break
+            node = child
+            depth += 1
+        return depth
+
+    def lookup(
+        self, token_ids: Sequence[int], max_len: Optional[int] = None
+    ) -> Tuple[int, Optional[List[Span]]]:
+        """Return ``(match_len, per-layer (k, v) spans)`` for the prompt.
+
+        ``max_len`` caps the match (callers typically pass
+        ``len(prompt) - 1`` so at least one token remains to prefill,
+        which is what produces the next-token logits). A miss returns
+        ``(0, None)``. Matched nodes are LRU-touched.
+        """
+        self.stats.lookups += 1
+        self._tick += 1
+        limit = len(token_ids) if max_len is None else min(max_len, len(token_ids))
+        node = self._root
+        path: List[_Node] = []
+        for token in token_ids[:limit]:
+            child = node.children.get(int(token))
+            if child is None:
+                break
+            child.last_used = self._tick
+            path.append(child)
+            node = child
+        if not path:
+            self.stats.misses += 1
+            return 0, None
+        self.stats.hits += 1
+        self.stats.reused_tokens += len(path)
+        layers: List[Span] = []
+        for layer in range(len(path[0].kv)):
+            keys = np.stack([n.kv[layer][0] for n in path], axis=1)
+            values = np.stack([n.kv[layer][1] for n in path], axis=1)
+            layers.append((keys, values))
+        return len(path), layers
+
+    def insert(self, token_ids: Sequence[int], layers: Sequence[Span]) -> int:
+        """Store the prompt's K/V; returns the number of new positions.
+
+        ``layers`` holds one ``(k, v)`` pair per model layer, each of
+        shape (heads, len(token_ids), head_dim) — the live columns of a
+        prefilled cache. Positions already in the trie are only
+        LRU-touched; the unseen suffix is copied in (the slab arrays
+        are reused by the engine afterwards, so views must not leak).
+        """
+        self._tick += 1
+        node = self._root
+        added = 0
+        for position, token in enumerate(token_ids):
+            token = int(token)
+            child = node.children.get(token)
+            if child is None:
+                kv = [
+                    (k[:, position].copy(), v[:, position].copy())
+                    for k, v in layers
+                ]
+                child = _Node(token=token, parent=node, kv=kv)
+                node.children[token] = child
+                self.stats.bytes += child.nbytes
+                self.stats.inserted_tokens += 1
+                added += 1
+            child.last_used = self._tick
+            node = child
+        if self.stats.bytes > self.max_bytes:
+            self._evict()
+        return added
+
+    def clear(self) -> None:
+        """Drop every cached position (stats are kept)."""
+        self._root = _Node(token=None, parent=None)
+        self.stats.bytes = 0
+
+    def _evict(self) -> None:
+        """Evict LRU leaves until the byte budget holds again."""
+        heap: List[Tuple[int, int, _Node]] = []
+        serial = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for child in node.children.values():
+                if child.children:
+                    stack.append(child)
+                else:
+                    heapq.heappush(heap, (child.last_used, serial, child))
+                    serial += 1
+        while self.stats.bytes > self.max_bytes and heap:
+            last_used, _, node = heapq.heappop(heap)
+            if node.children or node.parent is None:
+                continue  # grew a child since, or already detached
+            if node.last_used != last_used:
+                # Touched since we enqueued it: re-enter at its new age.
+                heapq.heappush(heap, (node.last_used, serial, node))
+                serial += 1
+                continue
+            parent = node.parent
+            del parent.children[node.token]
+            node.parent = None
+            self.stats.bytes -= node.nbytes
+            self.stats.evictions += 1
+            if not parent.children and parent is not self._root:
+                heapq.heappush(heap, (parent.last_used, serial, parent))
+                serial += 1
+
+
+def common_prefix_length(prompts: Sequence[Sequence[int]]) -> int:
+    """Length of the longest token prefix shared by *all* prompts."""
+    if not prompts:
+        return 0
+    first = prompts[0]
+    shared = len(first)
+    for ids in prompts[1:]:
+        limit = min(shared, len(ids))
+        depth = 0
+        while depth < limit and ids[depth] == first[depth]:
+            depth += 1
+        shared = depth
+        if shared == 0:
+            return 0
+    return shared

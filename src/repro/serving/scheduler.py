@@ -5,25 +5,36 @@ Callers queue :class:`~repro.serving.engine.BatchRequest`\\ s with
 packs the queue into FIFO microbatches bounded by ``max_batch_size``
 *sequences* (a request with ``n`` choices occupies ``n`` slots), hands
 each microbatch to the generator — which retires finished sequences
-mid-batch — and returns results keyed by ticket. This is the
-serving-layer shape of the paper's hosted-API deployments: many callers'
-prompts share one model, and throughput comes from batching, not from
-making any single request faster.
+mid-batch — and returns results keyed by ticket. With
+``continuous=True`` the microbatch barrier disappears entirely: the
+whole queue is handed to the generator's retire-and-admit loop, which
+refills freed slots mid-decode. This is the serving-layer shape of the
+paper's hosted-API deployments: many callers' prompts share one model,
+and throughput comes from batching, not from making any single request
+faster. A shared :class:`~repro.serving.prefix.PrefixCache` additionally
+lets requests that repeat a prompt header (few-shot sweeps) skip
+re-prefilling it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import GenerationError
 from repro.models.gpt import GPTModel
 from repro.serving.engine import BatchedGenerator, BatchRequest, BatchResult
+from repro.serving.prefix import PrefixCache
 
 
 @dataclass
 class SchedulerStats:
-    """Counters describing one scheduler's lifetime of work."""
+    """Counters describing one scheduler's lifetime of work.
+
+    ``refills``, ``prefix_hits`` and ``prefix_reused_tokens`` mirror the
+    generator's counters after each :meth:`BatchScheduler.run` so
+    serving callers can read everything from one place.
+    """
 
     submitted: int = 0
     completed: int = 0
@@ -32,6 +43,9 @@ class SchedulerStats:
     sequential_fallbacks: int = 0
     prompt_tokens: int = 0
     generated_tokens: int = 0
+    refills: int = 0
+    prefix_hits: int = 0
+    prefix_reused_tokens: int = 0
 
 
 class BatchScheduler:
@@ -40,7 +54,10 @@ class BatchScheduler:
     ``max_batch_size`` caps the number of *sequences* (sum of each
     request's ``n``) decoded together. A single request wider than the
     cap still runs — alone in its own microbatch — so oversized requests
-    degrade throughput rather than deadlock the queue.
+    degrade throughput rather than deadlock the queue. ``continuous``
+    switches :meth:`run` from barriered microbatches to the generator's
+    retire-and-admit loop; ``prefix_cache`` threads a shared prompt
+    K/V cache through every request.
     """
 
     def __init__(
@@ -48,11 +65,16 @@ class BatchScheduler:
         model: GPTModel,
         max_batch_size: int = 8,
         prefill_chunk: Optional[int] = None,
+        prefix_cache: Optional[PrefixCache] = None,
+        continuous: bool = False,
     ) -> None:
         if max_batch_size <= 0:
             raise GenerationError("max_batch_size must be positive")
-        self.generator = BatchedGenerator(model, prefill_chunk=prefill_chunk)
+        self.generator = BatchedGenerator(
+            model, prefill_chunk=prefill_chunk, prefix_cache=prefix_cache
+        )
         self.max_batch_size = max_batch_size
+        self.continuous = continuous
         self.stats = SchedulerStats()
         self._queue: List[Tuple[int, BatchRequest]] = []
         self._next_ticket = 0
@@ -67,6 +89,8 @@ class BatchScheduler:
 
     def run(self) -> Dict[int, BatchResult]:
         """Drain the queue; returns ``{ticket: result}`` for all of it."""
+        if self.continuous:
+            return self._run_continuous()
         results: Dict[int, BatchResult] = {}
         while self._queue:
             batch = self._take_microbatch()
@@ -75,15 +99,47 @@ class BatchScheduler:
             self.stats.peak_batch = max(self.stats.peak_batch, occupancy)
             batch_results = self.generator.generate([r for _, r in batch])
             for (ticket, request), result in zip(batch, batch_results):
-                results[ticket] = result
-                self.stats.completed += 1
-                self.stats.prompt_tokens += len(request.prompt_ids)
-                self.stats.generated_tokens += sum(
-                    len(seq) for seq in result.sequences
-                )
-                if not result.batched:
-                    self.stats.sequential_fallbacks += 1
+                self._record(ticket, request, result, results)
+        self._mirror_generator_stats()
         return results
+
+    def _run_continuous(self) -> Dict[int, BatchResult]:
+        """Drain the queue through the retire-and-admit decode loop."""
+        results: Dict[int, BatchResult] = {}
+        batch, self._queue = self._queue, []
+        if not batch:
+            return results
+        self.stats.microbatches += 1
+        batch_results = self.generator.generate_continuous(
+            [r for _, r in batch], max_active=self.max_batch_size
+        )
+        for (ticket, request), result in zip(batch, batch_results):
+            self._record(ticket, request, result, results)
+        self.stats.peak_batch = max(
+            self.stats.peak_batch, self.generator.stats.peak_active
+        )
+        self._mirror_generator_stats()
+        return results
+
+    def _record(
+        self,
+        ticket: int,
+        request: BatchRequest,
+        result: BatchResult,
+        results: Dict[int, BatchResult],
+    ) -> None:
+        results[ticket] = result
+        self.stats.completed += 1
+        self.stats.prompt_tokens += len(request.prompt_ids)
+        self.stats.generated_tokens += sum(len(seq) for seq in result.sequences)
+        if not result.batched:
+            self.stats.sequential_fallbacks += 1
+
+    def _mirror_generator_stats(self) -> None:
+        gen = self.generator.stats
+        self.stats.refills = gen.refills
+        self.stats.prefix_hits = gen.prefix_hits
+        self.stats.prefix_reused_tokens = gen.prefix_reused_tokens
 
     def _take_microbatch(self) -> List[Tuple[int, BatchRequest]]:
         """Pop a FIFO prefix of the queue within the occupancy budget."""

@@ -34,6 +34,10 @@ class EvaluationReport:
     ``reliability`` carries the serving-side counters (retries,
     fallbacks, breaker trips, degraded answers) next to accuracy — both
     halves of the question "did it answer, and was it right?".
+    ``serving`` likewise carries the engine's throughput counters
+    (prefix-cache hits, reused prefill tokens, continuous-batching
+    refills) so reports show what the sweep *cost*, not just what it
+    scored.
     """
 
     total: int = 0
@@ -42,6 +46,7 @@ class EvaluationReport:
     static_valid: int = 0
     by_hardness: Dict[str, Tuple[int, int]] = field(default_factory=dict)
     reliability: Optional[Dict[str, float]] = None
+    serving: Optional[Dict[str, float]] = None
 
     @property
     def accuracy(self) -> float:
@@ -107,6 +112,7 @@ def evaluate_translator(
     examples: Sequence[Text2SQLExample],
     reliability_source: Optional[object] = None,
     translate_batch: Optional[Callable[[Sequence[str]], List[str]]] = None,
+    serving_source: Optional[Callable[[], Dict[str, float]]] = None,
 ) -> EvaluationReport:
     """Score a translator by execution accuracy on ``examples``.
 
@@ -115,7 +121,9 @@ def evaluate_translator(
     its snapshot is attached to the report as ``reliability``. With
     ``translate_batch`` (e.g. ``ClientTranslator.translate_batch``), all
     questions are translated in one batched serving call before scoring
-    instead of one request per example.
+    instead of one request per example. ``serving_source`` (e.g.
+    ``ClientTranslator.serving_stats``) is called after translation and
+    its dict is attached as ``serving``.
     """
     report = EvaluationReport()
     counts: Dict[str, List[int]] = {}
@@ -139,4 +147,6 @@ def evaluate_translator(
     report.by_hardness = {k: (v[0], v[1]) for k, v in counts.items()}
     if reliability_source is not None:
         report.reliability = dict(reliability_source.metrics.as_dict())
+    if serving_source is not None:
+        report.serving = dict(serving_source())
     return report

@@ -34,7 +34,7 @@ from repro.errors import (
 )
 from repro.generation import GenerationConfig, generate
 from repro.models import GPTModel, ModelConfig
-from repro.serving import complete_many
+from repro.serving import complete_many, engine_serving_stats
 from repro.tokenizers import Tokenizer, WhitespaceTokenizer
 from repro.training.data import IGNORE_INDEX
 from repro.training.optim import AdamW
@@ -173,6 +173,15 @@ class ClientTranslator:
             self._accept(question, response)
             for question, response in zip(questions, responses)
         ]
+
+    def serving_stats(self) -> dict:
+        """Prefix-cache / batching counters for this translator's engine.
+
+        Every translated question repeats the same ``q :`` prompt shape,
+        so across a sweep the engine's prefix cache absorbs most of the
+        prefill; this surfaces those counters for evaluation reports.
+        """
+        return engine_serving_stats(self.client, self.engine)
 
     def _accept(self, question: str, response) -> str:
         """Vet one completion, degrading on untrusted channels."""

@@ -19,6 +19,10 @@ from repro.utils.text import normalize_whitespace
 
 WORD_BOUNDARY = "▁"  # '▁' marks the start of a space-prefixed word
 
+#: cap on the per-word merge memo — natural-language word frequency is
+#: Zipfian, so a bounded cache still absorbs nearly every lookup
+_WORD_CACHE_LIMIT = 65536
+
 
 def _word_to_symbols(word: str) -> Tuple[str, ...]:
     """Split a (boundary-marked) word into single-character symbols."""
@@ -36,6 +40,10 @@ class BPETokenizer(Tokenizer):
     def __init__(self, specials: Optional[SpecialTokens] = None) -> None:
         super().__init__(Vocabulary(specials=specials or SpecialTokens()))
         self.merges: Dict[Tuple[str, str], int] = {}
+        # Memoized merge results per word: encoding is dominated by the
+        # quadratic merge replay, and real text repeats words endlessly.
+        # Invalidated by train(), which changes the merge table.
+        self._word_cache: Dict[str, Tuple[str, ...]] = {}
 
     # -- training ---------------------------------------------------------
     def train(self, corpus: Sequence[str], vocab_size: int = 512) -> None:
@@ -46,6 +54,7 @@ class BPETokenizer(Tokenizer):
         """
         if not corpus:
             raise TokenizerError("cannot train BPE on an empty corpus")
+        self._word_cache.clear()  # stale merges must not leak across retrains
         word_freq: Counter[Tuple[str, ...]] = Counter()
         for doc in corpus:
             for word in self._pre_tokenize(doc):
@@ -119,7 +128,15 @@ class BPETokenizer(Tokenizer):
         return tokens
 
     def _bpe_word(self, word: str) -> List[str]:
-        """Apply learned merges (lowest rank first) to a single word."""
+        """Apply learned merges (lowest rank first) to a single word.
+
+        Results are memoized per word (bounded, cleared on retrain):
+        merge replay is quadratic in word length but text repeats the
+        same words, so the common case is one dict hit.
+        """
+        cached = self._word_cache.get(word)
+        if cached is not None:
+            return list(cached)
         symbols = list(_word_to_symbols(word))
         while len(symbols) > 1:
             candidates = [
@@ -131,6 +148,8 @@ class BPETokenizer(Tokenizer):
                 break
             _, i = min(candidates)
             symbols[i: i + 2] = [symbols[i] + symbols[i + 1]]
+        if len(self._word_cache) < _WORD_CACHE_LIMIT:
+            self._word_cache[word] = tuple(symbols)
         return symbols
 
     def _detokenize(self, tokens: List[str]) -> str:

@@ -13,7 +13,7 @@ from repro.errors import (
     TransientError,
     WrangleError,
 )
-from repro.serving import complete_many
+from repro.serving import complete_many, engine_serving_stats
 from repro.utils.rng import SeededRNG
 from repro.models import BERTModel, ModelConfig, SequenceClassifier
 from repro.tokenizers import Tokenizer, WhitespaceTokenizer
@@ -196,6 +196,15 @@ class ClientImputer:
             self._accept(example, response)
             for example, response in zip(examples, responses)
         ]
+
+    def serving_stats(self) -> dict:
+        """Prefix-cache / batching counters for this imputer's engine.
+
+        Every few-shot prompt repeats the same shot block and differs
+        only in the final record, so across a table the engine's prefix
+        cache absorbs nearly all of the prefill.
+        """
+        return engine_serving_stats(self.client, self.engine)
 
     def _accept(self, example: ImputationExample, response) -> str:
         """Map one completion to a known class, or the majority answer."""

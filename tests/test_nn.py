@@ -15,6 +15,7 @@ from repro.nn import (
     TransformerBlock,
     TransformerStack,
     causal_mask,
+    chunk_causal_mask,
     padding_mask,
 )
 from repro.utils.rng import SeededRNG
@@ -119,6 +120,32 @@ class TestMasks:
         mask = padding_mask(attn)
         assert mask.shape == (2, 1, 1, 3)
         assert mask[0, 0, 0].tolist() == [False, False, True]
+
+    def test_cached_mask_matches_fresh_triu_across_sizes(self):
+        # Shrinking, growing, and regrowing must all slice correctly
+        # out of the shared cached triangle.
+        for seq_len in (5, 3, 70, 12, 200, 1):
+            mask = causal_mask(seq_len)
+            assert mask.shape == (seq_len, seq_len)
+            np.testing.assert_array_equal(
+                mask, np.triu(np.ones((seq_len, seq_len), dtype=bool), k=1)
+            )
+
+    def test_cached_mask_is_read_only_view(self):
+        mask = causal_mask(6)
+        assert not mask.flags.writeable
+        with pytest.raises(ValueError):
+            mask[0, 0] = True
+        # Repeated same-size calls share the cache's buffer.
+        assert causal_mask(6).base is causal_mask(6).base
+
+    def test_chunk_causal_mask_covers_absolute_columns(self):
+        chunk = chunk_causal_mask(3, 7)
+        assert chunk.shape == (4, 7)
+        np.testing.assert_array_equal(chunk, causal_mask(7)[3:7])
+        # Query at absolute position 3 sees keys 0..3, not 4..6.
+        assert chunk[0].tolist() == [False] * 4 + [True] * 3
+        assert not chunk[-1].any()
 
 
 class TestAttention:

@@ -2,6 +2,8 @@
 scheduler, ``complete_batch`` on the API/reliability clients, and the
 batched application-subsystem paths."""
 
+from __future__ import annotations
+
 import dataclasses
 
 import numpy as np
@@ -25,6 +27,8 @@ from repro.serving import (
     BatchedGenerator,
     BatchRequest,
     BatchScheduler,
+    KVCache,
+    PrefixCache,
     complete_many,
 )
 from repro.sql import Database
@@ -600,5 +604,524 @@ class TestPerPromptLoopLint:
                 ]
             )
             if f.rule == "per-prompt-loop"
+        ]
+        assert findings == []
+
+class TestKVCacheSlab:
+    def test_append_returns_live_views(self):
+        cache = KVCache()
+        k = np.ones((2, 3, 4, 5))
+        keys, values = cache.append(k, k * 2)
+        assert keys.shape == (2, 3, 4, 5)
+        assert len(cache) == 4
+        keys, values = cache.append(k[:, :, :1], k[:, :, :1])
+        assert keys.shape == (2, 3, 5, 5)
+        np.testing.assert_array_equal(keys[:, :, :4], np.ones((2, 3, 4, 5)))
+
+    def test_capacity_doubles_amortized(self):
+        cache = KVCache()
+        step = np.zeros((1, 2, 1, 4))
+        cache.append(step, step)
+        first_capacity = cache.capacity
+        for _ in range(first_capacity + 1):
+            cache.append(step, step)
+        assert cache.capacity == 2 * first_capacity
+        assert len(cache) == first_capacity + 2
+
+    def test_batch_size_change_rejected(self):
+        cache = KVCache()
+        cache.append(np.zeros((2, 2, 1, 4)), np.zeros((2, 2, 1, 4)))
+        with pytest.raises(ValueError):
+            cache.append(np.zeros((3, 2, 1, 4)), np.zeros((3, 2, 1, 4)))
+
+    def test_slab_decode_matches_legacy_concatenate(self, model):
+        """Regression: the in-place slab is numerically identical to the
+        old concatenate-per-token growing cache."""
+        rng = np.random.default_rng(3)
+        ids = rng.integers(1, model.config.vocab_size, size=(2, 12))
+        slab = model.init_cache()
+        legacy = model.init_cache(layout="legacy")
+        from repro.autograd import no_grad
+
+        with no_grad():
+            for position in range(ids.shape[1]):
+                step = ids[:, position: position + 1]
+                a = model.forward_incremental(step, position, slab)
+                b = model.forward_incremental(step, position, legacy)
+                np.testing.assert_array_equal(a.data, b.data)
+
+    def test_generate_uses_slab_by_default(self, model):
+        caches = model.init_cache()
+        assert isinstance(caches[0], KVCache)
+        assert isinstance(model.init_cache(layout="legacy")[0], dict)
+
+    def test_unknown_layout_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.init_cache(layout="paged")
+
+
+def _toy_layers(tokens: int, fill: float = 1.0):
+    """One-layer (k, v) span of shape (2 heads, tokens, 3 dims)."""
+    k = np.full((2, tokens, 3), fill) * np.arange(1, tokens + 1)[None, :, None]
+    return [(k, -k)]
+
+
+class TestPrefixCacheTrie:
+    def test_insert_then_lookup_roundtrip(self):
+        cache = PrefixCache()
+        cache.insert([5, 6, 7], _toy_layers(3))
+        match, layers = cache.lookup([5, 6, 7, 8])
+        assert match == 3
+        keys, values = layers[0]
+        assert keys.shape == (2, 3, 3)
+        np.testing.assert_array_equal(keys, _toy_layers(3)[0][0])
+        np.testing.assert_array_equal(values, -keys)
+
+    def test_shared_header_stored_once(self):
+        cache = PrefixCache()
+        cache.insert([1, 2, 3], _toy_layers(3))
+        added = cache.insert([1, 2, 9], _toy_layers(3))
+        assert added == 1  # only the divergent tail allocates
+        assert len(cache) == 4
+
+    def test_max_len_caps_match(self):
+        cache = PrefixCache()
+        cache.insert([1, 2, 3], _toy_layers(3))
+        match, layers = cache.lookup([1, 2, 3], max_len=2)
+        assert match == 2
+        assert layers[0][0].shape[1] == 2
+
+    def test_peek_does_not_touch_stats(self):
+        cache = PrefixCache()
+        cache.insert([1, 2], _toy_layers(2))
+        assert cache.peek_length([1, 2, 3]) == 2
+        assert cache.stats.lookups == 0
+        assert cache.peek_length([9]) == 0
+
+    def test_miss_counts(self):
+        cache = PrefixCache()
+        match, layers = cache.lookup([4, 4])
+        assert (match, layers) == (0, None)
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.0
+
+    def test_lru_eviction_respects_budget_and_keeps_paths_valid(self):
+        node_bytes = sum(
+            k.nbytes + v.nbytes
+            for k, v in [(l[0][:, :1], l[1][:, :1]) for l in _toy_layers(1)]
+        )
+        cache = PrefixCache(max_bytes=4 * node_bytes)
+        cache.insert([1, 2, 3], _toy_layers(3))
+        cache.lookup([1, 2, 3])  # make the first chain recently used
+        cache.insert([7, 8, 9], _toy_layers(3))  # 6 nodes > budget: evict
+        assert cache.stats.evictions >= 2
+        assert cache.stats.bytes <= 4 * node_bytes
+        # Whatever survived must still be a valid trie prefix.
+        match, layers = cache.lookup([1, 2, 3])
+        assert match >= 1
+        assert layers[0][0].shape[1] == match
+
+    def test_clear(self):
+        cache = PrefixCache()
+        cache.insert([1, 2], _toy_layers(2))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.bytes == 0
+        assert cache.peek_length([1, 2]) == 0
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(GenerationError):
+            PrefixCache(max_bytes=0)
+
+
+@pytest.fixture(scope="module")
+def shared_header_prompts():
+    """Few-shot-shaped token prompts: long shared header, short suffixes."""
+    rng = np.random.default_rng(5)
+    header = list(map(int, rng.integers(1, 48, size=14)))
+    return [header + [int(40 + i), int(1 + i)] for i in range(6)]
+
+
+class TestPrefixEquivalence:
+    def test_greedy_identical_with_cache_on_and_off(
+        self, model, shared_header_prompts
+    ):
+        config = GenerationConfig(max_new_tokens=8)
+        requests = [BatchRequest(p, config) for p in shared_header_prompts]
+        expected = [generate(model, p, config) for p in shared_header_prompts]
+        plain = BatchedGenerator(model).generate(requests)
+        cached = BatchedGenerator(model, prefix_cache=PrefixCache()).generate(
+            requests
+        )
+        assert [r.sequences[0] for r in plain] == expected
+        assert [r.sequences[0] for r in cached] == expected
+
+    def test_warm_cache_still_identical_and_cheaper(
+        self, model, shared_header_prompts
+    ):
+        config = GenerationConfig(max_new_tokens=6)
+        requests = [BatchRequest(p, config) for p in shared_header_prompts]
+        expected = [generate(model, p, config) for p in shared_header_prompts]
+        cache = PrefixCache()
+        BatchedGenerator(model, prefix_cache=cache).generate(requests)
+        warm = BatchedGenerator(model, prefix_cache=cache)
+        results = warm.generate(requests)
+        assert [r.sequences[0] for r in results] == expected
+        assert warm.stats.prefix_hits == len(requests)
+        # Warm prefill touches only the final (uncached) prompt token.
+        assert warm.stats.prefill_tokens == len(requests)
+
+    def test_identical_across_lru_eviction_mid_workload(
+        self, model, shared_header_prompts
+    ):
+        config = GenerationConfig(max_new_tokens=6)
+        expected = [generate(model, p, config) for p in shared_header_prompts]
+        # A budget this tight evicts constantly while the sweep runs.
+        cache = PrefixCache(max_bytes=4096)
+        generator = BatchedGenerator(model, prefix_cache=cache)
+        results = []
+        for prompt in shared_header_prompts:
+            (result,) = generator.generate([BatchRequest(prompt, config)])
+            results.append(result.sequences[0])
+        assert results == expected
+        assert cache.stats.evictions > 0
+        assert cache.stats.bytes <= 4096
+
+    def test_n_choices_identical_with_prefix_cache(self, model):
+        prompt = [3, 9, 9, 2, 7, 7, 1]
+        config = GenerationConfig(
+            max_new_tokens=6, strategy="sample", temperature=0.9, seed=17
+        )
+        expected = [
+            generate(model, prompt, dataclasses.replace(config, seed=17 + j))
+            for j in range(3)
+        ]
+        cache = PrefixCache()
+        request = BatchRequest(prompt, config, n=3)
+        (cold,) = BatchedGenerator(model, prefix_cache=cache).generate([request])
+        (warm,) = BatchedGenerator(model, prefix_cache=cache).generate([request])
+        assert cold.sequences == expected
+        assert warm.sequences == expected
+
+    def test_seeded_shared_header_prefills_once(
+        self, model, shared_header_prompts
+    ):
+        cache = PrefixCache()
+        generator = BatchedGenerator(model, prefix_cache=cache)
+        config = GenerationConfig(max_new_tokens=4)
+        generator.generate(
+            [BatchRequest(p, config) for p in shared_header_prompts]
+        )
+        header_len = 14
+        suffixes = sum(
+            len(p) - header_len for p in shared_header_prompts
+        )
+        # One header prefill + per-row suffixes, not 6 full prompts.
+        assert generator.stats.prefill_tokens == header_len + suffixes
+
+    def test_client_prefix_cache_persists_and_invalidates(self, hub):
+        client = CompletionClient(hub)
+        client.complete_batch("tiny-gpt", PROMPTS, max_tokens=4)
+        client.complete_batch("tiny-gpt", PROMPTS, max_tokens=4)
+        stats = client.engine_stats("tiny-gpt")
+        assert stats.prefix_hits >= len(PROMPTS)  # second sweep fully cached
+        cache_before = client.prefix_cache("tiny-gpt")
+        entry = hub.get("tiny-gpt")
+        hub.register(
+            "tiny-gpt",
+            GPTModel(entry.model.config, seed=99),
+            entry.tokenizer,
+        )
+        assert client.prefix_cache("tiny-gpt") is not cache_before
+        hub.register("tiny-gpt", entry.model, entry.tokenizer)
+
+    def test_disabled_cache_returns_none(self, hub):
+        client = CompletionClient(hub, prefix_cache_bytes=0)
+        assert client.prefix_cache("tiny-gpt") is None
+        responses = client.complete_batch("tiny-gpt", PROMPTS[:2], max_tokens=4)
+        assert len(responses) == 2
+
+
+class TestContinuousBatching:
+    def test_matches_sequential_and_barriered(self, model, ragged_prompts):
+        config = GenerationConfig(max_new_tokens=9)
+        requests = [BatchRequest(p, config) for p in ragged_prompts]
+        expected = [generate(model, p, config) for p in ragged_prompts]
+        generator = BatchedGenerator(model)
+        results = generator.generate_continuous(requests, max_active=3)
+        assert [r.sequences[0] for r in results] == expected
+        assert generator.stats.refills > 0
+        assert generator.stats.peak_active <= 3
+
+    def test_refill_admits_mid_decode(self, model, ragged_prompts):
+        # Unequal stop points force retirement at different steps, so
+        # queued requests must be admitted into freed slots.
+        config = GenerationConfig(max_new_tokens=12)
+        requests = [BatchRequest(p, config) for p in ragged_prompts]
+        generator = BatchedGenerator(model)
+        generator.generate_continuous(requests, max_active=2)
+        assert generator.stats.refills == len(requests) - 2
+
+    def test_sampling_and_n_choices(self, model, ragged_prompts):
+        config = GenerationConfig(
+            max_new_tokens=5, strategy="sample", temperature=0.8, seed=23
+        )
+        requests = [BatchRequest(p, config, n=2) for p in ragged_prompts[:3]]
+        expected = [
+            [
+                generate(model, p, dataclasses.replace(config, seed=23 + j))
+                for j in range(2)
+            ]
+            for p in ragged_prompts[:3]
+        ]
+        results = BatchedGenerator(model).generate_continuous(
+            requests, max_active=4
+        )
+        assert [r.sequences for r in results] == expected
+
+    def test_oversized_n_runs_alone(self, model):
+        config = GenerationConfig(
+            max_new_tokens=4, strategy="sample", temperature=0.9
+        )
+        generator = BatchedGenerator(model)
+        (result,) = generator.generate_continuous(
+            [BatchRequest([1, 2], config, n=5)], max_active=2
+        )
+        assert len(result.sequences) == 5
+
+    def test_nonfitting_request_falls_back(self, model):
+        config = GenerationConfig(max_new_tokens=model.config.max_seq_len)
+        generator = BatchedGenerator(model)
+        results = generator.generate_continuous(
+            [BatchRequest([1, 2, 3], config), BatchRequest([4, 5], GenerationConfig(max_new_tokens=3))],
+            max_active=2,
+        )
+        assert not results[0].batched
+        assert results[1].batched
+        assert generator.stats.sequential_fallbacks == 1
+
+    def test_with_prefix_cache(self, model, shared_header_prompts):
+        config = GenerationConfig(max_new_tokens=7)
+        requests = [BatchRequest(p, config) for p in shared_header_prompts]
+        expected = [generate(model, p, config) for p in shared_header_prompts]
+        generator = BatchedGenerator(model, prefix_cache=PrefixCache())
+        results = generator.generate_continuous(requests, max_active=2)
+        assert [r.sequences[0] for r in results] == expected
+        assert generator.stats.prefix_hits > 0
+
+    def test_scheduler_continuous_matches_barriered(self, model, ragged_prompts):
+        config = GenerationConfig(max_new_tokens=6)
+        barriered = BatchScheduler(model, max_batch_size=3)
+        continuous = BatchScheduler(model, max_batch_size=3, continuous=True)
+        tickets_a = [barriered.submit(BatchRequest(p, config)) for p in ragged_prompts]
+        tickets_b = [continuous.submit(BatchRequest(p, config)) for p in ragged_prompts]
+        results_a = barriered.run()
+        results_b = continuous.run()
+        assert [results_a[t].sequences for t in tickets_a] == [
+            results_b[t].sequences for t in tickets_b
+        ]
+        assert continuous.stats.refills > 0
+        assert continuous.stats.microbatches == 1
+        assert barriered.stats.refills == 0
+
+    def test_bad_max_active_rejected(self, model):
+        with pytest.raises(GenerationError):
+            BatchedGenerator(model).generate_continuous([], max_active=0)
+
+    def test_client_surfaces_refills(self, hub):
+        client = CompletionClient(hub)
+        client.complete_batch(
+            "tiny-gpt", PROMPTS, max_tokens=8, max_batch_size=2
+        )
+        assert client.engine_stats("tiny-gpt").batch_refills > 0
+
+
+class TestClientCodexServing:
+    @pytest.fixture()
+    def db(self):
+        database = Database()
+        database.execute("CREATE TABLE users (id INT, name TEXT, age INT)")
+        database.execute("INSERT INTO users VALUES (1, 'ann', 34), (2, 'bo', 19)")
+        return database
+
+    def test_wave_returns_k_candidates(self, hub):
+        from repro.codexdb import ClientCodex
+
+        codex = ClientCodex(CompletionClient(hub), "tiny-gpt", max_tokens=6)
+        programs = codex.sample_programs(
+            "select name from users", CodeGenOptions(), 3
+        )
+        assert len(programs) == 3
+        assert codex.samples_served == 3
+
+    def test_prompts_share_cacheable_header(self, hub):
+        from repro.codexdb import ClientCodex
+
+        codex = ClientCodex(CompletionClient(hub), "tiny-gpt", max_tokens=4)
+        codex.sample_program("select name from users", CodeGenOptions())
+        codex.sample_program("select age from users", CodeGenOptions())
+        stats = codex.serving_stats()
+        assert stats["prefix_hits"] >= 1
+        assert stats["prefix_reused_tokens"] > 0
+
+    def test_codexdb_loop_survives_lm_candidates(self, hub, db):
+        from repro.codexdb import ClientCodex
+
+        codex = ClientCodex(CompletionClient(hub), "tiny-gpt", max_tokens=6)
+        system = CodexDB(db, codex, CodeGenOptions())
+        result = system.run("select name from users where age > 20", max_attempts=2)
+        # The tiny word-LM emits non-Python: every candidate is rejected
+        # before execution, which is exactly the vetting path.
+        assert not result.succeeded
+        assert result.static_rejections + result.runtime_failures >= 1
+
+    def test_evaluate_codexdb_accepts_codex_override(self, hub, db):
+        from repro.codexdb import ClientCodex, evaluate_codexdb
+
+        codex = ClientCodex(CompletionClient(hub), "tiny-gpt", max_tokens=6)
+        report = evaluate_codexdb(
+            db, ["select name from users"], max_attempts=2, codex=codex
+        )
+        assert report.total == 1
+        assert report.serving is not None
+        assert "prefix_hits" in report.serving
+
+
+class TestServingStatsSurfaces:
+    def test_translator_serving_stats(self, text2sql_setup):
+        workload, examples, hub, engine = text2sql_setup
+        translator = ClientTranslator(
+            client=CompletionClient(hub), engine=engine, workload=workload
+        )
+        questions = [e.question for e in examples[:4]]
+        translator.translate_batch(questions)
+        translator.translate_batch(questions)
+        stats = translator.serving_stats()
+        assert stats["requests"] == 8.0
+        assert stats["prefix_hits"] >= 4  # second sweep reuses the first
+
+    def test_evaluate_translator_attaches_serving(self, text2sql_setup):
+        workload, examples, hub, engine = text2sql_setup
+        translator = ClientTranslator(
+            client=CompletionClient(hub), engine=engine, workload=workload
+        )
+        report = evaluate_translator(
+            translator.translate,
+            workload,
+            examples[:4],
+            translate_batch=translator.translate_batch,
+            serving_source=translator.serving_stats,
+        )
+        assert report.serving is not None
+        assert report.serving["requests"] == 4.0
+
+    def test_imputer_serving_stats(self, hub):
+        examples = generate_imputation_dataset(num_examples=24, seed=1)
+        # shots=2 keeps the few-shot prompt inside the tiny context so
+        # the batched (cacheable) path serves it, not the fallback.
+        imputer = ClientImputer(CompletionClient(hub), "tiny-gpt", shots=2).fit(
+            examples[:18]
+        )
+        imputer.predict_batch(examples[18:])
+        stats = imputer.serving_stats()
+        assert stats["requests"] == 6.0
+        # Few-shot prompts share the shot block: the prefix cache must
+        # absorb most of it even within one sweep's admission waves.
+        assert stats["prefix_reused_tokens"] > 0
+
+    def test_wrapped_client_unwraps_to_engine_stats(self, hub):
+        from repro.serving import engine_serving_stats
+
+        clock = VirtualClock()
+        inner = CompletionClient(hub)
+        resilient = ResilientClient(inner, policy=RetryPolicy(), clock=clock)
+        complete_many(resilient, "tiny-gpt", PROMPTS[:2], max_tokens=4)
+        stats = engine_serving_stats(resilient, "tiny-gpt")
+        assert stats["requests"] == 2.0
+
+    def test_statless_client_yields_empty_dict(self):
+        from repro.serving import engine_serving_stats
+
+        class Bare:
+            def complete(self, engine, prompt, **kwargs):
+                raise NotImplementedError
+
+        assert engine_serving_stats(Bare(), "x") == {}
+
+
+class TestConcatInLoopLint:
+    def lint(self, code, path):
+        from repro.analysis.lint import lint_source
+
+        return [
+            f for f in lint_source(code, path=path) if f.rule == "concat-in-loop"
+        ]
+
+    def test_flags_concatenate_in_loop(self):
+        code = (
+            "import numpy as np\n"
+            "def grow(chunks):\n"
+            "    out = chunks[0]\n"
+            "    for c in chunks[1:]:\n"
+            "        out = np.concatenate([out, c], axis=2)\n"
+            "    return out\n"
+        )
+        findings = self.lint(code, "src/repro/nn/attention.py")
+        assert len(findings) == 1
+        assert findings[0].line == 5
+
+    def test_flags_comprehension(self):
+        code = (
+            "import numpy as np\n"
+            "def grow(pairs):\n"
+            "    return [np.concatenate(p) for p in pairs]\n"
+        )
+        assert self.lint(code, "src/repro/serving/engine.py")
+
+    def test_call_outside_loop_is_fine(self):
+        code = (
+            "import numpy as np\n"
+            "def join(a, b):\n"
+            "    return np.concatenate([a, b])\n"
+        )
+        assert not self.lint(code, "src/repro/nn/attention.py")
+
+    def test_only_hot_path_dirs_covered(self):
+        code = (
+            "import numpy as np\n"
+            "def grow(chunks):\n"
+            "    return [np.concatenate(c) for c in chunks]\n"
+        )
+        assert not self.lint(code, "src/repro/wrangle/imputation.py")
+        assert not self.lint(code, "tests/test_nn.py")
+
+    def test_noqa_suppresses(self):
+        code = (
+            "import numpy as np\n"
+            "def grow(chunks):\n"
+            "    out = chunks[0]\n"
+            "    for c in chunks[1:]:\n"
+            "        out = np.concatenate(  # repro: noqa[concat-in-loop]\n"
+            "            [out, c], axis=2)\n"
+            "    return out\n"
+        )
+        assert not self.lint(code, "src/repro/serving/engine.py")
+
+    def test_shipped_hot_paths_are_clean(self):
+        from pathlib import Path
+
+        from repro.analysis.lint import lint_paths
+
+        findings = [
+            f
+            for f in lint_paths(
+                [
+                    Path("src/repro/nn"),
+                    Path("src/repro/generation"),
+                    Path("src/repro/serving"),
+                    Path("src/repro/models"),
+                ]
+            )
+            if f.rule == "concat-in-loop"
         ]
         assert findings == []

@@ -114,6 +114,29 @@ class TestBPE:
     def test_vocab_size_respected(self, tok):
         assert tok.vocab_size <= 120
 
+    def test_word_memoization_is_transparent(self):
+        tok = BPETokenizer()
+        tok.train(CORPUS, vocab_size=120)
+        text = "the quick fox scans rows"
+        cold = tok.encode(text).ids
+        assert tok._word_cache  # encode populated the memo
+        assert tok.encode(text).ids == cold  # warm hit, same tokens
+
+    def test_retrain_invalidates_word_cache(self):
+        new_corpus = ["aa ab aa ab abab", "abab aa bb ab"]
+        tok, twin = BPETokenizer(), BPETokenizer()
+        for t in (tok, twin):
+            t.train(CORPUS, vocab_size=120)
+        tok.encode("the quick brown fox")  # populate the memo
+        assert tok._word_cache
+        # Retrain both; only `tok` ever held cached merge results. Any
+        # stale entry surviving train() would make them diverge.
+        for t in (tok, twin):
+            t.train(new_corpus, vocab_size=160)
+        assert not tok._word_cache
+        for text in ("abab aa", "the quick brown fox"):
+            assert tok.encode(text).ids == twin.encode(text).ids
+
 
 class TestWordPiece:
     @pytest.fixture(scope="class")
