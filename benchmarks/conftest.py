@@ -7,8 +7,11 @@ from pathlib import Path
 
 import pytest
 
-#: machine-readable serving-benchmark output, committed next to the code
-BENCH_SERVING_JSON = Path(__file__).parent / "BENCH_serving.json"
+BENCH_DIR = Path(__file__).parent
+
+#: metrics without an explicit ``group/`` prefix land here (the fixture
+#: predates per-group routing and the serving benchmarks use bare keys)
+DEFAULT_GROUP = "serving"
 
 
 def print_report(title: str, lines: list[str]) -> None:
@@ -30,14 +33,22 @@ def bench_metrics():
     """Session-wide dict of machine-readable benchmark metrics.
 
     Benchmarks drop ``{metric: value}`` entries in; at session teardown
-    everything collected is written to ``benchmarks/BENCH_serving.json``
-    so CI and the acceptance criteria can read numbers instead of
-    scraping stdout. (Benchmarks are exempt from the atomic-write lint
-    rule; this file is regenerated on every run.)
+    everything collected is written to per-group
+    ``benchmarks/BENCH_<group>.json`` files so CI and the acceptance
+    criteria can read numbers instead of scraping stdout. A key of the
+    form ``"analysis/vet_precision"`` routes to ``BENCH_analysis.json``
+    under the bare metric name; keys without a slash keep landing in
+    ``BENCH_serving.json``. (Benchmarks are exempt from the
+    atomic-write lint rule; these files are regenerated on every run.)
     """
     metrics: dict = {}
     yield metrics
-    if metrics:
-        BENCH_SERVING_JSON.write_text(
-            json.dumps(metrics, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    groups: dict = {}
+    for key, value in metrics.items():
+        group, _, name = key.rpartition("/")
+        groups.setdefault(group or DEFAULT_GROUP, {})[name] = value
+    for group, values in groups.items():
+        (BENCH_DIR / f"BENCH_{group}.json").write_text(
+            json.dumps(values, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
         )

@@ -1,25 +1,46 @@
-"""ANALYSIS — Static analysis throughput: vetting is cheap insurance.
+"""ANALYSIS — Static analysis throughput, precision, and suppression budget.
 
 CodexDB executes model-generated Python and text-to-SQL executes
 model-generated SQL; both now pass every candidate through static
 vetting first. The pitch only holds if the analyzers are much cheaper
 than the execution they guard — this benchmark measures programs
-vetted per second (pycheck over generated plans) and queries checked
-per second (sqlcheck against the catalog), next to the cost of actually
-running the same artifacts.
+vetted per second (flow-sensitive pycheck over generated plans) and
+queries checked per second (sqlcheck against the catalog), next to the
+cost of actually running the same artifacts.
+
+It also scores the flow-sensitive vetter against the labeled golden
+corpus (:mod:`repro.analysis.corpus`) — precision/recall for the new
+pipeline and for the PR-1 mention-ban rules it replaced — times the
+repo linter over ``src/``, and enforces the ``# repro: noqa``
+suppression budget (the repo must not accumulate more suppressions
+than the seed baseline). Everything lands in
+``benchmarks/BENCH_analysis.json`` via the ``bench_metrics`` fixture.
 """
 
 from __future__ import annotations
 
+import io
 import time
+import tokenize
+from pathlib import Path
 
 import pytest
 
-from repro.analysis import check_python, check_sql
+from repro.analysis import check_python, check_sql, error_findings
+from repro.analysis.corpus import FIXTURES, legacy_rejects
+from repro.analysis.lint import _NOQA_PATTERN, lint_paths
 from repro.codexdb import CodeGenOptions, generate_python, plan_query
 from repro.codexdb.sandbox import run_generated_code
 from repro.text2sql import generate_workload
 from repro.text2sql.workload import sql_to_engine_dialect
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: real ``# repro: noqa`` comment suppressions in the tree at the seed
+#: of this benchmark (engine.py amortized concats + dispatch.py); the
+#: budget check fails when the count grows past this without the
+#: baseline being consciously re-set here
+NOQA_BUDGET = 3
 
 
 @pytest.fixture(scope="module")
@@ -45,7 +66,9 @@ def throughput(fn, items, repeats=20):
     return len(items) * repeats / elapsed
 
 
-def test_bench_analysis_throughput(benchmark, report_printer, setup):
+def test_bench_analysis_throughput(
+    benchmark, report_printer, bench_metrics, setup
+):
     db, queries, programs = setup
     tables = {name: db.table(name) for name in db.table_names()}
 
@@ -66,11 +89,118 @@ def test_bench_analysis_throughput(benchmark, report_printer, setup):
             f"{'vet + execute (sandbox)':<26}{len(programs):>10}{exec_rate:>12.0f}",
         ],
     )
+    bench_metrics["analysis/pycheck_programs_per_sec"] = round(pycheck_rate, 1)
+    bench_metrics["analysis/sqlcheck_queries_per_sec"] = round(sqlcheck_rate, 1)
 
     # Every artifact in the shipped pipeline must vet clean.
-    assert all(not check_python(code) for code in programs)
+    assert all(not error_findings(check_python(code)) for code in programs)
     assert all(not check_sql(sql, db.catalog) for sql in queries)
     # Vetting alone must not be slower than vetting + executing.
     assert pycheck_rate > exec_rate
     assert pycheck_rate > 50
     assert sqlcheck_rate > 50
+
+
+def _score(reject_fn):
+    """(precision, recall, false_positives) of a rejector over the corpus."""
+    tp = fp = fn = 0
+    for fixture in FIXTURES:
+        rejected = reject_fn(fixture.code)
+        if rejected and not fixture.safe:
+            tp += 1
+        elif rejected and fixture.safe:
+            fp += 1
+        elif not rejected and not fixture.safe:
+            fn += 1
+    precision = tp / (tp + fp) if (tp + fp) else 0.0
+    recall = tp / (tp + fn) if (tp + fn) else 0.0
+    return precision, recall, fp
+
+
+def test_bench_vet_precision_recall(report_printer, bench_metrics):
+    flow_p, flow_r, flow_fp = _score(
+        lambda code: bool(error_findings(check_python(code)))
+    )
+    old_p, old_r, old_fp = _score(legacy_rejects)
+
+    report_printer(
+        "ANALYSIS: vet precision/recall on the golden corpus "
+        f"({len(FIXTURES)} fixtures)",
+        [
+            f"{'pipeline':<28}{'precision':>10}{'recall':>10}{'false pos':>10}",
+            f"{'flow-sensitive (dataflow)':<28}{flow_p:>10.2f}{flow_r:>10.2f}"
+            f"{flow_fp:>10}",
+            f"{'PR-1 mention-ban (legacy)':<28}{old_p:>10.2f}{old_r:>10.2f}"
+            f"{old_fp:>10}",
+        ],
+    )
+    bench_metrics["analysis/corpus_fixtures"] = len(FIXTURES)
+    bench_metrics["analysis/vet_precision"] = round(flow_p, 3)
+    bench_metrics["analysis/vet_recall"] = round(flow_r, 3)
+    bench_metrics["analysis/legacy_precision"] = round(old_p, 3)
+    bench_metrics["analysis/legacy_recall"] = round(old_r, 3)
+
+    # the flow-sensitive vetter blocks every escape/unbounded fixture
+    # and accepts every benign one ...
+    assert flow_p == 1.0 and flow_r == 1.0
+    # ... strictly dominating the mention-ban rules on both axes
+    assert old_p < 1.0 and old_r < 1.0
+
+
+def test_bench_lint_walltime(report_printer, bench_metrics):
+    src = REPO_ROOT / "src"
+    start = time.perf_counter()
+    findings = lint_paths([src])
+    elapsed = time.perf_counter() - start
+    files = len(list(src.rglob("*.py")))
+
+    report_printer(
+        "ANALYSIS: repo lint wall-time",
+        [
+            f"files linted : {files}",
+            f"wall time    : {elapsed:.2f}s ({files / elapsed:.0f} files/sec)",
+            f"findings     : {len(findings)}",
+        ],
+    )
+    bench_metrics["analysis/lint_files_src"] = files
+    bench_metrics["analysis/lint_seconds_src"] = round(elapsed, 3)
+    assert findings == []
+    assert elapsed < 60
+
+
+def _count_noqa_comments(root: Path) -> int:
+    """Real ``# repro: noqa`` *comment* suppressions under ``root``.
+
+    Counted over tokenized COMMENT tokens, so the pattern appearing in
+    string literals (e.g. lint's own tests) does not inflate the count.
+    """
+    count = 0
+    for path in sorted(root.rglob("*.py")):
+        source = path.read_text(encoding="utf-8")
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT and _NOQA_PATTERN.search(
+                token.string
+            ):
+                count += 1
+    return count
+
+
+def test_bench_noqa_budget(report_printer, bench_metrics):
+    count = sum(
+        _count_noqa_comments(REPO_ROOT / d)
+        for d in ("src", "tests", "benchmarks")
+    )
+    report_printer(
+        "ANALYSIS: lint suppression budget",
+        [
+            f"repro: noqa comments : {count}",
+            f"budget (seed)        : {NOQA_BUDGET}",
+        ],
+    )
+    bench_metrics["analysis/noqa_suppressions"] = count
+    bench_metrics["analysis/noqa_budget"] = NOQA_BUDGET
+    assert count <= NOQA_BUDGET, (
+        f"{count} '# repro: noqa' suppressions exceed the seed budget of "
+        f"{NOQA_BUDGET}; fix the findings instead of suppressing them (or "
+        "consciously raise NOQA_BUDGET in this file)"
+    )

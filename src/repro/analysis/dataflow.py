@@ -1,0 +1,1112 @@
+"""Control-flow graphs and dataflow analyses over Python ASTs.
+
+The flow-*insensitive* vetting of PR 1 banned the mere mention of a
+dangerous name — rejecting benign programs that shadow a builtin or
+mention one in a dead branch — while its flat ``_bound_names`` set was
+scope-blind, silently accepting a module-level read of a name bound
+only inside a nested ``def``. This module replaces that with a small
+but honest dataflow engine:
+
+* :func:`build_cfg` turns a statement list into a control-flow graph of
+  basic blocks — branch/loop/``try``/``with`` edges, ``break``/
+  ``continue``/``return``/``raise`` exits, and constant-condition
+  pruning (the body of ``if False:`` has no incoming edge, so every
+  analysis sees it as unreachable);
+* a generic worklist fixpoint solver runs a *product* lattice over the
+  graph: a **must** component (definitely-assigned name sets, meet =
+  intersection) and a **may** component (taint tags per name, join =
+  union);
+* :class:`ScopeAnalysis` interprets one lexical scope — module,
+  function, lambda, or class body — against that fixpoint and emits
+  findings; nested scopes are analyzed recursively with proper
+  enclosing-name visibility, so a name bound only inside a ``def`` is
+  *not* visible at module level.
+
+Analyses standing on the engine (all surfaced through
+:func:`analyze_program` and consumed by :mod:`repro.analysis.pycheck`):
+
+1. **definite assignment / use-before-def** — a load of a scope-local
+   name that is not assigned on every path to it is an error; loads of
+   names local to *no* enclosing scope are unknown-name errors;
+2. **taint tracking** — values derived from untrusted sources (the
+   sandbox ``tables`` input) carry an ``untrusted`` tag and values
+   aliasing banned builtins carry ``danger`` tags; calling through a
+   danger-tagged alias or passing untrusted data into a sink argument
+   (``getattr`` attribute names, ``__import__``/``eval`` payloads,
+   ``open`` paths) is an error, while a banned name that is shadowed or
+   unreachable is not;
+3. **reachability + loop bounds** — statements with no path from entry
+   get ``unreachable-code`` warnings; ``while`` loops that provably
+   cannot exit (constant-true with no reachable break, or a call-free
+   condition whose names the body never touches) are ``unbounded-loop``
+   errors; loops that terminate only on data-dependent exits get a
+   ``statically-unbounded-work`` warning that the CodexDB sandbox
+   converts into a runtime fuel limit.
+
+Known imprecision (documented, deliberately conservative): ``finally``
+blocks are analyzed on the normal path but their assignments are not
+credited to ``break``/``return`` paths that jump out of the ``try``;
+exception edges join the state at the ``try`` entry and after each
+simple statement of the body, not mid-expression.
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.findings import Finding
+
+#: taint tag carried by values derived from sandbox inputs
+UNTRUSTED = ("untrusted",)
+
+#: list-mutating method names treated as writes by callers (concurrency
+#: audit) and as mutations by the loop-bound analysis
+MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "add", "update", "pop", "popitem",
+        "remove", "discard", "clear", "sort", "setdefault", "reverse",
+    }
+)
+
+#: ``itertools`` constructors that yield infinite iterators (``repeat``
+#: only when called without a ``times`` bound)
+_INFINITE_ITERTOOLS = frozenset({"count", "cycle", "repeat"})
+
+
+# -- control-flow graph ----------------------------------------------------
+class Block:
+    """One basic block: straight-line elements plus successor edges.
+
+    ``elements`` is an ordered list of execution events:
+
+    * ``("stmt", stmt)`` — a simple statement executes wholly;
+    * ``("eval", expr)`` — an expression is evaluated (branch test,
+      loop iterable, return value, raised exception, ...);
+    * ``("bind", target, source)`` — ``target`` is bound from the value
+      of ``source`` (``for`` targets, ``with ... as`` vars);
+    * ``("bindname", name, node)`` — a bare name is bound (``except
+      ... as e``, match captures).
+    """
+
+    __slots__ = ("index", "elements", "succs", "preds")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.elements: List[tuple] = []
+        self.succs: List["Block"] = []
+        self.preds: List["Block"] = []
+
+
+class CFG:
+    """A scope's control-flow graph with entry/exit/error-exit blocks."""
+
+    def __init__(self) -> None:
+        self.blocks: List[Block] = []
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+        self.error_exit = self.new_block()
+        #: ``(loop_node, _LoopFrame)`` pairs recorded during the build
+        self.loops: List[Tuple[ast.stmt, "_LoopFrame"]] = []
+
+    def new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def add_edge(self, src: Block, dst: Block) -> None:
+        if dst not in src.succs:
+            src.succs.append(dst)
+            dst.preds.append(src)
+
+    def reachable(self) -> Set[int]:
+        """Indices of blocks reachable from the entry block."""
+        seen = {self.entry.index}
+        stack = [self.entry]
+        while stack:
+            block = stack.pop()
+            for succ in block.succs:
+                if succ.index not in seen:
+                    seen.add(succ.index)
+                    stack.append(succ)
+        return seen
+
+
+@dataclass
+class _LoopFrame:
+    """Build-time bookkeeping for one ``while``/``for`` loop."""
+
+    header: Block
+    after: Block
+    node: ast.stmt
+    #: blocks containing a break/return/raise that leaves this loop
+    exits: List[Block] = field(default_factory=list)
+
+
+def _const_truth(expr: ast.expr) -> Optional[bool]:
+    """Constant truthiness of a branch test, or ``None`` if dynamic."""
+    if isinstance(expr, ast.Constant):
+        try:
+            return bool(expr.value)
+        except Exception:  # pragma: no cover - exotic constants
+            return None
+    if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.Not):
+        inner = _const_truth(expr.operand)
+        return None if inner is None else not inner
+    return None
+
+
+class _CFGBuilder:
+    """Single-pass AST-to-CFG lowering for one scope's statement list."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.current = self.cfg.entry
+        self.loops: List[_LoopFrame] = []
+        self.handlers: List[List[Block]] = []
+
+    def build(self, stmts: Sequence[ast.stmt]) -> CFG:
+        self.visit_body(stmts)
+        self.cfg.add_edge(self.current, self.cfg.exit)
+        return self.cfg
+
+    # -- plumbing ----------------------------------------------------------
+    def emit(self, element: tuple) -> None:
+        self.current.elements.append(element)
+
+    def _jump(self, target: Optional[Block]) -> None:
+        """Edge to ``target`` (if any) then continue in a fresh block.
+
+        The fresh block has no predecessor, so statements after an
+        unconditional jump are naturally unreachable.
+        """
+        if target is not None:
+            self.cfg.add_edge(self.current, target)
+        self.current = self.cfg.new_block()
+
+    def _split_for_handlers(self) -> None:
+        """After a statement inside ``try``, branch to every handler.
+
+        This gives exception handlers a join over the state at the try
+        entry *and* after each completed statement of the body, which is
+        what both the must- and may-analyses need to stay sound.
+        """
+        if not self.handlers:
+            return
+        nxt = self.cfg.new_block()
+        for entries in self.handlers:
+            for handler in entries:
+                self.cfg.add_edge(self.current, handler)
+        self.cfg.add_edge(self.current, nxt)
+        self.current = nxt
+
+    # -- statement dispatch ------------------------------------------------
+    def visit_body(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.visit(stmt)
+
+    def visit(self, stmt: ast.stmt) -> None:
+        handler = getattr(self, f"visit_{type(stmt).__name__}", None)
+        if handler is not None:
+            handler(stmt)
+        else:
+            self.emit(("stmt", stmt))
+            self._split_for_handlers()
+
+    def visit_If(self, node: ast.If) -> None:
+        self.emit(("eval", node.test))
+        truth = _const_truth(node.test)
+        then_block = self.cfg.new_block()
+        else_block = self.cfg.new_block()
+        after = self.cfg.new_block()
+        if truth is not False:
+            self.cfg.add_edge(self.current, then_block)
+        if truth is not True:
+            self.cfg.add_edge(self.current, else_block)
+        self.current = then_block
+        self.visit_body(node.body)
+        self.cfg.add_edge(self.current, after)
+        self.current = else_block
+        self.visit_body(node.orelse)
+        self.cfg.add_edge(self.current, after)
+        self.current = after
+
+    def visit_While(self, node: ast.While) -> None:
+        header = self.cfg.new_block()
+        self.cfg.add_edge(self.current, header)
+        self.current = header
+        self.emit(("eval", node.test))
+        truth = _const_truth(node.test)
+        body_block = self.cfg.new_block()
+        after = self.cfg.new_block()
+        else_block = self.cfg.new_block() if node.orelse else None
+        if truth is not False:
+            self.cfg.add_edge(header, body_block)
+        if truth is not True:
+            self.cfg.add_edge(header, else_block or after)
+        frame = _LoopFrame(header=header, after=after, node=node)
+        self.loops.append(frame)
+        self.current = body_block
+        self.visit_body(node.body)
+        self.cfg.add_edge(self.current, header)
+        self.loops.pop()
+        if else_block is not None:
+            self.current = else_block
+            self.visit_body(node.orelse)
+            self.cfg.add_edge(self.current, after)
+        self.current = after
+        self.cfg.loops.append((node, frame))
+
+    def visit_For(self, node: ast.For) -> None:
+        self.emit(("eval", node.iter))
+        header = self.cfg.new_block()
+        self.cfg.add_edge(self.current, header)
+        body_block = self.cfg.new_block()
+        after = self.cfg.new_block()
+        else_block = self.cfg.new_block() if node.orelse else None
+        self.cfg.add_edge(header, body_block)
+        self.cfg.add_edge(header, else_block or after)
+        frame = _LoopFrame(header=header, after=after, node=node)
+        self.loops.append(frame)
+        self.current = body_block
+        self.emit(("bind", node.target, node.iter))
+        self.visit_body(node.body)
+        self.cfg.add_edge(self.current, header)
+        self.loops.pop()
+        if else_block is not None:
+            self.current = else_block
+            self.visit_body(node.orelse)
+            self.cfg.add_edge(self.current, after)
+        self.current = after
+        self.cfg.loops.append((node, frame))
+
+    visit_AsyncFor = visit_For
+
+    def visit_Break(self, node: ast.Break) -> None:
+        if self.loops:
+            frame = self.loops[-1]
+            frame.exits.append(self.current)
+            self._jump(frame.after)
+        else:  # pragma: no cover - invalid python
+            self._jump(None)
+
+    def visit_Continue(self, node: ast.Continue) -> None:
+        self._jump(self.loops[-1].header if self.loops else None)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None:
+            self.emit(("eval", node.value))
+        for frame in self.loops:
+            frame.exits.append(self.current)
+        self._jump(self.cfg.exit)
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        if node.exc is not None:
+            self.emit(("eval", node.exc))
+        for frame in self.loops:
+            frame.exits.append(self.current)
+        for entries in self.handlers:
+            for handler in entries:
+                self.cfg.add_edge(self.current, handler)
+        self._jump(self.cfg.error_exit)
+
+    def visit_Try(self, node: ast.Try) -> None:
+        handler_entries = [self.cfg.new_block() for _ in node.handlers]
+        after = self.cfg.new_block()
+        final_block = self.cfg.new_block() if node.finalbody else None
+        target = final_block or after
+        for handler in handler_entries:
+            self.cfg.add_edge(self.current, handler)
+        self.handlers.append(handler_entries)
+        self.visit_body(node.body)
+        self.handlers.pop()
+        self.visit_body(node.orelse)
+        self.cfg.add_edge(self.current, target)
+        for entry, handler in zip(handler_entries, node.handlers):
+            self.current = entry
+            if handler.type is not None:
+                self.emit(("eval", handler.type))
+            if handler.name:
+                self.emit(("bindname", handler.name, handler))
+            self.visit_body(handler.body)
+            self.cfg.add_edge(self.current, target)
+        if final_block is not None:
+            self.current = final_block
+            self.visit_body(node.finalbody)
+            self.cfg.add_edge(self.current, after)
+        self.current = after
+
+    visit_TryStar = visit_Try
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            self.emit(("eval", item.context_expr))
+            if item.optional_vars is not None:
+                self.emit(("bind", item.optional_vars, item.context_expr))
+        self.visit_body(node.body)
+
+    visit_AsyncWith = visit_With
+
+    def visit_Match(self, node) -> None:
+        self.emit(("eval", node.subject))
+        dispatch = self.current
+        after = self.cfg.new_block()
+        for case in node.cases:
+            case_block = self.cfg.new_block()
+            self.cfg.add_edge(dispatch, case_block)
+            self.current = case_block
+            for name in _pattern_names(case.pattern):
+                self.emit(("bindname", name, case.pattern))
+            if case.guard is not None:
+                self.emit(("eval", case.guard))
+            self.visit_body(case.body)
+            self.cfg.add_edge(self.current, after)
+        self.cfg.add_edge(dispatch, after)  # no case matched
+        self.current = after
+
+
+def _pattern_names(pattern) -> List[str]:
+    """Names captured by a ``match`` pattern (binds in the scope)."""
+    names = []
+    for node in ast.walk(pattern):
+        capture = getattr(node, "name", None)
+        if isinstance(capture, str):
+            names.append(capture)
+        rest = getattr(node, "rest", None)
+        if isinstance(rest, str):
+            names.append(rest)
+    return names
+
+
+def build_cfg(stmts: Sequence[ast.stmt]) -> CFG:
+    """Lower a statement list (one scope's body) to a control-flow graph."""
+    return _CFGBuilder().build(stmts)
+
+
+# -- generic worklist solver -----------------------------------------------
+def solve_forward(cfg: CFG, entry_state, transfer, join):
+    """Forward fixpoint over ``cfg``; returns ``{block_index: in_state}``.
+
+    ``transfer(block, state) -> state`` must be monotone and must not
+    mutate its input; ``join(a, b) -> state`` merges predecessor
+    out-states (``a`` may be ``None`` the first time a block is
+    reached). Blocks unreachable from the entry never appear in the
+    result, which is how callers distinguish dead code.
+    """
+    in_states: Dict[int, object] = {cfg.entry.index: entry_state}
+    worklist = [cfg.entry]
+    while worklist:
+        block = worklist.pop()
+        out = transfer(block, in_states[block.index])
+        for succ in block.succs:
+            merged = join(in_states.get(succ.index), out)
+            if merged != in_states.get(succ.index):
+                in_states[succ.index] = merged
+                worklist.append(succ)
+    return in_states
+
+
+# -- scope structure -------------------------------------------------------
+def _bound_in_stmts(stmts: Iterable[ast.stmt]) -> Tuple[Set[str], Set[str]]:
+    """``(bound, declared_foreign)`` for one scope's own statements.
+
+    ``bound`` is every name the scope binds syntactically — assignment
+    targets, loop targets, ``with``/``except``/import aliases, nested
+    ``def``/``class`` names, walrus targets — without descending into
+    nested scope bodies. ``declared_foreign`` holds names the scope
+    declared ``global``/``nonlocal`` (they bind elsewhere).
+    """
+    bound: Set[str] = set()
+    foreign: Set[str] = set()
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+            for deco in node.decorator_list:
+                visit(deco)
+            if isinstance(node, ast.ClassDef):
+                for base in node.bases:
+                    visit(base)
+                for kw in node.keywords:
+                    visit(kw.value)
+            else:
+                for default in itertools.chain(
+                    node.args.defaults,
+                    (d for d in node.args.kw_defaults if d is not None),
+                ):
+                    visit(default)
+            return  # never descend into the nested body
+        if isinstance(node, ast.Lambda):
+            return
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            bound.add(node.id)
+        elif isinstance(node, ast.NamedExpr):
+            if isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+            visit(node.value)
+            return
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            foreign.update(node.names)
+        elif isinstance(node, ast.comprehension):
+            # comprehension targets live in the comprehension's own
+            # implicit scope, not this one
+            visit(node.iter)
+            for cond in node.ifs:
+                visit(cond)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    for stmt in stmts:
+        visit(stmt)
+    names = getattr(ast, "MatchAs", None)
+    if names is not None:
+        for stmt in stmts:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Match):
+                    for case in node.cases:
+                        bound.update(_pattern_names(case.pattern))
+    return bound - foreign, foreign
+
+
+@dataclass
+class _NestedScope:
+    """A nested function/lambda/class body queued for recursive analysis."""
+
+    node: ast.AST
+    body: List[ast.stmt]
+    params: Tuple[str, ...]
+    kind: str  # "function" | "class"
+    line: int
+
+
+def _collect_nested_scopes(stmts: Iterable[ast.stmt]) -> List[_NestedScope]:
+    """Nested scopes defined directly in this scope (not transitively)."""
+    scopes: List[_NestedScope] = []
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scopes.append(
+                _NestedScope(
+                    node=node,
+                    body=list(node.body),
+                    params=tuple(a.arg for a in _all_args(node.args)),
+                    kind="function",
+                    line=node.lineno,
+                )
+            )
+            for default in itertools.chain(
+                node.args.defaults,
+                (d for d in node.args.kw_defaults if d is not None),
+            ):
+                visit(default)
+            return
+        if isinstance(node, ast.Lambda):
+            scopes.append(
+                _NestedScope(
+                    node=node,
+                    body=[ast.Expr(value=node.body, lineno=node.lineno,
+                                   col_offset=node.col_offset)],
+                    params=tuple(a.arg for a in _all_args(node.args)),
+                    kind="function",
+                    line=node.lineno,
+                )
+            )
+            return
+        if isinstance(node, ast.ClassDef):
+            scopes.append(
+                _NestedScope(
+                    node=node, body=list(node.body), params=(),
+                    kind="class", line=node.lineno,
+                )
+            )
+            for deco in node.decorator_list:
+                visit(deco)
+            for base in node.bases:
+                visit(base)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    for stmt in stmts:
+        visit(stmt)
+    return scopes
+
+
+def _all_args(args: ast.arguments) -> List[ast.arg]:
+    every = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    if args.vararg:
+        every.append(args.vararg)
+    if args.kwarg:
+        every.append(args.kwarg)
+    return every
+
+
+# -- the per-scope abstract interpreter ------------------------------------
+class ScopeAnalysis:
+    """Dataflow analysis of one lexical scope (and, recursively, children).
+
+    State is a product lattice per program point:
+
+    * ``must`` — frozenset of scope-local names definitely assigned on
+      every path (meet = intersection);
+    * ``may`` — dict mapping names to frozensets of taint tags, joined
+      pointwise by union. Tags are ``("untrusted",)`` for values derived
+      from taint sources and ``("danger", builtin)`` for values aliasing
+      a banned builtin.
+    """
+
+    def __init__(
+        self,
+        body: Sequence[ast.stmt],
+        *,
+        known: FrozenSet[str],
+        banned: FrozenSet[str],
+        taint_sources: FrozenSet[str],
+        taint_sinks: Dict[str, Tuple[int, ...]],
+        enclosing: FrozenSet[str] = frozenset(),
+        params: Tuple[str, ...] = (),
+        kind: str = "module",
+    ) -> None:
+        self.body = list(body)
+        self.known = known
+        self.banned = banned
+        self.taint_sources = taint_sources
+        self.taint_sinks = taint_sinks
+        self.enclosing = enclosing
+        self.params = params
+        self.kind = kind
+        bound, self.declared_foreign = _bound_in_stmts(self.body)
+        self.locals: FrozenSet[str] = frozenset(bound | set(params))
+        self.cfg = build_cfg(self.body)
+        self.findings: List[Finding] = []
+        self._reported: Set[tuple] = set()
+        self._comp_bound: List[Set[str]] = []
+        self.reachable_lines: Set[int] = set()
+
+    # -- driver ------------------------------------------------------------
+    def run(self) -> "ScopeAnalysis":
+        entry = (frozenset(self.params), {})
+        in_states = solve_forward(self.cfg, entry, self._transfer, _join_states)
+        reachable = self.cfg.reachable()
+        self._report_pass(in_states, reachable)
+        self._check_loops(in_states, reachable)
+        self._check_unreachable(reachable)
+        self._exit_must = None
+        exit_state = in_states.get(self.cfg.exit.index)
+        if exit_state is not None:
+            self._exit_must = exit_state[0]
+        self._run_children(reachable)
+        return self
+
+    def definitely_assigned_at_exit(self) -> Optional[FrozenSet[str]]:
+        """Names assigned on every normally-completing path, or ``None``
+        when the scope cannot complete normally (always raises/loops)."""
+        return self._exit_must
+
+    def _run_children(self, reachable: Set[int]) -> None:
+        child_enclosing = self.enclosing
+        if self.kind != "class":
+            # class-body names are not visible to methods defined inside
+            child_enclosing = frozenset(child_enclosing | self.locals)
+        for nested in _collect_nested_scopes(self.body):
+            if nested.line not in self.reachable_lines and self.reachable_lines:
+                continue  # defined in dead code: can never exist
+            child = ScopeAnalysis(
+                nested.body,
+                known=self.known,
+                banned=self.banned,
+                taint_sources=self.taint_sources,
+                taint_sinks=self.taint_sinks,
+                enclosing=child_enclosing,
+                params=nested.params,
+                kind="class" if nested.kind == "class" else "function",
+            ).run()
+            self.findings.extend(child.findings)
+            self.reachable_lines |= child.reachable_lines
+
+    # -- fixpoint transfer (no reporting) ----------------------------------
+    def _transfer(self, block: Block, state):
+        must, may = set(state[0]), dict(state[1])
+        for element in block.elements:
+            self._apply(element, must, may, report=False)
+        return (frozenset(must), may)
+
+    # -- reporting pass over reachable blocks ------------------------------
+    def _report_pass(self, in_states, reachable: Set[int]) -> None:
+        for block in self.cfg.blocks:
+            if block.index not in reachable or block.index not in in_states:
+                continue
+            state = in_states[block.index]
+            must, may = set(state[0]), dict(state[1])
+            for element in block.elements:
+                self._mark_lines(element)
+                self._apply(element, must, may, report=True)
+
+    def _mark_lines(self, element: tuple) -> None:
+        node = element[1]
+        lineno = getattr(node, "lineno", None)
+        if lineno is None:
+            return
+        end = getattr(node, "end_lineno", None) or lineno
+        self.reachable_lines.update(range(lineno, end + 1))
+
+    # -- element interpretation --------------------------------------------
+    def _apply(self, element: tuple, must, may, report: bool) -> None:
+        kind = element[0]
+        if kind == "stmt":
+            self._apply_stmt(element[1], must, may, report)
+        elif kind == "eval":
+            self._tags(element[1], must, may, report)
+        elif kind == "bind":
+            _, target, source = element
+            tags = self._tags(source, must, may, report=False)
+            self._store(target, tags, must, may, report)
+        elif kind == "bindname":
+            must.add(element[1])
+            may[element[1]] = frozenset()
+
+    def _apply_stmt(self, stmt: ast.stmt, must, may, report: bool) -> None:
+        if isinstance(stmt, ast.Assign):
+            tags = self._tags(stmt.value, must, may, report)
+            for target in stmt.targets:
+                self._store(target, tags, must, may, report)
+        elif isinstance(stmt, ast.AugAssign):
+            target_load = ast.copy_location(
+                ast.Name(id=stmt.target.id, ctx=ast.Load()), stmt.target
+            ) if isinstance(stmt.target, ast.Name) else stmt.target
+            old = self._tags(target_load, must, may, report)
+            new = self._tags(stmt.value, must, may, report)
+            self._store(stmt.target, old | new, must, may, report)
+        elif isinstance(stmt, ast.AnnAssign):
+            tags = frozenset()
+            if stmt.value is not None:
+                tags = self._tags(stmt.value, must, may, report)
+                self._store(stmt.target, tags, must, may, report)
+        elif isinstance(stmt, ast.Expr):
+            self._tags(stmt.value, must, may, report)
+        elif isinstance(stmt, ast.Assert):
+            self._tags(stmt.test, must, may, report)
+            if stmt.msg is not None:
+                self._tags(stmt.msg, must, may, report)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    must.discard(target.id)
+                    may.pop(target.id, None)
+                else:
+                    self._tags(target, must, may, report)
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                name = alias.asname or alias.name.split(".")[0]
+                must.add(name)
+                may[name] = frozenset()
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for deco in stmt.decorator_list:
+                self._tags(deco, must, may, report)
+            for default in itertools.chain(
+                stmt.args.defaults,
+                (d for d in stmt.args.kw_defaults if d is not None),
+            ):
+                self._tags(default, must, may, report)
+            must.add(stmt.name)
+            may[stmt.name] = frozenset()
+        elif isinstance(stmt, ast.ClassDef):
+            for deco in stmt.decorator_list:
+                self._tags(deco, must, may, report)
+            for base in stmt.bases:
+                self._tags(base, must, may, report)
+            must.add(stmt.name)
+            may[stmt.name] = frozenset()
+        # Pass/Global/Nonlocal/Break/Continue: no dataflow effect here.
+
+    # -- abstract expression evaluation ------------------------------------
+    def _tags(self, expr, must, may, report: bool) -> FrozenSet[tuple]:
+        if expr is None or not isinstance(expr, ast.AST):
+            return frozenset()
+        if isinstance(expr, ast.Name):
+            return self._name_load(expr, must, may, report)
+        if isinstance(expr, ast.Constant):
+            return frozenset()
+        if isinstance(expr, ast.Call):
+            func_tags = self._tags(expr.func, must, may, report)
+            arg_tags = [self._tags(a, must, may, report) for a in expr.args]
+            kw_tags = [
+                self._tags(kw.value, must, may, report) for kw in expr.keywords
+            ]
+            if report:
+                self._check_call(expr, func_tags, arg_tags, must)
+            return frozenset().union(func_tags, *arg_tags, *kw_tags)
+        if isinstance(expr, ast.Attribute):
+            return self._tags(expr.value, must, may, report)
+        if isinstance(expr, ast.NamedExpr):
+            tags = self._tags(expr.value, must, may, report)
+            self._store(expr.target, tags, must, may, report)
+            return tags
+        if isinstance(expr, ast.Lambda):
+            tags = frozenset()
+            for default in itertools.chain(
+                expr.args.defaults,
+                (d for d in expr.args.kw_defaults if d is not None),
+            ):
+                tags |= self._tags(default, must, may, report)
+            return tags  # body is a nested scope, analyzed separately
+        if isinstance(
+            expr, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            return self._comp_tags(expr, must, may, report)
+        tags = frozenset()
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                tags |= self._tags(child, must, may, report)
+            elif isinstance(child, ast.keyword):
+                tags |= self._tags(child.value, must, may, report)
+        return tags
+
+    def _comp_tags(self, expr, must, may, report: bool) -> FrozenSet[tuple]:
+        """Comprehensions: targets bind in an implicit nested scope."""
+        bound: Set[str] = set()
+        for gen in expr.generators:
+            for node in ast.walk(gen.target):
+                if isinstance(node, ast.Name):
+                    bound.add(node.id)
+        tags = frozenset()
+        for gen in expr.generators:
+            tags |= self._tags(gen.iter, must, may, report)
+        self._comp_bound.append(bound)
+        try:
+            for gen in expr.generators:
+                for cond in gen.ifs:
+                    tags |= self._tags(cond, must, may, report)
+            if isinstance(expr, ast.DictComp):
+                tags |= self._tags(expr.key, must, may, report)
+                tags |= self._tags(expr.value, must, may, report)
+            else:
+                tags |= self._tags(expr.elt, must, may, report)
+        finally:
+            self._comp_bound.pop()
+        return tags
+
+    def _name_load(self, node: ast.Name, must, may, report) -> FrozenSet[tuple]:
+        if not isinstance(node.ctx, ast.Load):
+            return frozenset()
+        name = node.id
+        if any(name in bound for bound in self._comp_bound):
+            return frozenset()
+        if name in self.declared_foreign:
+            return frozenset()  # global/nonlocal: binds in another scope
+        if name in self.locals:
+            tags = may.get(name, frozenset())
+            if name not in must:
+                # Maybe-unassigned local: at module level the builtin of
+                # the same name shines through, so a half-shadowed banned
+                # builtin is still dangerous.
+                if name in self.banned:
+                    tags = tags | {("danger", name)}
+                    self._report(
+                        "banned-call",
+                        f"use of {name!r} is not allowed in generated code "
+                        "(not shadowed on every path)",
+                        node, key=("banned-call", node.lineno, name),
+                        when=report,
+                    )
+                elif name in self.taint_sources:
+                    tags = tags | {UNTRUSTED}
+                elif name not in self.known:
+                    self._report(
+                        "use-before-def",
+                        f"name {name!r} may be read before it is assigned",
+                        node, key=("use-before-def", node.lineno, name),
+                        when=report,
+                    )
+            return tags
+        if name in self.enclosing:
+            return frozenset()
+        if name in self.banned:
+            self._report(
+                "banned-call",
+                f"use of {name!r} is not allowed in generated code",
+                node, key=("banned-call", node.lineno, name), when=report,
+            )
+            return frozenset({("danger", name)})
+        if name in self.taint_sources:
+            return frozenset({UNTRUSTED})
+        if name in self.known:
+            return frozenset()
+        self._report(
+            "unknown-name",
+            f"name {name!r} is not visible in this scope and is not "
+            "provided by the sandbox",
+            node, key=("unknown-name", name), when=report,
+        )
+        return frozenset()
+
+    def _check_call(self, node: ast.Call, func_tags, arg_tags, must) -> None:
+        direct = node.func.id if isinstance(node.func, ast.Name) else None
+        sink_names: Set[str] = set()
+        for tag in func_tags:
+            if tag[0] == "danger":
+                sink_names.add(tag[1])
+                if tag[1] != direct:
+                    self._report(
+                        "banned-call",
+                        f"call flows through an alias of banned builtin "
+                        f"{tag[1]!r}",
+                        node, key=("banned-call", node.lineno, "alias", tag[1]),
+                        when=True,
+                    )
+        if direct in self.taint_sinks and direct not in must:
+            sink_names.add(direct)
+        for sink in sink_names:
+            for position in self.taint_sinks.get(sink, ()):
+                if position < len(arg_tags) and UNTRUSTED in arg_tags[position]:
+                    self._report(
+                        "taint-flow",
+                        f"untrusted data (derived from sandbox inputs) "
+                        f"flows into argument {position} of {sink!r}",
+                        node, key=("taint-flow", node.lineno, sink, position),
+                        when=True,
+                    )
+
+    def _store(self, target, tags, must, may, report: bool) -> None:
+        if isinstance(target, ast.Name):
+            must.add(target.id)
+            may[target.id] = tags
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._store(element, tags, must, may, report)
+        elif isinstance(target, ast.Starred):
+            self._store(target.value, tags, must, may, report)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            base_tags = self._tags(target.value, must, may, report)
+            if isinstance(target, ast.Subscript):
+                self._tags(target.slice, must, may, report)
+            root = target.value
+            while isinstance(root, (ast.Subscript, ast.Attribute)):
+                root = root.value
+            if isinstance(root, ast.Name) and root.id in self.locals:
+                may[root.id] = may.get(root.id, frozenset()) | tags | base_tags
+
+    def _report(self, rule, message, node, *, key, when: bool) -> None:
+        if not when or key in self._reported:
+            return
+        self._reported.add(key)
+        self.findings.append(
+            Finding(rule=rule, message=message, line=getattr(node, "lineno", 0))
+        )
+
+    # -- loop-bound analysis -----------------------------------------------
+    def _check_loops(self, in_states, reachable: Set[int]) -> None:
+        infinite_iters = self._infinite_iter_names()
+        for node, frame in self.cfg.loops:
+            if frame.header.index not in reachable:
+                continue
+            exit_reachable = any(
+                block.index in reachable for block in frame.exits
+            )
+            if isinstance(node, ast.While):
+                self._check_while(node, exit_reachable)
+            else:
+                self._check_for(node, exit_reachable, infinite_iters)
+
+    def _check_while(self, node: ast.While, exit_reachable: bool) -> None:
+        truth = _const_truth(node.test)
+        if truth is False:
+            return  # body is unreachable; reported as dead code
+        if truth is True and not exit_reachable:
+            self.findings.append(
+                Finding(
+                    rule="unbounded-loop",
+                    message="loop condition is constant-true and no "
+                    "break/return/raise is reachable",
+                    line=node.lineno,
+                )
+            )
+            return
+        if truth is None and not exit_reachable:
+            test_names = {
+                n.id
+                for n in ast.walk(node.test)
+                if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+            }
+            has_calls = any(
+                isinstance(n, (ast.Call, ast.Attribute))
+                for n in ast.walk(node.test)
+            )
+            local_names = test_names & set(self.locals)
+            if (
+                not has_calls
+                and local_names
+                and not _mutates_any(node.body, test_names)
+            ):
+                self.findings.append(
+                    Finding(
+                        rule="unbounded-loop",
+                        message="loop condition reads "
+                        f"{sorted(local_names)} but the body never "
+                        "changes them and has no break",
+                        line=node.lineno,
+                    )
+                )
+                return
+        self.findings.append(
+            Finding(
+                rule="unbounded-work",
+                message="loop trip count is not statically bounded; the "
+                "sandbox will execute it under a fuel limit",
+                line=node.lineno,
+                severity="warning",
+            )
+        )
+
+    def _check_for(self, node, exit_reachable: bool, infinite_iters) -> None:
+        call = node.iter
+        if not isinstance(call, ast.Call):
+            return
+        func = call.func
+        name = None
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "itertools"
+            and func.attr in _INFINITE_ITERTOOLS
+        ):
+            name = func.attr
+        elif isinstance(func, ast.Name) and func.id in infinite_iters:
+            name = infinite_iters[func.id]
+        if name is None:
+            return
+        if name == "repeat" and len(call.args) + len(call.keywords) >= 2:
+            return  # repeat(x, times) is bounded
+        if not exit_reachable:
+            self.findings.append(
+                Finding(
+                    rule="unbounded-loop",
+                    message=f"iteration over itertools.{name}() never "
+                    "terminates and the body has no break",
+                    line=node.lineno,
+                )
+            )
+
+    def _infinite_iter_names(self) -> Dict[str, str]:
+        """Local aliases of infinite itertools constructors."""
+        aliases: Dict[str, str] = {}
+        for stmt in self.body:
+            if isinstance(stmt, ast.ImportFrom) and stmt.module == "itertools":
+                for alias in stmt.names:
+                    if alias.name in _INFINITE_ITERTOOLS:
+                        aliases[alias.asname or alias.name] = alias.name
+        return aliases
+
+    # -- dead code -----------------------------------------------------------
+    def _check_unreachable(self, reachable: Set[int]) -> None:
+        reported_lines: Set[int] = set()
+        for block in self.cfg.blocks:
+            if block.index in reachable or not block.elements:
+                continue
+            # Report once per dead region: only blocks not dominated by
+            # another unreachable block.
+            if any(pred.index not in reachable for pred in block.preds):
+                continue
+            node = block.elements[0][1]
+            lineno = getattr(node, "lineno", 0)
+            if lineno and lineno not in reported_lines:
+                reported_lines.add(lineno)
+                self.findings.append(
+                    Finding(
+                        rule="unreachable-code",
+                        message="this code can never execute (no path "
+                        "from the program entry reaches it)",
+                        line=lineno,
+                        severity="warning",
+                    )
+                )
+
+
+def _mutates_any(body: Sequence[ast.stmt], names: Set[str]) -> bool:
+    """True if the loop body could change any of ``names``.
+
+    Conservative: direct stores/deletes, augmented assignment, a method
+    call on the name, or the name appearing anywhere inside a call
+    (callees can mutate arguments) all count as potential mutation.
+    """
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and node.id in names:
+                if isinstance(node.ctx, (ast.Store, ast.Del)):
+                    return True
+            elif isinstance(node, ast.Call):
+                for inner in ast.walk(node):
+                    if isinstance(inner, ast.Name) and inner.id in names:
+                        return True
+    return False
+
+
+def _join_states(existing, incoming):
+    """Join for the product lattice: must ∩, may ∪ (pointwise)."""
+    if existing is None:
+        return (incoming[0], dict(incoming[1]))
+    must = existing[0] & incoming[0]
+    may = dict(existing[1])
+    for name, tags in incoming[1].items():
+        may[name] = may.get(name, frozenset()) | tags
+    if must == existing[0] and may == existing[1]:
+        return existing
+    return (must, may)
+
+
+# -- program-level driver ---------------------------------------------------
+@dataclass
+class ProgramReport:
+    """Everything the flow-sensitive passes learned about one program."""
+
+    findings: List[Finding]
+    reachable_lines: Set[int]
+    definitely_assigned_at_exit: Optional[FrozenSet[str]]
+
+
+def analyze_program(
+    tree: ast.Module,
+    *,
+    known: Iterable[str],
+    banned: Iterable[str],
+    taint_sources: Iterable[str],
+    taint_sinks: Dict[str, Tuple[int, ...]],
+) -> ProgramReport:
+    """Run every CFG-based analysis over a parsed module.
+
+    Returns the findings (banned-call, use-before-def, unknown-name,
+    taint-flow, unbounded-loop errors; unreachable-code and
+    unbounded-work warnings), the set of reachable source lines (for
+    gating syntactic checks), and the definitely-assigned set at the
+    module's normal exit (for output-contract checks); the last is
+    ``None`` when the module cannot complete normally.
+    """
+    analysis = ScopeAnalysis(
+        tree.body,
+        known=frozenset(known),
+        banned=frozenset(banned),
+        taint_sources=frozenset(taint_sources),
+        taint_sinks=dict(taint_sinks),
+    ).run()
+    return ProgramReport(
+        findings=analysis.findings,
+        reachable_lines=analysis.reachable_lines,
+        definitely_assigned_at_exit=analysis.definitely_assigned_at_exit(),
+    )

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -13,21 +13,38 @@ class Finding:
     ``rule`` is a short stable identifier (e.g. ``banned-import``,
     ``unknown-column``, ``mutable-default``); ``line`` is 1-based and 0
     when the finding has no meaningful location (e.g. a missing module
-    docstring or output-contract variable).
+    docstring or output-contract variable). ``severity`` is ``"error"``
+    for findings that must block the artifact and ``"warning"`` for
+    advisory findings (dead code, statically unbounded work) that
+    callers may act on without rejecting — the CodexDB sandbox, for
+    example, converts ``unbounded-work`` warnings into a runtime fuel
+    limit instead of refusing to run the program.
     """
 
     rule: str
     message: str
     line: int = 0
     source: Optional[str] = None
+    severity: str = "error"
 
     def render(self) -> str:
         """Human-readable one-liner: ``[rule] line N: message``."""
         where = f"line {self.line}: " if self.line else ""
         prefix = f"{self.source}:" if self.source else ""
-        return f"{prefix}{where}[{self.rule}] {self.message}"
+        tag = self.rule if self.severity == "error" else f"{self.rule}:{self.severity}"
+        return f"{prefix}{where}[{tag}] {self.message}"
 
 
 def render_findings(findings: Sequence[Finding]) -> str:
     """Render findings one per line (for error messages and CLI output)."""
     return "\n".join(f.render() for f in findings)
+
+
+def error_findings(findings: Sequence[Finding]) -> List[Finding]:
+    """The subset of ``findings`` that must block the artifact."""
+    return [f for f in findings if f.severity == "error"]
+
+
+def warning_findings(findings: Sequence[Finding]) -> List[Finding]:
+    """The advisory subset of ``findings`` (safe to run, worth knowing)."""
+    return [f for f in findings if f.severity != "error"]

@@ -37,17 +37,39 @@ the offending line):
   ``generation``, ``serving``, ``models``); growing an array by
   concatenation per iteration is O(n²) traffic — write into a
   preallocated slab (:class:`repro.serving.KVCache`-style) and
-  suppress the rare amortized concat explicitly.
+  suppress the rare amortized concat explicitly;
+* ``shared-state-mutation`` — an ``async def`` writes a ``self.*``
+  attribute (assignment, augmented assignment, subscript store, or a
+  mutating container-method call); between any two awaits another task
+  can observe the half-updated object, so the write must be guarded or
+  confined to task-local state (gates the upcoming async gateway;
+  today's single-threaded serving code has no async defs and is
+  vacuously clean);
+* ``blocking-call-in-async`` — an ``async def`` calls something that
+  blocks the event loop (``time.sleep``, ``open``, ``input``,
+  ``subprocess.*``, ``os.system``, ``requests.*``).
+
+Both concurrency rules are implemented in
+:mod:`repro.analysis.concurrency`, which also produces the
+machine-readable shared-state report behind ``--shared-state``.
+
+CLI flags: ``--format json`` emits findings as a JSON array (stable
+CI-diffable ordering by path, then line, then rule — the same order as
+text output); ``--rules a,b`` lints only the named rules;
+``--shared-state`` prints the shared-state inventory for the given
+paths as JSON instead of linting.
 """
 
 from __future__ import annotations
 
 import ast
+import json
 import re
 import sys
 from pathlib import Path
-from typing import Iterable, List, Sequence, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
+from repro.analysis.concurrency import concurrency_findings, shared_state_report
 from repro.analysis.findings import Finding
 
 RULE_NAMES = (
@@ -60,6 +82,8 @@ RULE_NAMES = (
     "atomic-write",
     "per-prompt-loop",
     "concat-in-loop",
+    "shared-state-mutation",
+    "blocking-call-in-async",
 )
 
 #: files allowed to break one specific rule, by path suffix
@@ -86,8 +110,16 @@ _NOQA_PATTERN = re.compile(r"#\s*repro:\s*noqa\[([a-z\-,\s]+)\]")
 _MUTABLE_CONSTRUCTORS = ("list", "dict", "set")
 
 
-def lint_source(code: str, path: str = "<string>") -> List[Finding]:
-    """Lint one module's source; suppressed findings are dropped."""
+def lint_source(
+    code: str,
+    path: str = "<string>",
+    rules: Optional[FrozenSet[str]] = None,
+) -> List[Finding]:
+    """Lint one module's source; suppressed findings are dropped.
+
+    ``rules`` restricts the checks to the named subset (``None`` means
+    all of :data:`RULE_NAMES`); syntax errors are always reported.
+    """
     try:
         tree = ast.parse(code)
     except SyntaxError as exc:
@@ -99,6 +131,7 @@ def lint_source(code: str, path: str = "<string>") -> List[Finding]:
                 source=path,
             )
         ]
+    enabled = frozenset(RULE_NAMES) if rules is None else rules
     findings: List[Finding] = []
     findings += _check_mutable_defaults(tree, path)
     findings += _check_bare_except(tree, path)
@@ -115,26 +148,34 @@ def lint_source(code: str, path: str = "<string>") -> List[Finding]:
         findings += _check_per_prompt_loop(tree, path)
     if _applies(path, "concat-in-loop"):
         findings += _check_concat_in_loop(tree, path)
+    findings += concurrency_findings(tree, path)
     suppressed = _suppressions(code)
     return sorted(
         (
             f
             for f in findings
-            if (f.line, f.rule) not in suppressed
+            if f.rule in enabled
+            and (f.line, f.rule) not in suppressed
             and (f.line, "*") not in suppressed
         ),
         key=lambda f: (f.line, f.rule),
     )
 
 
-def lint_paths(paths: Sequence[Path]) -> List[Finding]:
-    """Lint every ``*.py`` file under the given files/directories."""
+def lint_paths(
+    paths: Sequence[Path], rules: Optional[FrozenSet[str]] = None
+) -> List[Finding]:
+    """Lint every ``*.py`` file under the given files/directories.
+
+    Findings come back stably sorted by (path, line, rule) so repeated
+    runs diff cleanly in CI.
+    """
     findings: List[Finding] = []
     for path in _python_files(paths):
         findings += lint_source(
-            path.read_text(encoding="utf-8"), path=str(path)
+            path.read_text(encoding="utf-8"), path=str(path), rules=rules
         )
-    return findings
+    return sorted(findings, key=lambda f: (f.source or "", f.line, f.rule))
 
 
 def _python_files(paths: Sequence[Path]) -> List[Path]:
@@ -466,18 +507,80 @@ def _check_concat_in_loop(tree: ast.Module, path: str) -> List[Finding]:
 
 
 # -- CLI -------------------------------------------------------------------
+_USAGE = (
+    "usage: python -m repro.analysis.lint [--format text|json] "
+    "[--rules a,b] [--shared-state] <path> [<path> ...]"
+)
+
+
 def main(argv: Iterable[str] = ()) -> int:
     """Lint the given paths; print findings and return the exit status."""
     raw = list(argv) or sys.argv[1:]
-    if not raw:
-        print("usage: python -m repro.analysis.lint <path> [<path> ...]")
+    fmt = "text"
+    rules: Optional[FrozenSet[str]] = None
+    want_shared_state = False
+    positional: List[str] = []
+    i = 0
+    while i < len(raw):
+        arg = raw[i]
+        if arg == "--format":
+            if i + 1 >= len(raw) or raw[i + 1] not in ("text", "json"):
+                print(_USAGE)
+                return 2
+            fmt = raw[i + 1]
+            i += 2
+        elif arg == "--rules":
+            if i + 1 >= len(raw):
+                print(_USAGE)
+                return 2
+            requested = frozenset(
+                name.strip() for name in raw[i + 1].split(",") if name.strip()
+            )
+            unknown = requested - frozenset(RULE_NAMES)
+            if unknown or not requested:
+                print(f"unknown rule(s): {', '.join(sorted(unknown)) or '(none given)'}")
+                print(f"known rules: {', '.join(RULE_NAMES)}")
+                return 2
+            rules = requested
+            i += 1 + 1
+        elif arg == "--shared-state":
+            want_shared_state = True
+            i += 1
+        elif arg.startswith("-"):
+            print(_USAGE)
+            return 2
+        else:
+            positional.append(arg)
+            i += 1
+    if not positional:
+        print(_USAGE)
         return 2
-    paths = [Path(p) for p in raw]
+    paths = [Path(p) for p in positional]
     missing = [p for p in paths if not p.exists()]
     if missing:
         print(f"no such path(s): {', '.join(map(str, missing))}")
         return 2
-    findings = lint_paths(paths)
+    if want_shared_state:
+        print(json.dumps(shared_state_report(paths), indent=2, sort_keys=True))
+        return 0
+    findings = lint_paths(paths, rules=rules)
+    if fmt == "json":
+        print(
+            json.dumps(
+                [
+                    {
+                        "path": f.source,
+                        "line": f.line,
+                        "rule": f.rule,
+                        "severity": f.severity,
+                        "message": f.message,
+                    }
+                    for f in findings
+                ],
+                indent=2,
+            )
+        )
+        return 1 if findings else 0
     for finding in findings:
         print(finding.render())
     checked = len(_python_files(paths))

@@ -1,32 +1,51 @@
 """Static safety and correctness analysis for generated Python programs.
 
 CodexDB executes model-generated code, and the CodexDB paper stresses
-that such code must be vetted *before* it touches data. This pass walks
-the program's AST (never executing it) and rejects:
+that such code must be vetted *before* it touches data. This pass
+parses the program (never executing it), lowers it to a control-flow
+graph via :mod:`repro.analysis.dataflow`, and rejects:
 
 * imports outside a small allowlist (``time``, ``math``,
-  ``collections``, ``itertools``);
+  ``collections``, ``itertools``) — only when the import is reachable;
 * sandbox-escape attribute chains (``__class__``, ``__globals__``,
-  ``__subclasses__``, ...);
-* calls to introspection/IO primitives (``getattr``, ``eval``,
-  ``exec``, ``open``, ...);
-* ``while True`` loops with no reachable ``break`` (unbounded work);
-* references to names that are neither bound by the program nor part
-  of the sandbox namespace;
+  ``__subclasses__``, ...) in reachable code;
+* *reachable, unshadowed* uses of introspection/IO builtins
+  (``getattr``, ``eval``, ``exec``, ``open``, ...) — a program that
+  assigns its own ``open = 0`` counter, or mentions ``eval`` only in a
+  branch that can never run, is accepted;
+* taint flows from sandbox inputs (``tables``) into dangerous sink
+  arguments (:data:`TAINT_SINKS`), including flows through aliases of
+  banned builtins (``g = getattr; g(...)``);
+* loops that provably cannot terminate (``unbounded-loop`` errors) —
+  beyond literal ``while True``, this catches conditions whose names
+  the body never mutates and iteration over infinite ``itertools``
+  constructors. Loops that *might* be unbounded get an
+  ``unbounded-work`` warning that the sandbox converts into a fuel
+  limit instead of a rejection;
+* reads of names that are not definitely assigned in their scope
+  (``use-before-def``), with proper scoping — a name bound only inside
+  a nested ``def`` is *not* visible at module level;
 * programs that do not assign the ``result``/``columns`` output
-  contract on every execution path.
+  contract on every normally-completing path (path-sensitive: a
+  ``try``/``except`` where both arms assign ``result`` satisfies it).
 
-Every violation becomes a :class:`~repro.analysis.findings.Finding`
-with the offending line number; :func:`assert_safe` bundles them into a
-:class:`~repro.errors.StaticAnalysisError`.
+Findings carry a severity: ``"error"`` findings block the artifact,
+``"warning"`` findings (``unreachable-code``, ``unbounded-work``) are
+advisory. :func:`assert_safe` raises only when errors are present and
+attaches the full finding list for callers that want the warnings.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import FrozenSet, Iterable, List, Sequence, Set
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
-from repro.analysis.findings import Finding, render_findings
+from repro.analysis.dataflow import ProgramReport, analyze_program
+from repro.analysis.findings import (
+    Finding,
+    error_findings,
+    render_findings,
+)
 from repro.errors import StaticAnalysisError
 
 #: modules generated programs may import (consulted by the sandbox's
@@ -45,8 +64,9 @@ BANNED_ATTRIBUTES: FrozenSet[str] = frozenset(
     }
 )
 
-#: builtins whose mere mention defeats static vetting (dynamic attribute
-#: access, code execution, file IO)
+#: builtins that defeat static vetting when actually used (dynamic
+#: attribute access, code execution, file IO); reachable unshadowed
+#: loads are errors, and values aliasing them carry a danger taint
 BANNED_NAMES: FrozenSet[str] = frozenset(
     {
         "getattr", "setattr", "delattr", "eval", "exec", "compile",
@@ -54,6 +74,25 @@ BANNED_NAMES: FrozenSet[str] = frozenset(
         "breakpoint", "exit", "quit",
     }
 )
+
+#: names whose values are untrusted at program entry (sandbox inputs;
+#: generated programs receive the user's tables through ``tables``)
+TAINT_SOURCES: FrozenSet[str] = frozenset({"tables"})
+
+#: dangerous sinks: callable name -> positional argument indices that
+#: must not receive untrusted data (attribute names for ``getattr``
+#: family, code payloads for ``eval``/``exec``/``compile``, module
+#: names for ``__import__``, paths for ``open``)
+TAINT_SINKS: Dict[str, Tuple[int, ...]] = {
+    "getattr": (1,),
+    "setattr": (1,),
+    "delattr": (1,),
+    "eval": (0,),
+    "exec": (0,),
+    "compile": (0,),
+    "__import__": (0,),
+    "open": (0,),
+}
 
 #: names the sandbox provides to generated programs (safe builtins plus
 #: the ``tables`` input binding)
@@ -75,7 +114,12 @@ def check_python(
     allowed_imports: FrozenSet[str] = IMPORT_ALLOWLIST,
     require_contract: bool = True,
 ) -> List[Finding]:
-    """Analyze ``code`` and return all findings (empty means clean)."""
+    """Analyze ``code`` and return all findings (no errors means safe).
+
+    The returned list mixes ``"error"`` and ``"warning"`` severities;
+    use :func:`repro.analysis.findings.error_findings` (or
+    :func:`assert_safe`) to decide acceptance.
+    """
     try:
         tree = ast.parse(code, mode="exec")
     except SyntaxError as exc:
@@ -86,15 +130,19 @@ def check_python(
                 line=exc.lineno or 0,
             )
         ]
-    findings: List[Finding] = []
-    findings.extend(_check_imports(tree, allowed_imports))
-    findings.extend(_check_attributes(tree))
-    findings.extend(_check_banned_names(tree))
-    findings.extend(_check_loops(tree))
-    findings.extend(_check_unknown_names(tree, frozenset(known_names)))
+    report = analyze_program(
+        tree,
+        known=frozenset(known_names),
+        banned=BANNED_NAMES,
+        taint_sources=TAINT_SOURCES,
+        taint_sinks=TAINT_SINKS,
+    )
+    findings = list(report.findings)
+    findings.extend(_check_imports(tree, allowed_imports, report.reachable_lines))
+    findings.extend(_check_attributes(tree, report.reachable_lines))
     if require_contract:
-        findings.extend(_check_contract(tree))
-    return sorted(findings, key=lambda f: (f.line, f.rule))
+        findings.extend(_check_contract(report))
+    return sorted(findings, key=lambda f: (f.line, f.rule, f.message))
 
 
 def assert_safe(
@@ -102,23 +150,31 @@ def assert_safe(
     known_names: Iterable[str] = DEFAULT_KNOWN_NAMES,
     allowed_imports: FrozenSet[str] = IMPORT_ALLOWLIST,
     require_contract: bool = True,
-) -> None:
-    """Raise :class:`StaticAnalysisError` unless ``code`` checks clean."""
+) -> List[Finding]:
+    """Raise :class:`StaticAnalysisError` if ``code`` has error findings.
+
+    Warning-severity findings do not block; they are returned so callers
+    (e.g. the sandbox's fuel policy) can act on them.
+    """
     findings = check_python(code, known_names, allowed_imports, require_contract)
-    if findings:
+    errors = error_findings(findings)
+    if errors:
         raise StaticAnalysisError(
             "generated program rejected by static analysis:\n"
-            + render_findings(findings),
+            + render_findings(errors),
             findings=findings,
         )
+    return findings
 
 
-# -- individual passes -----------------------------------------------------
+# -- syntactic passes, gated by CFG reachability ---------------------------
 def _check_imports(
-    tree: ast.Module, allowed: FrozenSet[str]
+    tree: ast.Module, allowed: FrozenSet[str], reachable_lines: Set[int]
 ) -> List[Finding]:
     findings = []
     for node in ast.walk(tree):
+        if getattr(node, "lineno", None) not in reachable_lines:
+            continue  # dead code cannot import anything
         if isinstance(node, ast.Import):
             for alias in node.names:
                 root = alias.name.split(".")[0]
@@ -145,7 +201,9 @@ def _check_imports(
     return findings
 
 
-def _check_attributes(tree: ast.Module) -> List[Finding]:
+def _check_attributes(
+    tree: ast.Module, reachable_lines: Set[int]
+) -> List[Finding]:
     return [
         Finding(
             rule="banned-attribute",
@@ -153,113 +211,18 @@ def _check_attributes(tree: ast.Module) -> List[Finding]:
             line=node.lineno,
         )
         for node in ast.walk(tree)
-        if isinstance(node, ast.Attribute) and node.attr in BANNED_ATTRIBUTES
+        if isinstance(node, ast.Attribute)
+        and node.attr in BANNED_ATTRIBUTES
+        and node.lineno in reachable_lines
     ]
 
 
-def _check_banned_names(tree: ast.Module) -> List[Finding]:
-    return [
-        Finding(
-            rule="banned-call",
-            message=f"use of {node.id!r} is not allowed in generated code",
-            line=node.lineno,
-        )
-        for node in ast.walk(tree)
-        if isinstance(node, ast.Name)
-        and isinstance(node.ctx, ast.Load)
-        and node.id in BANNED_NAMES
-    ]
-
-
-def _check_loops(tree: ast.Module) -> List[Finding]:
-    findings = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.While):
-            continue
-        test = node.test
-        constant_true = isinstance(test, ast.Constant) and bool(test.value)
-        if constant_true and not _loop_can_exit(node.body):
-            findings.append(
-                Finding(
-                    rule="unbounded-loop",
-                    message="'while True' loop has no break/return/raise",
-                    line=node.lineno,
-                )
-            )
-    return findings
-
-
-def _loop_can_exit(body: Sequence[ast.stmt]) -> bool:
-    """True if the loop body contains a statement that leaves the loop.
-
-    Nested loops are not descended into: a ``break`` there terminates
-    the inner loop only.
-    """
-    for stmt in body:
-        if isinstance(stmt, (ast.Break, ast.Return, ast.Raise)):
-            return True
-        if isinstance(stmt, ast.If):
-            if _loop_can_exit(stmt.body) or _loop_can_exit(stmt.orelse):
-                return True
-        elif isinstance(stmt, ast.Try):
-            blocks = [stmt.body, stmt.orelse, stmt.finalbody]
-            blocks += [handler.body for handler in stmt.handlers]
-            if any(_loop_can_exit(block) for block in blocks):
-                return True
-        elif isinstance(stmt, ast.With):
-            if _loop_can_exit(stmt.body):
-                return True
-    return False
-
-
-def _bound_names(tree: ast.Module) -> Set[str]:
-    """Every name the program binds anywhere (flat, scope-insensitive)."""
-    bound: Set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Name) and isinstance(
-            node.ctx, (ast.Store, ast.Del)
-        ):
-            bound.add(node.id)
-        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            bound.add(node.name)
-        elif isinstance(node, ast.arg):
-            bound.add(node.arg)
-        elif isinstance(node, (ast.Import, ast.ImportFrom)):
-            for alias in node.names:
-                bound.add(alias.asname or alias.name.split(".")[0])
-        elif isinstance(node, ast.ExceptHandler) and node.name:
-            bound.add(node.name)
-    return bound
-
-
-def _check_unknown_names(
-    tree: ast.Module, known: FrozenSet[str]
-) -> List[Finding]:
-    bound = _bound_names(tree)
-    findings = []
-    reported: Set[str] = set()
-    for node in ast.walk(tree):
-        if not (isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)):
-            continue
-        name = node.id
-        if name in bound or name in known or name in BANNED_NAMES:
-            continue  # banned names already get a banned-call finding
-        if name in reported:
-            continue
-        reported.add(name)
-        findings.append(
-            Finding(
-                rule="unknown-name",
-                message=f"name {name!r} is never bound and is not provided "
-                "by the sandbox",
-                line=node.lineno,
-            )
-        )
-    return findings
-
-
-def _check_contract(tree: ast.Module) -> List[Finding]:
-    assigned = _definitely_assigned(tree.body)
+def _check_contract(report: ProgramReport) -> List[Finding]:
+    assigned = report.definitely_assigned_at_exit
+    if assigned is None:
+        # the program cannot complete normally (every path raises):
+        # nothing is ever left behind
+        assigned = frozenset()
     return [
         Finding(
             rule="output-contract",
@@ -268,47 +231,3 @@ def _check_contract(tree: ast.Module) -> List[Finding]:
         for name in OUTPUT_CONTRACT
         if name not in assigned
     ]
-
-
-def _definitely_assigned(stmts: Sequence[ast.stmt]) -> Set[str]:
-    """Names assigned on *every* execution path through ``stmts``.
-
-    Conservative: loop bodies may run zero times, so their assignments
-    do not count; an ``if`` only counts names assigned in both arms.
-    """
-    assigned: Set[str] = set()
-    for stmt in stmts:
-        if isinstance(stmt, ast.Assign):
-            for target in stmt.targets:
-                assigned |= _target_names(target)
-        elif isinstance(stmt, ast.AnnAssign):
-            if stmt.value is not None and isinstance(stmt.target, ast.Name):
-                assigned.add(stmt.target.id)
-        elif isinstance(stmt, ast.If):
-            if stmt.orelse:
-                assigned |= _definitely_assigned(stmt.body) & _definitely_assigned(
-                    stmt.orelse
-                )
-        elif isinstance(stmt, ast.With):
-            assigned |= _definitely_assigned(stmt.body)
-        elif isinstance(stmt, ast.Try):
-            assigned |= _definitely_assigned(stmt.finalbody)
-        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
-            for alias in stmt.names:
-                assigned.add(alias.asname or alias.name.split(".")[0])
-        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            assigned.add(stmt.name)
-    return assigned
-
-
-def _target_names(target: ast.expr) -> Set[str]:
-    if isinstance(target, ast.Name):
-        return {target.id}
-    if isinstance(target, (ast.Tuple, ast.List)):
-        names: Set[str] = set()
-        for element in target.elts:
-            names |= _target_names(element)
-        return names
-    if isinstance(target, ast.Starred):
-        return _target_names(target.value)
-    return set()

@@ -3,21 +3,37 @@
 No generated program runs unvetted: :func:`run_generated_code` first
 passes the source through :func:`repro.analysis.pycheck.check_python`
 and raises :class:`~repro.errors.StaticAnalysisError` (listing every
-finding with its line number) *before* any byte of it executes. The
-namespace itself no longer exposes raw ``__import__``; a guarded
-importer consults the same allowlist the analyzer enforces, as
-defense in depth.
+error finding with its line number) *before* any byte of it executes.
+The namespace itself no longer exposes raw ``__import__``; a guarded
+importer consults the same allowlist the analyzer enforces, as defense
+in depth.
+
+Warning-severity findings do not block. In particular, when the
+flow-sensitive analyzer marks a loop ``unbounded-work`` (it might
+terminate, but the trip count is not statically bounded), the sandbox
+runs the program anyway — under a line-event fuel budget enforced with
+``sys.settrace``. A program that spends its fuel raises
+:class:`~repro.errors.FuelExhaustedError` instead of hanging the
+caller; statically *provable* infinite loops are ``unbounded-loop``
+errors and never execute at all. Programs the analyzer fully bounds
+run untraced, so the common path pays nothing.
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.findings import render_findings
+from repro.analysis.findings import Finding, error_findings, render_findings
 from repro.analysis.pycheck import IMPORT_ALLOWLIST, check_python
-from repro.errors import CodexDBError, StaticAnalysisError
+from repro.errors import CodexDBError, FuelExhaustedError, StaticAnalysisError
 from repro.sql import Table
+
+#: line events a fuel-limited program may execute before it is killed;
+#: generous enough for any sane per-query program over small tables,
+#: small enough to bound a runaway loop to well under a second
+DEFAULT_FUEL = 200_000
 
 
 def _guarded_import(name, globals=None, locals=None, fromlist=(), level=0):
@@ -40,7 +56,12 @@ _SAFE_BUILTINS = {
 }
 
 #: names generated programs may reference without binding them first
-_SANDBOX_NAMES = frozenset(_SAFE_BUILTINS) | {"True", "False", "None", "tables"}
+SANDBOX_KNOWN_NAMES = frozenset(_SAFE_BUILTINS) | {
+    "True", "False", "None", "tables",
+}
+
+#: backwards-compatible alias (pre-dates the public name)
+_SANDBOX_NAMES = SANDBOX_KNOWN_NAMES
 
 
 @dataclass
@@ -53,26 +74,34 @@ class ExecutionOutcome:
     profile: Dict[str, float] = field(default_factory=dict)
 
 
-def vet_generated_code(code: str) -> None:
-    """Statically analyze ``code``; raise on any finding.
+def vet_generated_code(code: str) -> List[Finding]:
+    """Statically analyze ``code``; raise on any *error* finding.
 
     Raises :class:`StaticAnalysisError` carrying the individual
     findings (rule, message, line) when the program imports outside the
-    allowlist, touches escape attributes, calls banned builtins, loops
-    unboundedly, references unknown names, or fails to assign the
-    ``result``/``columns`` output contract on every path.
+    allowlist in reachable code, touches escape attributes, calls (or
+    aliases) banned builtins, leaks untrusted data into dangerous
+    sinks, loops provably forever, reads names before assignment, or
+    fails to assign the ``result``/``columns`` output contract on every
+    normally-completing path.
+
+    Returns the full finding list — including warnings such as
+    ``unbounded-work`` and ``unreachable-code`` — so callers can apply
+    policy (the runner converts ``unbounded-work`` into a fuel limit).
     """
-    findings = check_python(code, known_names=_SANDBOX_NAMES)
-    if findings:
+    findings = check_python(code, known_names=SANDBOX_KNOWN_NAMES)
+    errors = error_findings(findings)
+    if errors:
         raise StaticAnalysisError(
             "generated program rejected by static analysis:\n"
-            + render_findings(findings),
+            + render_findings(errors),
             findings=findings,
         )
+    return findings
 
 
 def run_generated_code(
-    code: str, tables: Dict[str, Table]
+    code: str, tables: Dict[str, Table], fuel: Optional[int] = None
 ) -> ExecutionOutcome:
     """Vet and run a generated program against tables; wrap all failures.
 
@@ -82,15 +111,29 @@ def run_generated_code(
     does not produce the ``result``/``columns`` contract. Runtime
     crashes carry the original exception in ``__cause__``; static
     rejections carry their findings on the error itself.
+
+    ``fuel`` bounds execution to that many traced line events and
+    raises :class:`FuelExhaustedError` when spent. When ``fuel`` is
+    ``None`` (the default), a budget of :data:`DEFAULT_FUEL` is applied
+    automatically iff the analyzer reported an ``unbounded-work``
+    warning; statically bounded programs run untraced.
     """
-    vet_generated_code(code)
+    findings = vet_generated_code(code)
+    if fuel is None and any(f.rule == "unbounded-work" for f in findings):
+        fuel = DEFAULT_FUEL
     table_dicts = {name: table.to_dicts() for name, table in tables.items()}
     namespace: Dict[str, object] = {
         "tables": table_dicts,
         "__builtins__": _SAFE_BUILTINS,
     }
+    code_obj = compile(code, "<codexdb>", "exec")
     try:
-        exec(compile(code, "<codexdb>", "exec"), namespace)  # noqa: S102
+        if fuel is None:
+            exec(code_obj, namespace)  # noqa: S102
+        else:
+            _exec_with_fuel(code_obj, namespace, fuel)
+    except FuelExhaustedError:
+        raise
     except Exception as exc:
         raise CodexDBError(f"generated program crashed: {exc}") from exc
     if "result" not in namespace or "columns" not in namespace:
@@ -105,3 +148,28 @@ def run_generated_code(
         logs=list(namespace.get("logs", [])),
         profile=dict(namespace.get("profile", {})),
     )
+
+
+def _exec_with_fuel(code_obj, namespace: Dict[str, object], fuel: int) -> None:
+    """Run ``code_obj`` under a line-event budget enforced by settrace."""
+    budget = int(fuel)
+
+    def tracer(frame, event, arg):
+        nonlocal budget
+        if event == "line":
+            budget -= 1
+            if budget < 0:
+                raise FuelExhaustedError(
+                    f"generated program exceeded its fuel budget of {fuel} "
+                    "line events (statically unbounded loop did not "
+                    "terminate in time)",
+                    fuel=fuel,
+                )
+        return tracer
+
+    previous = sys.gettrace()
+    sys.settrace(tracer)
+    try:
+        exec(code_obj, namespace)  # noqa: S102
+    finally:
+        sys.settrace(previous)

@@ -102,6 +102,23 @@ class StaticAnalysisError(CodexDBError):
         self.findings = list(findings)
 
 
+class FuelExhaustedError(CodexDBError):
+    """A sandboxed program ran out of its execution fuel budget.
+
+    The flow-sensitive analyzer marks loops whose trip count it cannot
+    bound with an ``unbounded-work`` warning; instead of rejecting such
+    programs outright, the sandbox runs them under a line-event fuel
+    limit and raises this when the budget is spent. Provably infinite
+    loops (``unbounded-loop`` errors) are still rejected statically and
+    never execute at all.
+    """
+
+    def __init__(self, message: str, fuel: int = 0) -> None:
+        super().__init__(message)
+        #: the budget (in traced line events) that was exhausted
+        self.fuel = int(fuel)
+
+
 class NeuralDBError(ReproError):
     """Raised for invalid NeuralDB operations."""
 

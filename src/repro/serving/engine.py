@@ -132,6 +132,14 @@ class BatchedGenerator:
     cache — and sampling draws from per-sequence seeded RNGs exactly as
     the sequential path does (choice ``j`` of a request samples with
     ``config.seed + j``).
+
+    Shared state: ``stats`` (and the prefix cache, when attached) are
+    plain mutable attributes updated on every generate call with no
+    synchronization — safe only while one caller drives the generator
+    at a time. ``python -m repro.analysis.lint --shared-state
+    src/repro/serving`` inventories these sites; the
+    ``shared-state-mutation`` lint rule gates any future ``async``
+    request path over this class.
     """
 
     def __init__(

@@ -33,6 +33,11 @@ class KVCache:
     columns in place and returns zero-copy views of the live prefix —
     drop-in replacements for the concatenated arrays of the legacy
     dict layout.
+
+    Shared state: ``k``/``v``/``length`` mutate in place on every
+    append, and the returned views alias the slab; one decode loop must
+    own a cache exclusively (the shared-state audit in
+    :mod:`repro.analysis.concurrency` tracks these writes).
     """
 
     __slots__ = ("k", "v", "length", "_initial_capacity")

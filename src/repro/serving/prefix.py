@@ -76,7 +76,15 @@ class _Node:
 
 
 class PrefixCache:
-    """LRU-bounded token-trie cache of per-layer prompt K/V states."""
+    """LRU-bounded token-trie cache of per-layer prompt K/V states.
+
+    Shared state: the trie, LRU clock, byte budget, and ``stats`` all
+    mutate on every lookup/insert with no synchronization — lookups are
+    writes here (they touch recency and hit counters), so even
+    read-mostly concurrent use races. The
+    :mod:`repro.analysis.concurrency` audit reports every such site;
+    async callers must serialize access.
+    """
 
     def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
         if max_bytes <= 0:

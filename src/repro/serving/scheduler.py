@@ -58,6 +58,12 @@ class BatchScheduler:
     switches :meth:`run` from barriered microbatches to the generator's
     retire-and-admit loop; ``prefix_cache`` threads a shared prompt
     K/V cache through every request.
+
+    Shared state: the pending queue, ticket counter, and ``stats`` are
+    unsynchronized instance attributes (see the
+    :mod:`repro.analysis.concurrency` shared-state report); concurrent
+    submitters need external serialization until the async gateway adds
+    its own locking.
     """
 
     def __init__(

@@ -10,7 +10,12 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import check_python, check_sql
-from repro.analysis.findings import Finding, render_findings
+from repro.analysis.findings import (
+    Finding,
+    error_findings,
+    render_findings,
+    warning_findings,
+)
 from repro.analysis.lint import lint_paths, lint_source
 from repro.analysis.pycheck import IMPORT_ALLOWLIST, assert_safe
 from repro.errors import CodexDBError, StaticAnalysisError
@@ -91,7 +96,11 @@ class TestPycheck:
             "while True:\n    if len(tables) >= 0:\n        break\n"
             "result = []\ncolumns = []\n"
         )
-        assert check_python(code) == []
+        findings = check_python(code)
+        # accepted (no errors), but the trip count is data-dependent, so
+        # the sandbox gets an unbounded-work warning to convert into fuel
+        assert error_findings(findings) == []
+        assert rules_of(warning_findings(findings)) == ["unbounded-work"]
 
     def test_break_in_nested_loop_does_not_count(self):
         code = (
@@ -136,6 +145,289 @@ class TestPycheck:
 
     def test_allowlist_contents(self):
         assert {"time", "math", "collections", "itertools"} == set(IMPORT_ALLOWLIST)
+
+
+class TestFlowSensitivePycheck:
+    """The CFG-based passes: verdicts the old mention-ban checker got wrong."""
+
+    def test_banned_name_in_dead_branch_accepted(self):
+        code = (
+            "if False:\n    result = eval('1')\n"
+            "result = list(tables['t'])\ncolumns = ['a']\n"
+        )
+        findings = check_python(code)
+        assert error_findings(findings) == []
+        assert "unreachable-code" in rules_of(warning_findings(findings))
+
+    def test_shadowed_builtin_accepted(self):
+        code = (
+            "open = 0\nfor r in tables['t']:\n    open = open + 1\n"
+            "result = [open]\ncolumns = ['n']\n"
+        )
+        assert error_findings(check_python(code)) == []
+
+    def test_half_shadowed_builtin_still_banned(self):
+        # only one path assigns `open`, so the builtin shines through
+        code = (
+            "if len(tables) > 0:\n    open = 0\n"
+            "result = [open('x')]\ncolumns = ['n']\n"
+        )
+        assert "banned-call" in rules_of(error_findings(check_python(code)))
+
+    def test_use_before_def_on_one_path(self):
+        code = (
+            "if len(tables) > 0:\n    x = 1\n"
+            "result = [x]\ncolumns = ['x']\n"
+        )
+        findings = check_python(code)
+        assert rules_of(error_findings(findings)) == ["use-before-def"]
+
+    def test_nested_def_binding_not_visible_at_module_level(self):
+        # regression for the flat _bound_names: `inner` is bound only
+        # inside helper(), so the module-level read must be flagged
+        code = (
+            "def helper():\n    inner = [1]\n    return inner\n"
+            "result = inner\ncolumns = ['x']\n"
+        )
+        findings = check_python(code)
+        assert "unknown-name" in rules_of(error_findings(findings))
+
+    def test_module_names_visible_inside_nested_def(self):
+        code = (
+            "base = list(tables['t'])\n"
+            "def helper():\n    return base\n"
+            "result = helper()\ncolumns = ['x']\n"
+        )
+        assert error_findings(check_python(code)) == []
+
+    def test_banned_builtin_alias_flow(self):
+        code = (
+            "g = getattr\nresult = [g(tables, 'clear')]\ncolumns = ['x']\n"
+        )
+        assert "banned-call" in rules_of(error_findings(check_python(code)))
+
+    def test_taint_reaches_getattr_sink(self):
+        code = (
+            "name = tables['t'][0][0]\n"
+            "result = [getattr([], name)]\ncolumns = ['x']\n"
+        )
+        assert "taint-flow" in rules_of(error_findings(check_python(code)))
+
+    def test_constant_attribute_name_is_not_taint(self):
+        # dangerous only via the banned-call rule; no taint-flow finding
+        code = "result = [getattr([], 'append')]\ncolumns = ['x']\n"
+        assert "taint-flow" not in rules_of(check_python(code))
+
+    def test_frozen_while_condition_rejected(self):
+        code = (
+            "n = 5\ntotal = 0\nwhile n > 0:\n    total = total + 1\n"
+            "result = [total]\ncolumns = ['t']\n"
+        )
+        assert "unbounded-loop" in rules_of(error_findings(check_python(code)))
+
+    def test_while_condition_mutated_in_body_accepted(self):
+        code = (
+            "n = 5\nwhile n > 0:\n    n = n - 1\n"
+            "result = [n]\ncolumns = ['n']\n"
+        )
+        findings = check_python(code)
+        assert error_findings(findings) == []
+        assert "unbounded-work" in rules_of(warning_findings(findings))
+
+    def test_itertools_count_rejected(self):
+        code = (
+            "import itertools\ntotal = 0\n"
+            "for i in itertools.count():\n    total = total + i\n"
+            "result = [total]\ncolumns = ['t']\n"
+        )
+        assert "unbounded-loop" in rules_of(error_findings(check_python(code)))
+
+    def test_contract_satisfied_by_try_except(self):
+        code = (
+            "try:\n    result = [r for r in tables['t']]\n"
+            "except:\n    result = []\n"
+            "columns = ['a']\n"
+        )
+        assert error_findings(check_python(code)) == []
+
+    def test_code_after_infinite_loop_cannot_satisfy_contract(self):
+        code = (
+            "while True:\n    x = 1\n"
+            "result = []\ncolumns = []\n"
+        )
+        rules = rules_of(error_findings(check_python(code)))
+        assert "unbounded-loop" in rules
+        assert "output-contract" in rules
+
+    def test_import_in_dead_branch_accepted(self):
+        code = "if False:\n    import os\nresult = []\ncolumns = []\n"
+        assert error_findings(check_python(code)) == []
+
+    def test_assert_safe_ignores_warnings(self):
+        code = (
+            "i = 0\nwhile True:\n    i = i + 1\n    if i > 3:\n        break\n"
+            "result = [i]\ncolumns = ['i']\n"
+        )
+        findings = assert_safe(code)  # must not raise
+        assert "unbounded-work" in rules_of(findings)
+
+
+class TestConcurrencyLint:
+    """shared-state-mutation and blocking-call-in-async (gateway gates)."""
+
+    def test_async_self_mutation_flagged(self):
+        code = (
+            "class Engine:\n"
+            "    async def handle(self, req):\n"
+            "        self.stats = req\n"
+        )
+        assert "shared-state-mutation" in rules_of(lint_source(code))
+
+    def test_async_mutating_method_call_flagged(self):
+        code = (
+            "class Engine:\n"
+            "    async def handle(self, req):\n"
+            "        self.queue.append(req)\n"
+        )
+        assert "shared-state-mutation" in rules_of(lint_source(code))
+
+    def test_sync_self_mutation_not_flagged(self):
+        code = (
+            "class Engine:\n"
+            "    def handle(self, req):\n"
+            "        self.stats = req\n"
+        )
+        assert "shared-state-mutation" not in rules_of(lint_source(code))
+
+    def test_local_mutation_in_async_not_flagged(self):
+        code = (
+            "class Engine:\n"
+            "    async def handle(self, req):\n"
+            "        out = []\n"
+            "        out.append(req)\n"
+            "        return out\n"
+        )
+        assert "shared-state-mutation" not in rules_of(lint_source(code))
+
+    def test_blocking_sleep_in_async_flagged(self):
+        code = (
+            "import time\n"
+            "async def handle(req):\n"
+            "    time.sleep(1)\n"
+        )
+        findings = lint_source(code, rules=frozenset({"blocking-call-in-async"}))
+        assert rules_of(findings) == ["blocking-call-in-async"]
+
+    def test_blocking_open_in_async_flagged(self):
+        code = "async def handle(path):\n    return open(path)\n"
+        findings = lint_source(code, rules=frozenset({"blocking-call-in-async"}))
+        assert rules_of(findings) == ["blocking-call-in-async"]
+
+    def test_blocking_call_in_sync_not_flagged(self):
+        code = "def handle(path):\n    return open(path)\n"
+        findings = lint_source(code, rules=frozenset({"blocking-call-in-async"}))
+        assert findings == []
+
+    def test_concurrency_rules_are_noqa_able(self):
+        code = (
+            "class Engine:\n"
+            "    async def handle(self, req):\n"
+            "        self.stats = req  # repro: noqa[shared-state-mutation]\n"
+        )
+        assert "shared-state-mutation" not in rules_of(lint_source(code))
+
+    def test_shared_state_report_inventories_writes(self):
+        from repro.analysis.concurrency import audit_source
+
+        code = (
+            "class Cache:\n"
+            "    def __init__(self):\n"
+            "        self.data = {}\n"
+            "    def put(self, k, v):\n"
+            "        self.data[k] = v\n"
+            "        self.hits += 1\n"
+        )
+        entries = audit_source(code, path="cache.py")
+        assert len(entries) == 1
+        attrs = entries[0]["shared_attributes"]
+        # __init__ writes are construction, not shared-state mutation
+        assert set(attrs) == {"data", "hits"}
+        kinds = {w["kind"] for w in attrs["data"]}
+        assert kinds == {"subscript"}
+
+    def test_serving_classes_appear_in_report(self):
+        from repro.analysis.concurrency import shared_state_report
+
+        report = shared_state_report([REPO_ROOT / "src" / "repro" / "serving"])
+        classes = {entry["class"] for entry in report["classes"]}
+        assert "BatchedGenerator" in classes
+        assert "PrefixCache" in classes
+
+
+class TestLintCLIErgonomics:
+    def run_cli(self, *args):
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis.lint", *args],
+            capture_output=True, text=True, env=env,
+        )
+
+    def test_format_json(self, tmp_path):
+        import json
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "def f(items=[]):\n    return items\n"
+            "try:\n    x = 1\nexcept:\n    pass\n"
+        )
+        proc = self.run_cli("--format", "json", str(dirty))
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert [f["rule"] for f in payload] == ["mutable-default", "bare-except"]
+        assert all(f["path"] == str(dirty) for f in payload)
+
+    def test_rules_filter(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "def f(items=[]):\n    return items\n"
+            "try:\n    x = 1\nexcept:\n    pass\n"
+        )
+        proc = self.run_cli("--rules", "bare-except", str(dirty))
+        assert proc.returncode == 1
+        assert "bare-except" in proc.stdout
+        assert "mutable-default" not in proc.stdout
+
+    def test_unknown_rule_rejected(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        proc = self.run_cli("--rules", "no-such-rule", str(clean))
+        assert proc.returncode == 2
+        assert "unknown rule" in proc.stdout
+
+    def test_findings_sorted_by_path_then_line(self, tmp_path):
+        import json
+
+        b = tmp_path / "b.py"
+        b.write_text("def f(items=[]):\n    return items\n")
+        a = tmp_path / "a.py"
+        a.write_text("x = 1\ndef g(cache={}):\n    return cache\n")
+        proc = self.run_cli("--format", "json", str(tmp_path))
+        payload = json.loads(proc.stdout)
+        keys = [(f["path"], f["line"]) for f in payload]
+        assert keys == sorted(keys)
+
+    def test_shared_state_flag_emits_json(self):
+        import json
+
+        proc = self.run_cli(
+            "--shared-state", str(REPO_ROOT / "src" / "repro" / "serving")
+        )
+        assert proc.returncode == 0
+        report = json.loads(proc.stdout)
+        assert report["files_scanned"] > 0
+        assert any(
+            entry["class"] == "BatchedGenerator" for entry in report["classes"]
+        )
 
 
 class TestSqlcheck:
