@@ -16,6 +16,7 @@ from repro.generation import GenerationConfig, generate
 from repro.generation.decoding import TokenConstraint
 from repro.models import GPTModel
 from repro.api.hub import ModelHub
+from repro.reliability.clock import Clock, SystemClock
 from repro.serving import BatchRequest, BatchScheduler, PrefixCache
 
 
@@ -40,6 +41,9 @@ class EngineStats:
     work. ``prompt_tokens`` bills the full prompt regardless of caching;
     ``prefix_hits``/``prefix_reused_tokens`` record how much of that
     billed prefill was actually served from the engine's prefix cache.
+    ``queue_wait_seconds`` accumulates each batched request's
+    admission→dispatch wait on the client's clock — the term that lets
+    end-to-end latency be split into waiting vs decoding.
     """
 
     requests: int = 0
@@ -48,6 +52,7 @@ class EngineStats:
     prefix_hits: int = 0
     prefix_reused_tokens: int = 0
     batch_refills: int = 0
+    queue_wait_seconds: float = 0.0
 
     @property
     def total_tokens(self) -> int:
@@ -137,10 +142,14 @@ class CompletionClient:
     """
 
     def __init__(
-        self, hub: ModelHub, prefix_cache_bytes: int = DEFAULT_PREFIX_CACHE_BYTES
+        self,
+        hub: ModelHub,
+        prefix_cache_bytes: int = DEFAULT_PREFIX_CACHE_BYTES,
+        clock: Optional[Clock] = None,
     ) -> None:
         self.hub = hub
         self.prefix_cache_bytes = prefix_cache_bytes
+        self.clock: Clock = clock if clock is not None else SystemClock()
         self._stats: Dict[str, EngineStats] = {}
         self._prefix_caches: Dict[str, Tuple[object, PrefixCache]] = {}
 
@@ -261,6 +270,7 @@ class CompletionClient:
             prefill_chunk=prefill_chunk,
             prefix_cache=self.prefix_cache(engine) if prefix_caching else None,
             continuous=continuous,
+            clock=self.clock,
         )
         config = _request_config(tokenizer, max_tokens, temperature, top_p, seed)
         tickets = []
@@ -282,6 +292,7 @@ class CompletionClient:
         stats.prefix_hits += scheduler.stats.prefix_hits
         stats.prefix_reused_tokens += scheduler.stats.prefix_reused_tokens
         stats.batch_refills += scheduler.stats.refills
+        stats.queue_wait_seconds += scheduler.stats.queue_wait_total
         responses: List[CompletionResponse] = []
         for prompt_ids, ticket in zip(encoded, tickets):
             choices: List[CompletionChoice] = []

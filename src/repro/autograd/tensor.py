@@ -9,6 +9,7 @@ summing gradients over broadcast dimensions (:func:`unbroadcast`).
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -17,24 +18,30 @@ from repro.errors import ShapeError
 
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
 
-_GRAD_ENABLED = True
+# Grad mode is per-thread: the serving gateway decodes on concurrent
+# worker threads, and with a process-global flag two overlapping
+# ``no_grad`` blocks can interleave their save/restore so that one
+# thread's stale snapshot re-disables (or re-enables) grad for every
+# other thread. Thread-local state makes ``no_grad`` an isolated,
+# race-free property of the calling thread; fresh threads start with
+# grad enabled, like the main thread.
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad() -> Iterator[None]:
     """Context manager that disables graph construction (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def grad_enabled() -> bool:
     """Return whether operations currently record the autodiff graph."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -65,9 +72,10 @@ class Tensor:
     ) -> None:
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = requires_grad and _GRAD_ENABLED
+        recording = grad_enabled()
+        self.requires_grad = requires_grad and recording
         self._backward: Optional[Callable[[np.ndarray], None]] = None
-        self._parents = _parents if _GRAD_ENABLED else ()
+        self._parents = _parents if recording else ()
         self.name = name
 
     # -- basic introspection ------------------------------------------------
@@ -110,7 +118,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Create a result tensor, wiring the backward closure if needed."""
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires, _parents=parents if requires else ())
         if requires:
             out._backward = backward

@@ -148,6 +148,33 @@ class RequestTimeoutError(TransientError):
     """A single request attempt timed out in flight (retryable)."""
 
 
+class GatewayOverloadError(RateLimitError):
+    """The serving gateway shed this request at admission (a 429).
+
+    Load shedding is the gateway keeping accepted-request latency
+    bounded by refusing excess work *early* instead of queueing it to
+    death. ``reason`` says which guard fired: ``"tenant-quota"`` (the
+    tenant's token bucket is empty) or ``"queue-full"`` (the bounded
+    admission queue is at capacity). Subclasses
+    :class:`RateLimitError`, so retry loops treat a shed exactly like
+    a provider 429 — back off at least ``retry_after`` and try again.
+    """
+
+    def __init__(
+        self, message: str, reason: str = "queue-full", retry_after: float = 1.0
+    ) -> None:
+        super().__init__(message, retry_after=retry_after)
+        self.reason = reason
+
+
+class RequestCancelledError(ReproError):
+    """The request was cancelled mid-stream (client disconnect).
+
+    Terminal for the request: its partial tokens were discarded and its
+    batch slot was handed to queued work.
+    """
+
+
 class DeadlineExceededError(ReproError):
     """The caller's total time budget for a request ran out.
 

@@ -7,6 +7,9 @@ side survive it:
 
 * :mod:`~repro.reliability.clock` — ``SystemClock`` / ``VirtualClock``;
   all sleeps and timeouts are simulated-time-testable.
+* :mod:`~repro.reliability.aclock` — the same two-mode discipline for
+  ``asyncio`` code: ``AsyncSystemClock`` / ``AsyncVirtualClock`` (a
+  deterministic virtual-time driver for the serving gateway's tests).
 * :mod:`~repro.reliability.faults` — seeded ``FaultInjector`` plus
   faulty wrappers for the completion client and the simulated Codex.
 * :mod:`~repro.reliability.retry` — ``RetryPolicy`` + ``Retrier``
@@ -17,6 +20,12 @@ side survive it:
   together with fallback engine chains and graceful degradation.
 """
 
+from repro.reliability.aclock import (
+    AsyncClock,
+    AsyncSystemClock,
+    AsyncVirtualClock,
+    run_virtual,
+)
 from repro.reliability.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from repro.reliability.client import (
     DEGRADED_ENGINE,
@@ -35,6 +44,10 @@ from repro.reliability.ratelimit import TokenBucket
 from repro.reliability.retry import Retrier, RetryPolicy, decorrelated_jitter
 
 __all__ = [
+    "AsyncClock",
+    "AsyncSystemClock",
+    "AsyncVirtualClock",
+    "run_virtual",
     "CLOSED",
     "HALF_OPEN",
     "OPEN",

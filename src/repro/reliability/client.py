@@ -22,7 +22,11 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.api.client import CompletionChoice, CompletionResponse, Usage
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # runtime import is deferred to break the cycle with
+    from repro.api.client import CompletionResponse  # repro.api -> serving
+
 from repro.errors import (
     CircuitOpenError,
     DeadlineExceededError,
@@ -225,6 +229,11 @@ class ResilientClient:
         self, engine: str, prompt: str, last_error: Optional[ReproError]
     ) -> CompletionResponse:
         if self.baseline is not None:
+            # Imported here, not at module top: repro.api.client imports
+            # repro.serving, whose scheduler imports repro.reliability —
+            # a module-level import would close that cycle.
+            from repro.api.client import CompletionChoice, CompletionResponse, Usage
+
             self._degraded_answers += 1
             text = self.baseline(prompt)
             return CompletionResponse(

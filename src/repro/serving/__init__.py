@@ -6,6 +6,12 @@ prefill, per-sequence stop handling, a prompt-prefix K/V cache
 (:class:`PrefixCache`), retire-and-admit continuous batching, and a
 FIFO microbatching scheduler. See :class:`BatchedGenerator` for the
 engine and :class:`BatchScheduler` for the queueing front-end.
+
+On top of the scheduler sits the asyncio serving tier: the multi-tenant
+:class:`Gateway` (admission control, load shedding, deadline dispatch,
+replica failover over worker-thread decode) and the open-loop load
+generator (:mod:`repro.serving.loadgen`) that traces its saturation
+curve under deterministic virtual time.
 """
 
 from repro.serving.dispatch import complete_many, engine_serving_stats
@@ -15,7 +21,16 @@ from repro.serving.engine import (
     BatchResult,
     GeneratorStats,
 )
+from repro.serving.gateway import (
+    Gateway,
+    GatewayRequest,
+    GatewayResult,
+    GatewayStats,
+    Replica,
+    ServiceModel,
+)
 from repro.serving.kvcache import KVCache
+from repro.serving.loadgen import LoadReport, OpenLoopLoad, run_open_loop, sweep
 from repro.serving.prefix import PrefixCache, PrefixCacheStats
 from repro.serving.scheduler import BatchScheduler, SchedulerStats
 
@@ -24,11 +39,21 @@ __all__ = [
     "BatchRequest",
     "BatchResult",
     "BatchScheduler",
+    "Gateway",
+    "GatewayRequest",
+    "GatewayResult",
+    "GatewayStats",
     "GeneratorStats",
     "KVCache",
+    "LoadReport",
+    "OpenLoopLoad",
     "PrefixCache",
     "PrefixCacheStats",
+    "Replica",
     "SchedulerStats",
+    "ServiceModel",
     "complete_many",
     "engine_serving_stats",
+    "run_open_loop",
+    "sweep",
 ]

@@ -50,4 +50,5 @@ def engine_serving_stats(client, engine: str) -> dict:
         "prefix_hits": float(getattr(stats, "prefix_hits", 0)),
         "prefix_reused_tokens": float(getattr(stats, "prefix_reused_tokens", 0)),
         "batch_refills": float(getattr(stats, "batch_refills", 0)),
+        "queue_wait_seconds": float(getattr(stats, "queue_wait_seconds", 0.0)),
     }

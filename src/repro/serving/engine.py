@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,6 +54,11 @@ from repro.models.gpt import GPTModel
 from repro.nn.attention import chunk_causal_mask
 from repro.serving.prefix import PrefixCache, common_prefix_length
 from repro.utils.rng import SeededRNG
+
+#: per-decode-iteration hook: ``on_step(active, queued)`` receives the
+#: request indexes currently decoding and those still queued; returning
+#: indexes cancels them mid-stream, raising aborts the whole run.
+StepHook = Callable[[List[int], List[int]], Optional[Iterable[int]]]
 
 
 @dataclass
@@ -78,10 +83,14 @@ class BatchResult:
 
     ``batched`` is False when the request did not fit the context window
     and was served by the sequential sliding-window fallback instead.
+    ``cancelled`` is True when the request was retired mid-stream by an
+    ``on_step`` hook (client disconnect, deadline expiry); its partial
+    tokens are discarded and ``sequences`` is empty.
     """
 
     sequences: List[List[int]]
     batched: bool = True
+    cancelled: bool = False
 
 
 @dataclass
@@ -106,6 +115,8 @@ class GeneratorStats:
     prefix_reused_tokens: int = 0
     refills: int = 0
     peak_active: int = 0
+    cancelled_sequences: int = 0
+    cancelled_tokens: int = 0
 
 
 @dataclass
@@ -172,7 +183,11 @@ class BatchedGenerator:
         return [r for r in results if r is not None]
 
     def generate_continuous(
-        self, requests: Sequence[BatchRequest], max_active: int = 8
+        self,
+        requests: Sequence[BatchRequest],
+        max_active: int = 8,
+        on_step: Optional[StepHook] = None,
+        on_admit: Optional[Callable[[int], None]] = None,
     ) -> List[BatchResult]:
         """Serve ``requests`` with retire-and-admit continuous batching.
 
@@ -181,6 +196,19 @@ class BatchedGenerator:
         (prefilling the newcomer mid-decode) instead of waiting for the
         whole microbatch to drain. Output order follows the input and
         every sequence is token-identical to :meth:`generate`.
+
+        ``on_step(active, queued)`` — if given — is called once per
+        decode-loop iteration with the request indexes currently
+        decoding and those still queued; any index it returns is
+        *cancelled mid-stream*: its partial tokens are discarded, its
+        result comes back ``cancelled=True``, and its slots are freed
+        for queued work without disturbing the other rows (their KV
+        columns, lengths, and logits are pruned with the same keep-mask
+        path that retires finished sequences). Exceptions raised by the
+        hook abort the whole run — that is how a replica "dies"
+        mid-decode under fault injection. ``on_admit(index)`` fires when
+        a request leaves the queue and enters the active batch, so
+        schedulers can record queue-wait time per request.
         """
         if max_active <= 0:
             raise GenerationError("max_active must be positive")
@@ -200,7 +228,9 @@ class BatchedGenerator:
             )
             self.model.eval()
             with no_grad():
-                self._run_continuous(pending, capacity, max_active, results)
+                self._run_continuous(
+                    pending, capacity, max_active, results, on_step, on_admit
+                )
         return [r for r in results if r is not None]
 
     def _fits(self, request: BatchRequest) -> bool:
@@ -279,6 +309,8 @@ class BatchedGenerator:
         capacity: int,
         max_active: int,
         results: List[Optional[BatchResult]],
+        on_step: Optional[StepHook] = None,
+        on_admit: Optional[Callable[[int], None]] = None,
     ) -> None:
         queue = list(pending)
         caches: Optional[list] = None
@@ -288,11 +320,32 @@ class BatchedGenerator:
         admitted_any = False
 
         while queue or states:
+            if on_step is not None:
+                cancelled = self._apply_cancellations(
+                    on_step, queue, states, results
+                )
+                if cancelled and states:
+                    keep = np.array(
+                        [s.request_index not in cancelled for s in states],
+                        dtype=bool,
+                    )
+                    if not keep.all():
+                        states = [s for s, k in zip(states, keep) if k]
+                        lengths = lengths[keep]
+                        next_logits = next_logits[keep]
+                        for cache in caches:
+                            cache["k"] = cache["k"][keep]
+                            cache["v"] = cache["v"][keep]
+                if not (queue or states):
+                    break
             batch = self._take_admissions(queue, states, max_active)
             if batch:
                 if admitted_any:
                     self.stats.refills += len(batch)
                 admitted_any = True
+                if on_admit is not None:
+                    for index, _ in batch:
+                        on_admit(index)
                 caches, states, lengths, next_logits = self._admit(
                     batch, capacity, caches, states, lengths, next_logits, results
                 )
@@ -316,6 +369,45 @@ class BatchedGenerator:
             if result is not None and result.batched:
                 result.sequences.sort(key=lambda pair: pair[0])
                 result.sequences[:] = [seq for _, seq in result.sequences]
+
+    def _apply_cancellations(
+        self,
+        on_step: StepHook,
+        queue: List[Tuple[int, BatchRequest]],
+        states: List[_ChoiceState],
+        results: List[Optional[BatchResult]],
+    ) -> set:
+        """Ask the hook who to cancel; retire them from queue and batch.
+
+        Returns the cancelled request indexes (already restricted to
+        live requests — cancelling a finished or unknown index is a
+        no-op, so a racing gateway can never clobber a delivered
+        result). The caller prunes the KV rows of cancelled *active*
+        states with the ordinary keep-mask path.
+        """
+        active = sorted({s.request_index for s in states})
+        queued = [index for index, _ in queue]
+        requested = on_step(active, queued)
+        cancel = set(requested) if requested else set()
+        cancel &= set(active) | set(queued)
+        if not cancel:
+            return set()
+        kept: List[Tuple[int, BatchRequest]] = []
+        for index, request in queue:
+            if index in cancel:
+                self.stats.cancelled_sequences += request.n
+                results[index] = BatchResult(sequences=[], cancelled=True)
+            else:
+                kept.append((index, request))
+        queue[:] = kept
+        for state in states:
+            if state.request_index in cancel:
+                self.stats.cancelled_sequences += 1
+                self.stats.cancelled_tokens += len(state.generated)
+                results[state.request_index] = BatchResult(
+                    sequences=[], cancelled=True
+                )
+        return cancel
 
     @staticmethod
     def _take_admissions(

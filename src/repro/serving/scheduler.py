@@ -14,6 +14,13 @@ and throughput comes from batching, not from making any single request
 faster. A shared :class:`~repro.serving.prefix.PrefixCache` additionally
 lets requests that repeat a prompt header (few-shot sweeps) skip
 re-prefilling it.
+
+Every submitted request is timestamped against the scheduler's
+:class:`~repro.reliability.clock.Clock`, and its **queue-wait**
+(submission → dispatch into the decode batch) is accumulated in
+:class:`SchedulerStats` — that is the number that lets a p99 latency be
+decomposed into time-waiting vs time-decoding. The async gateway's
+tests drive this on a :class:`~repro.reliability.clock.VirtualClock`.
 """
 
 from __future__ import annotations
@@ -23,7 +30,13 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import GenerationError
 from repro.models.gpt import GPTModel
-from repro.serving.engine import BatchedGenerator, BatchRequest, BatchResult
+from repro.reliability.clock import Clock, SystemClock
+from repro.serving.engine import (
+    BatchedGenerator,
+    BatchRequest,
+    BatchResult,
+    StepHook,
+)
 from repro.serving.prefix import PrefixCache
 
 
@@ -34,10 +47,14 @@ class SchedulerStats:
     ``refills``, ``prefix_hits`` and ``prefix_reused_tokens`` mirror the
     generator's counters after each :meth:`BatchScheduler.run` so
     serving callers can read everything from one place.
+    ``queue_wait_total``/``queue_wait_max`` aggregate per-request
+    submission→dispatch waits in clock seconds; ``cancelled`` counts
+    requests retired mid-stream by an ``on_step`` hook.
     """
 
     submitted: int = 0
     completed: int = 0
+    cancelled: int = 0
     microbatches: int = 0
     peak_batch: int = 0
     sequential_fallbacks: int = 0
@@ -46,6 +63,8 @@ class SchedulerStats:
     refills: int = 0
     prefix_hits: int = 0
     prefix_reused_tokens: int = 0
+    queue_wait_total: float = 0.0
+    queue_wait_max: float = 0.0
 
 
 class BatchScheduler:
@@ -57,13 +76,15 @@ class BatchScheduler:
     degrade throughput rather than deadlock the queue. ``continuous``
     switches :meth:`run` from barriered microbatches to the generator's
     retire-and-admit loop; ``prefix_cache`` threads a shared prompt
-    K/V cache through every request.
+    K/V cache through every request; ``clock`` timestamps queue waits
+    (defaults to real time).
 
-    Shared state: the pending queue, ticket counter, and ``stats`` are
-    unsynchronized instance attributes (see the
-    :mod:`repro.analysis.concurrency` shared-state report); concurrent
-    submitters need external serialization until the async gateway adds
-    its own locking.
+    Shared state: the pending queue, ticket counter, submission stamps,
+    and ``stats`` are unsynchronized instance attributes (see the
+    :mod:`repro.analysis.concurrency` shared-state report). The async
+    gateway respects this by giving each replica its own scheduler and
+    driving it from exactly one dispatch task at a time; any other
+    concurrent submitters need external serialization.
     """
 
     def __init__(
@@ -73,6 +94,7 @@ class BatchScheduler:
         prefill_chunk: Optional[int] = None,
         prefix_cache: Optional[PrefixCache] = None,
         continuous: bool = False,
+        clock: Optional[Clock] = None,
     ) -> None:
         if max_batch_size <= 0:
             raise GenerationError("max_batch_size must be positive")
@@ -81,26 +103,44 @@ class BatchScheduler:
         )
         self.max_batch_size = max_batch_size
         self.continuous = continuous
+        self.clock: Clock = clock if clock is not None else SystemClock()
         self.stats = SchedulerStats()
         self._queue: List[Tuple[int, BatchRequest]] = []
         self._next_ticket = 0
+        self._submitted_at: Dict[int, float] = {}
 
     def submit(self, request: BatchRequest) -> int:
         """Queue a request; returns a ticket identifying its result."""
         ticket = self._next_ticket
         self._next_ticket += 1
         self._queue.append((ticket, request))
+        self._submitted_at[ticket] = self.clock.monotonic()
         self.stats.submitted += 1
         return ticket
 
-    def run(self) -> Dict[int, BatchResult]:
-        """Drain the queue; returns ``{ticket: result}`` for all of it."""
+    def run(self, on_step: Optional[StepHook] = None) -> Dict[int, BatchResult]:
+        """Drain the queue; returns ``{ticket: result}`` for all of it.
+
+        ``on_step`` (continuous mode only) is forwarded to
+        :meth:`~repro.serving.engine.BatchedGenerator.generate_continuous`
+        with *queue positions translated to this run's request order* —
+        the gateway uses it to cancel requests mid-stream and to kill a
+        replica under fault injection.
+        """
         if self.continuous:
-            return self._run_continuous()
+            return self._run_continuous(on_step)
+        if on_step is not None:
+            raise GenerationError(
+                "on_step hooks require a continuous scheduler "
+                "(BatchScheduler(continuous=True))"
+            )
         results: Dict[int, BatchResult] = {}
         while self._queue:
             batch = self._take_microbatch()
             self.stats.microbatches += 1
+            now = self.clock.monotonic()
+            for ticket, _ in batch:
+                self._record_wait(ticket, now)
             occupancy = sum(request.n for _, request in batch)
             self.stats.peak_batch = max(self.stats.peak_batch, occupancy)
             batch_results = self.generator.generate([r for _, r in batch])
@@ -109,16 +149,31 @@ class BatchScheduler:
         self._mirror_generator_stats()
         return results
 
-    def _run_continuous(self) -> Dict[int, BatchResult]:
+    def _run_continuous(
+        self, on_step: Optional[StepHook] = None
+    ) -> Dict[int, BatchResult]:
         """Drain the queue through the retire-and-admit decode loop."""
         results: Dict[int, BatchResult] = {}
         batch, self._queue = self._queue, []
         if not batch:
             return results
         self.stats.microbatches += 1
-        batch_results = self.generator.generate_continuous(
-            [r for _, r in batch], max_active=self.max_batch_size
-        )
+
+        def record_admit(index: int) -> None:
+            self._record_wait(batch[index][0], self.clock.monotonic())
+
+        try:
+            batch_results = self.generator.generate_continuous(
+                [r for _, r in batch],
+                max_active=self.max_batch_size,
+                on_step=on_step,
+                on_admit=record_admit,
+            )
+        finally:
+            # A replica killed mid-run never dispatched the remainder;
+            # drop their stamps so a reused scheduler doesn't leak them.
+            for ticket, _ in batch:
+                self._submitted_at.pop(ticket, None)
         for (ticket, request), result in zip(batch, batch_results):
             self._record(ticket, request, result, results)
         self.stats.peak_batch = max(
@@ -126,6 +181,14 @@ class BatchScheduler:
         )
         self._mirror_generator_stats()
         return results
+
+    def _record_wait(self, ticket: int, now: float) -> None:
+        stamp = self._submitted_at.pop(ticket, None)
+        if stamp is None:
+            return
+        wait = now - stamp
+        self.stats.queue_wait_total += wait
+        self.stats.queue_wait_max = max(self.stats.queue_wait_max, wait)
 
     def _record(
         self,
@@ -135,6 +198,9 @@ class BatchScheduler:
         results: Dict[int, BatchResult],
     ) -> None:
         results[ticket] = result
+        if result.cancelled:
+            self.stats.cancelled += 1
+            return
         self.stats.completed += 1
         self.stats.prompt_tokens += len(request.prompt_ids)
         self.stats.generated_tokens += sum(len(seq) for seq in result.sequences)

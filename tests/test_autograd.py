@@ -264,6 +264,36 @@ class TestGraphMechanics:
             y = x * 2.0
         assert not y.requires_grad
 
+    def test_no_grad_is_thread_local(self):
+        # Grad mode must be per-thread: the serving gateway decodes on
+        # concurrent worker threads, and with a process-global flag two
+        # overlapping no_grad blocks could restore each other's stale
+        # snapshots, disabling autograd for the whole process.
+        import threading
+
+        from repro.autograd.tensor import grad_enabled
+
+        barrier = threading.Barrier(2)
+        seen = []
+
+        def worker():
+            with no_grad():
+                barrier.wait()  # both threads inside no_grad at once
+                seen.append(grad_enabled())
+                barrier.wait()
+            seen.append(grad_enabled())
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        with no_grad():
+            pass  # the main thread's own toggle must not leak either
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert seen == [False, False, True, True]
+        assert grad_enabled()
+        assert Tensor([1.0], requires_grad=True).requires_grad
+
     def test_backward_on_non_grad_raises(self):
         with pytest.raises(ShapeError):
             Tensor([1.0]).backward()

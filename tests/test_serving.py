@@ -258,9 +258,13 @@ class TestCompleteBatch:
         reference = CompletionClient(hub)
         for p in PROMPTS:
             reference.complete("tiny-gpt", p, max_tokens=6)
-        assert (
-            client.engine_stats("tiny-gpt") == reference.engine_stats("tiny-gpt")
+        # Queue wait is inherently batch-only (per-prompt calls never
+        # queue), so parity is asserted with it zeroed out.
+        batched = dataclasses.replace(
+            client.engine_stats("tiny-gpt"), queue_wait_seconds=0.0
         )
+        assert batched == reference.engine_stats("tiny-gpt")
+        assert client.engine_stats("tiny-gpt").queue_wait_seconds >= 0.0
 
     def test_n_choices_match_per_prompt_semantics(self, hub):
         client = CompletionClient(hub)
@@ -934,6 +938,146 @@ class TestContinuousBatching:
             "tiny-gpt", PROMPTS, max_tokens=8, max_batch_size=2
         )
         assert client.engine_stats("tiny-gpt").batch_refills > 0
+
+
+class TestMidStreamCancellation:
+    """on_step hooks: retire requests mid-decode without collateral."""
+
+    def test_active_cancel_leaves_batch_token_identical(
+        self, model, ragged_prompts
+    ):
+        config = GenerationConfig(max_new_tokens=9)
+        expected = [generate(model, p, config) for p in ragged_prompts]
+        steps = []
+
+        def cancel_first_at_step_three(active, queued):
+            steps.append(list(active))
+            return [0] if len(steps) == 3 else []
+
+        generator = BatchedGenerator(model)
+        results = generator.generate_continuous(
+            [BatchRequest(p, config) for p in ragged_prompts],
+            max_active=len(ragged_prompts),
+            on_step=cancel_first_at_step_three,
+        )
+        assert results[0].cancelled and results[0].sequences == []
+        # Survivors decode exactly as if the victim had never left.
+        assert [r.sequences[0] for r in results[1:]] == expected[1:]
+        assert generator.stats.cancelled_sequences == 1
+        # The hook fires before each decode step: by its third call the
+        # victim had generated two tokens, both discarded.
+        assert generator.stats.cancelled_tokens == 2
+
+    def test_queued_cancel_never_admitted(self, model, ragged_prompts):
+        config = GenerationConfig(max_new_tokens=6)
+        last = len(ragged_prompts) - 1
+
+        def cancel_queued_immediately(active, queued):
+            return [last] if last in queued else []
+
+        generator = BatchedGenerator(model)
+        results = generator.generate_continuous(
+            [BatchRequest(p, config) for p in ragged_prompts],
+            max_active=2,
+            on_step=cancel_queued_immediately,
+        )
+        assert results[last].cancelled
+        assert generator.stats.cancelled_tokens == 0  # never decoded
+
+    def test_cancelled_slot_is_refilled(self, model, ragged_prompts):
+        config = GenerationConfig(max_new_tokens=12)
+        fired = []
+
+        def cancel_zero_once(active, queued):
+            if not fired and 0 in active:
+                fired.append(True)
+                return [0]
+            return []
+
+        admitted = []
+        generator = BatchedGenerator(model)
+        generator.generate_continuous(
+            [BatchRequest(p, config) for p in ragged_prompts],
+            max_active=2,
+            on_step=cancel_zero_once,
+            on_admit=admitted.append,
+        )
+        # Every request is eventually admitted: the cancelled slot was
+        # handed to queued work, not leaked.
+        assert sorted(admitted) == list(range(len(ragged_prompts)))
+
+    def test_hook_exception_propagates_as_replica_death(
+        self, model, ragged_prompts
+    ):
+        scheduler = BatchScheduler(model, max_batch_size=2, continuous=True)
+        for p in ragged_prompts:
+            scheduler.submit(BatchRequest(p, GenerationConfig(max_new_tokens=6)))
+
+        def die(active, queued):
+            raise TransientError("injected replica death")
+
+        with pytest.raises(TransientError):
+            scheduler.run(on_step=die)
+        # Submission stamps must not leak into the next (failover) run.
+        assert scheduler._submitted_at == {}
+
+    def test_scheduler_counts_cancelled_separately(self, model, ragged_prompts):
+        config = GenerationConfig(max_new_tokens=6)
+        scheduler = BatchScheduler(model, max_batch_size=3, continuous=True)
+        tickets = [
+            scheduler.submit(BatchRequest(p, config)) for p in ragged_prompts
+        ]
+        results = scheduler.run(on_step=lambda active, queued: [0])
+        assert results[tickets[0]].cancelled
+        assert scheduler.stats.cancelled == 1
+        assert scheduler.stats.completed == len(ragged_prompts) - 1
+
+    def test_on_step_requires_continuous_mode(self, model):
+        scheduler = BatchScheduler(model, max_batch_size=2)
+        scheduler.submit(BatchRequest([1, 2], GenerationConfig(max_new_tokens=2)))
+        with pytest.raises(GenerationError):
+            scheduler.run(on_step=lambda active, queued: [])
+
+
+class TestQueueWaitAccounting:
+    def test_scheduler_records_wait_on_virtual_clock(self, model, ragged_prompts):
+        clock = VirtualClock()
+        scheduler = BatchScheduler(
+            model, max_batch_size=4, continuous=True, clock=clock
+        )
+        config = GenerationConfig(max_new_tokens=4)
+        scheduler.submit(BatchRequest(ragged_prompts[0], config))
+        clock.advance(2.5)  # the request sits queued for 2.5 virtual s
+        scheduler.submit(BatchRequest(ragged_prompts[1], config))
+        scheduler.run()
+        assert scheduler.stats.queue_wait_max == pytest.approx(2.5)
+        # Total = 2.5 (first) + 0.0 (second, dispatched immediately).
+        assert scheduler.stats.queue_wait_total == pytest.approx(2.5)
+
+    def test_barriered_scheduler_also_records_wait(self, model, ragged_prompts):
+        clock = VirtualClock()
+        scheduler = BatchScheduler(model, max_batch_size=4, clock=clock)
+        config = GenerationConfig(max_new_tokens=4)
+        scheduler.submit(BatchRequest(ragged_prompts[0], config))
+        clock.advance(1.0)
+        scheduler.run()
+        assert scheduler.stats.queue_wait_total == pytest.approx(1.0)
+
+    def test_client_mirrors_queue_wait_seconds(self, hub):
+        clock = VirtualClock()
+        client = CompletionClient(hub, clock=clock)
+        client.complete_batch("tiny-gpt", PROMPTS, max_tokens=4)
+        # On a frozen virtual clock submission and dispatch coincide.
+        assert client.engine_stats("tiny-gpt").queue_wait_seconds == 0.0
+
+    def test_engine_serving_stats_exposes_queue_wait(self, hub):
+        from repro.serving import engine_serving_stats
+
+        client = CompletionClient(hub, clock=VirtualClock())
+        client.complete_batch("tiny-gpt", PROMPTS[:2], max_tokens=4)
+        stats = engine_serving_stats(client, "tiny-gpt")
+        assert "queue_wait_seconds" in stats
+        assert stats["queue_wait_seconds"] == 0.0
 
 
 class TestClientCodexServing:
