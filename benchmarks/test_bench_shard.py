@@ -1,0 +1,186 @@
+"""SHARDING — what a partitioned data plane buys and what failover costs.
+
+Four measurements over the sharded SQL cluster
+(:mod:`repro.sql.cluster`):
+
+* **parallel scan/filter and partitioned join** — per-shard executor
+  work (rows scanned + join probes) for scatter, partial-aggregate,
+  and co-partitioned join queries, reported as the critical-path
+  speedup ``total work / (slowest shard + merge)``. Python threads
+  share the GIL, so wall-clock parallelism is not the point — the
+  model isolates what an N-worker data plane buys from scheduler
+  noise, the same way the serving benchmarks model batching gains.
+* **failover recovery time** — kill a primary, promote its replica,
+  first successful query; the whole window is timed.
+* **replication lag** — the peak primary→replica gap in WAL records
+  (synchronous shipping keeps it 0 between statements; transactions
+  let it climb until commit ships the batch).
+* **cluster crash matrix** — every reachable crash point (whole-cluster
+  mode plus failover mode with mid-promotion double crashes), counted
+  as pass/fail.
+"""
+
+import time
+
+from repro.durability import dump_database
+from repro.sql import Database
+from repro.sql.cluster import (
+    ClusterDatabase,
+    canonicalize,
+    run_cluster_crash_matrix,
+    run_cluster_failover_matrix,
+)
+from repro.utils.timing import Timer
+
+N_ROWS = 3000
+N_SHARDS = 4
+
+
+def _seed_single(num_rows=N_ROWS):
+    db = Database()
+    db.execute("CREATE TABLE events (id INT, grp TEXT, val FLOAT)")
+    db.execute("CREATE TABLE tags (id INT, label TEXT)")
+    for start in range(0, num_rows, 500):
+        rows = ", ".join(
+            f"({i}, 'g{i % 13}', {i % 97}.5)"
+            for i in range(start, min(start + 500, num_rows))
+        )
+        db.execute(f"INSERT INTO events VALUES {rows}")
+    for start in range(0, num_rows, 1000):
+        rows = ", ".join(
+            f"({i}, 'tag{i % 7}')"
+            for i in range(start, min(start + 1000, num_rows), 2)
+        )
+        db.execute(f"INSERT INTO tags VALUES {rows}")
+    return db
+
+
+def test_bench_shard_scan_join(report_printer, bench_metrics, tmp_path):
+    """SHARDING-a: critical-path speedup of scatter, aggregate, join."""
+    single = _seed_single()
+    cluster = ClusterDatabase.from_database(
+        single, tmp_path / "cluster", num_shards=N_SHARDS
+    )
+    queries = [
+        ("scan", "SELECT id, val FROM events WHERE val > 50 ORDER BY id"),
+        ("agg", "SELECT grp, COUNT(*), AVG(val) FROM events "
+                "GROUP BY grp ORDER BY grp"),
+        ("join", "SELECT events.id, tags.label FROM events "
+                 "JOIN tags ON events.id = tags.id ORDER BY events.id"),
+    ]
+    lines = [f"{N_ROWS} rows, {N_SHARDS} shards"]
+    for name, sql in queries:
+        start = time.perf_counter()
+        expected = single.execute(sql)
+        single_wall = time.perf_counter() - start
+        with Timer() as timer:
+            got = cluster.execute(sql)
+        assert got.rows == expected.rows, f"{name} diverged from single-node"
+        speedup = cluster.stats.modeled_parallel_speedup()
+        shard_work = [
+            s.rows_scanned + s.join_probes
+            for s in cluster.stats.last_shard_stats
+        ]
+        lines.append(
+            f"{name:4s} [{got.strategy:17s}] single {single_wall * 1e3:6.1f} ms, "
+            f"cluster {timer.elapsed * 1e3:6.1f} ms, per-shard work "
+            f"{shard_work}, modeled speedup {speedup:.2f}x"
+        )
+        bench_metrics[f"shard/{name}_modeled_speedup"] = round(speedup, 3)
+        bench_metrics[f"shard/{name}_wall_ms"] = round(timer.elapsed * 1e3, 2)
+    report_printer("SHARDING-a: partition-parallel query execution", lines)
+    # hash partitioning balances the work, so the slowest shard should
+    # carry far less than the whole table's worth
+    assert cluster.stats.modeled_parallel_speedup() > 1.5
+    cluster.close()
+
+
+def test_bench_shard_failover(report_printer, bench_metrics, tmp_path):
+    """SHARDING-b: failover window and peak replication lag."""
+    cluster = ClusterDatabase(tmp_path / "cluster", num_shards=2)
+    cluster.execute("CREATE TABLE t (id INT, v FLOAT)")
+    for start in range(0, 600, 100):
+        rows = ", ".join(
+            f"({i}, {i}.5)" for i in range(start, start + 100)
+        )
+        cluster.execute(f"INSERT INTO t VALUES {rows}")
+    # a transaction batches its frames until commit, so lag climbs
+    cluster.begin()
+    for i in range(600, 650):
+        cluster.execute(f"INSERT INTO t VALUES ({i}, {i}.5)")
+    peak_lag = max(shard.replication_lag() for shard in cluster.shards)
+    cluster.commit()
+    settled_lag = cluster.replication_lag()
+
+    before = cluster.execute("SELECT COUNT(*), SUM(v) FROM t").rows
+    cluster.shards[0].kill()
+    with Timer() as window:
+        cluster.shards[0].promote()
+        after = cluster.execute("SELECT COUNT(*), SUM(v) FROM t").rows
+    assert after == before, "failover lost or duplicated rows"
+
+    lines = [
+        f"peak replication lag (open txn): {peak_lag} records",
+        f"settled replication lag        : {settled_lag} records",
+        f"failover window (promote + query): {window.elapsed * 1e3:.1f} ms",
+        f"650 rows intact across failover: {after == before}",
+    ]
+    report_printer("SHARDING-b: failover recovery and replication lag", lines)
+    bench_metrics["shard/peak_replication_lag_records"] = float(peak_lag)
+    bench_metrics["shard/settled_replication_lag_records"] = float(settled_lag)
+    bench_metrics["shard/failover_recovery_ms"] = round(
+        window.elapsed * 1e3, 2
+    )
+    assert settled_lag == 0  # synchronous shipping: ack implies replicated
+    cluster.close()
+
+
+def test_bench_shard_crash_matrix(report_printer, bench_metrics, tmp_path):
+    """SHARDING-c: the cluster crash matrix as a workload."""
+    with Timer() as whole:
+        report = run_cluster_crash_matrix(
+            tmp_path / "matrix", seeds=(0,), num_statements=14, num_shards=2
+        )
+    with Timer() as failover:
+        promoted = run_cluster_failover_matrix(
+            tmp_path / "failover", seed=0, num_statements=14, num_shards=2
+        )
+    lines = [
+        f"whole-cluster: {len(report.points)} crash points, "
+        f"{report.passed}/{len(report.trials)} trials pass "
+        f"({whole.elapsed:.1f} s)",
+        f"failover mode: {promoted.passed}/{len(promoted.trials)} trials "
+        f"pass, incl. mid-promotion double crashes "
+        f"({failover.elapsed:.1f} s)",
+    ]
+    report_printer("SHARDING-c: cluster crash matrix", lines)
+    bench_metrics["shard/crash_points"] = float(len(report.points))
+    bench_metrics["shard/crash_trials_passed"] = float(report.passed)
+    bench_metrics["shard/crash_trials_total"] = float(len(report.trials))
+    bench_metrics["shard/failover_trials_passed"] = float(promoted.passed)
+    bench_metrics["shard/failover_trials_total"] = float(len(promoted.trials))
+    assert report.all_ok, "\n".join(report.render())
+    assert promoted.all_ok, "\n".join(promoted.render())
+
+
+def test_bench_shard_state_identity(report_printer, bench_metrics, tmp_path):
+    """SHARDING-d: cluster state is row-identical to the single node."""
+    single = _seed_single(num_rows=400)
+    cluster = ClusterDatabase.from_database(
+        single, tmp_path / "cluster", num_shards=3
+    )
+    for sql in (
+        "UPDATE events SET val = val + 1 WHERE grp = 'g3'",
+        "DELETE FROM events WHERE id = 42",
+        "INSERT INTO events VALUES (9001, 'g1', 3.5)",
+    ):
+        single.execute(sql)
+        cluster.execute(sql)
+    identical = cluster.state() == canonicalize(dump_database(single))
+    report_printer(
+        "SHARDING-d: post-DML state identity",
+        [f"merged cluster state == single-node state: {identical}"],
+    )
+    bench_metrics["shard/state_identical"] = float(identical)
+    assert identical
+    cluster.close()

@@ -23,7 +23,8 @@ the offending line):
   calls outside ``reliability/clock.py`` (all waiting and timeout logic
   must flow through a :class:`~repro.reliability.clock.Clock` so it is
   testable on a virtual clock);
-* ``atomic-write``         — ``open()`` in a write/append/create mode
+* ``atomic-write``         — ``open()``/``.open()`` in a
+  write/append/create mode, or ``.write_text()``/``.write_bytes()``,
   outside ``repro/durability/`` (file writes must go through the atomic
   temp-file + fsync + rename helpers of :mod:`repro.durability.io` so a
   crash can never leave a torn file; tests and benchmarks are exempt);
@@ -389,17 +390,42 @@ def _check_wall_clock(tree: ast.Module, path: str) -> List[Finding]:
 
 
 def _check_atomic_write(tree: ast.Module, path: str) -> List[Finding]:
-    """Flag ``open()`` calls whose mode writes, appends, or creates."""
+    """Flag non-atomic file writes.
+
+    Catches ``open()``/``.open()`` calls whose mode writes, appends, or
+    creates, plus the ``Path.write_text``/``Path.write_bytes`` shortcuts
+    — every one replaces a file non-atomically, so a crash mid-write can
+    leave a torn file behind.
+    """
     findings = []
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
         func = node.func
-        if not (isinstance(func, ast.Name) and func.id == "open"):
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "write_text",
+            "write_bytes",
+        ):
+            findings.append(
+                Finding(
+                    rule="atomic-write",
+                    message=f".{func.attr}(...) replaces the file "
+                    "non-atomically; route file writes through the atomic "
+                    "temp-file + fsync + rename helpers in "
+                    "repro.durability.io",
+                    line=node.lineno,
+                    source=path,
+                )
+            )
+            continue
+        is_open = isinstance(func, ast.Name) and func.id == "open"
+        is_method_open = isinstance(func, ast.Attribute) and func.attr == "open"
+        if not (is_open or is_method_open):
             continue
         mode = None
-        if len(node.args) >= 2:
-            mode = node.args[1]
+        position = 1 if is_open else 0  # Path.open takes mode first
+        if len(node.args) > position:
+            mode = node.args[position]
         for keyword in node.keywords:
             if keyword.arg == "mode":
                 mode = keyword.value

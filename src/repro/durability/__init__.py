@@ -43,6 +43,7 @@ from repro.durability.database import (
     dump_table,
     restore_database,
     restore_table,
+    write_snapshot,
 )
 from repro.durability.neural import DurableNeuralDatabase
 from repro.durability.harness import (
@@ -71,6 +72,7 @@ __all__ = [
     "dump_table",
     "restore_database",
     "restore_table",
+    "write_snapshot",
     "DurableNeuralDatabase",
     "CrashMatrixReport",
     "TrialResult",

@@ -66,6 +66,83 @@ MUTATING_STATEMENTS = (
 SNAPSHOT_FORMAT = 1
 
 
+def write_snapshot(
+    path: Union[str, Path],
+    body_dict: Dict,
+    last_lsn: int,
+    crash: Optional[CrashInjector] = None,
+    label: str = "snapshot",
+    durable: bool = True,
+    clock: Optional[Clock] = None,
+    fsync_latency: float = 0.0,
+) -> int:
+    """Atomically write a checksummed snapshot file; returns body bytes.
+
+    The on-disk format is one JSON header line (format version, the
+    last LSN the snapshot covers, SHA-256 of the body) followed by the
+    compact-JSON body. Shared by :meth:`DurableDatabase.compact` and
+    the cluster's replica reseed path, so every snapshot in the tree
+    is readable by :meth:`DurableDatabase.open`.
+    """
+    body = json.dumps(
+        body_dict, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    header = json.dumps(
+        {
+            "format": SNAPSHOT_FORMAT,
+            "last_lsn": int(last_lsn),
+            "sha256": hashlib.sha256(body).hexdigest(),
+        },
+        separators=(",", ":"),
+        sort_keys=True,
+    ).encode("utf-8")
+    atomic_write_bytes(
+        path,
+        header + b"\n" + body,
+        crash=crash,
+        label=label,
+        durable=durable,
+        clock=clock,
+        fsync_latency=fsync_latency,
+    )
+    return len(body)
+
+
+def read_snapshot(path: Union[str, Path]):
+    """Read and integrity-check a snapshot file.
+
+    Returns ``(body_dict, last_lsn)``, or ``(None, 0)`` when the file
+    does not exist. Raises :class:`SnapshotCorruptionError` on any
+    header, checksum, or decoding failure.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None, 0
+    raw = path.read_bytes()
+    try:
+        header_line, body = raw.split(b"\n", 1)
+        header = json.loads(header_line.decode("utf-8"))
+        stored = header["sha256"]
+        last_lsn = int(header["last_lsn"])
+    except (ValueError, KeyError, UnicodeDecodeError) as exc:
+        raise SnapshotCorruptionError(
+            f"snapshot {path} has a bad header: {exc}"
+        ) from exc
+    digest = hashlib.sha256(body).hexdigest()
+    if digest != stored:
+        raise SnapshotCorruptionError(
+            f"snapshot {path} failed its checksum "
+            f"(stored {stored[:12]}..., computed {digest[:12]}...)"
+        )
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SnapshotCorruptionError(
+            f"snapshot {path} body does not restore: {exc}"
+        ) from exc
+    return data, last_lsn
+
+
 # -- state serialization ---------------------------------------------------
 def dump_table(table: Table) -> Dict:
     """One table as a JSON-safe dict (schema, rows, index columns)."""
@@ -149,9 +226,13 @@ class DurableDatabase:
         self.durable = durable
         self.options = options
         self._txn: Optional[int] = None
+        self._txn_tags: List[str] = []
         self._next_txn = 1
         self._closed = False
         self.last_recovery = RecoveryStats()
+        #: tags of statements whose commit is durable (exactly-once
+        #: re-apply: a tagged statement is skipped if its tag is here)
+        self.applied_tags: set = set()
         self.db = self._recover()
 
     @classmethod
@@ -170,7 +251,7 @@ class DurableDatabase:
 
     def _recover(self) -> Database:
         stats = RecoveryStats()
-        db, snapshot_lsn = self._load_snapshot(stats)
+        db, snapshot_lsn = self._load_snapshot(stats, self.applied_tags)
         scan = read_wal(self.wal_path)
         if scan.error is not None:
             raise WALCorruptionError(
@@ -178,7 +259,9 @@ class DurableDatabase:
             )
         stats.wal_records = len(scan.records)
         stats.repaired_bytes = scan.torn_bytes
-        max_txn = self._replay(db, scan.records, snapshot_lsn, stats)
+        max_txn = self._replay(
+            db, scan.records, snapshot_lsn, stats, self.applied_tags
+        )
         self._next_txn = max_txn + 1
         self.wal = WriteAheadLog(
             self.wal_path,
@@ -198,32 +281,19 @@ class DurableDatabase:
         self.last_recovery = stats
         return db
 
-    def _load_snapshot(self, stats: RecoveryStats):
+    def _load_snapshot(self, stats: RecoveryStats, tags: Optional[set] = None):
         db = Database(self.options)
-        if not self.snapshot_path.exists():
+        data, last_lsn = read_snapshot(self.snapshot_path)
+        if data is None:
             return db, 0
-        raw = self.snapshot_path.read_bytes()
         try:
-            header_line, body = raw.split(b"\n", 1)
-            header = json.loads(header_line.decode("utf-8"))
-            stored = header["sha256"]
-            last_lsn = int(header["last_lsn"])
-        except (ValueError, KeyError, UnicodeDecodeError) as exc:
-            raise SnapshotCorruptionError(
-                f"snapshot {self.snapshot_path} has a bad header: {exc}"
-            ) from exc
-        digest = hashlib.sha256(body).hexdigest()
-        if digest != stored:
-            raise SnapshotCorruptionError(
-                f"snapshot {self.snapshot_path} failed its checksum "
-                f"(stored {stored[:12]}..., computed {digest[:12]}...)"
-            )
-        try:
-            restore_database(json.loads(body.decode("utf-8")), db)
+            restore_database(data, db)
         except (ValueError, KeyError, TypeError, SQLError) as exc:
             raise SnapshotCorruptionError(
                 f"snapshot {self.snapshot_path} body does not restore: {exc}"
             ) from exc
+        if tags is not None:
+            tags.update(data.get("tags", ()))
         stats.snapshot_loaded = True
         stats.snapshot_lsn = last_lsn
         return db, last_lsn
@@ -234,6 +304,7 @@ class DurableDatabase:
         records: List[Dict],
         snapshot_lsn: int,
         stats: RecoveryStats,
+        tags: Optional[set] = None,
     ) -> int:
         """Apply committed transactions; return the highest txn id seen."""
         pending: Dict[int, List[Dict]] = {}
@@ -253,6 +324,8 @@ class DurableDatabase:
             elif kind == "commit":
                 for statement in pending.pop(txn, []):
                     self._apply_record(db, statement)
+                    if tags is not None and statement.get("tag"):
+                        tags.add(statement["tag"])
                     stats.replayed_statements += 1
                 stats.replayed_transactions += 1
             else:
@@ -280,22 +353,37 @@ class DurableDatabase:
             ) from exc
 
     # -- logged mutations --------------------------------------------------
-    def execute(self, sql: str) -> QueryResult:
-        """Run one SQL statement; mutations are WAL-logged before apply."""
+    def execute(self, sql: str, tag: Optional[str] = None) -> QueryResult:
+        """Run one SQL statement; mutations are WAL-logged before apply.
+
+        ``tag`` marks the statement for exactly-once re-application: once
+        its commit is durable, :meth:`has_applied` returns True for the
+        tag (surviving restarts and compaction), so a coordinator that
+        lost the acknowledgement can safely retry without double-applying.
+        """
         self._check_open()
         statement = parse_sql(sql)
         if not isinstance(statement, MUTATING_STATEMENTS):
             return self.db.execute(sql)
-        return self._logged(
-            {"t": "stmt", "sql": sql}, lambda: self.db.execute(sql)
-        )
+        record = {"t": "stmt", "sql": sql}
+        if tag is not None:
+            record["tag"] = tag
+        return self._logged(record, lambda: self.db.execute(sql), tag)
 
-    def put_table(self, table: Table, replace: bool = False) -> None:
+    def has_applied(self, tag: str) -> bool:
+        """True if a statement carrying ``tag`` is durably committed."""
+        return tag in self.applied_tags
+
+    def put_table(
+        self, table: Table, replace: bool = False, tag: Optional[str] = None
+    ) -> None:
         """Durably register an externally built table (logged whole)."""
         self._check_open()
+        record = {"t": "table", "data": dump_table(table), "replace": replace}
+        if tag is not None:
+            record["tag"] = tag
         self._logged(
-            {"t": "table", "data": dump_table(table), "replace": replace},
-            lambda: self.db.add_table(table, replace=replace),
+            record, lambda: self.db.add_table(table, replace=replace), tag
         )
 
     def load_csv(self, name: str, path: Union[str, Path]) -> Table:
@@ -304,17 +392,20 @@ class DurableDatabase:
         self.put_table(table)
         return table
 
-    def _logged(self, record: Dict, apply):
+    def _logged(self, record: Dict, apply, tag: Optional[str] = None):
         if self._txn is not None:
             record["txn"] = self._txn
             self.wal.append(record, sync=False)
             try:
-                return apply()
+                result = apply()
             except SQLError:
                 # PostgreSQL-style: an error aborts the enclosing
                 # transaction, so memory matches the durable state.
                 self._abort(self._txn)
                 raise
+            if tag is not None:
+                self._txn_tags.append(tag)
+            return result
         txn = self._next_txn
         self._next_txn += 1
         record["txn"] = txn
@@ -327,6 +418,8 @@ class DurableDatabase:
             self.db = self._reload_committed()
             raise
         self.wal.append({"t": "commit", "txn": txn}, sync=True)
+        if tag is not None:
+            self.applied_tags.add(tag)
         return result
 
     # -- transactions ------------------------------------------------------
@@ -339,6 +432,7 @@ class DurableDatabase:
             )
         self._txn = self._next_txn
         self._next_txn += 1
+        self._txn_tags = []
         self.wal.append({"t": "begin", "txn": self._txn}, sync=False)
         return self._txn
 
@@ -349,6 +443,8 @@ class DurableDatabase:
             raise DurabilityError("no active transaction to commit")
         txn, self._txn = self._txn, None
         self.wal.append({"t": "commit", "txn": txn}, sync=True)
+        self.applied_tags.update(self._txn_tags)
+        self._txn_tags = []
 
     def rollback(self) -> None:
         """Discard the active transaction, in memory and in the log."""
@@ -359,6 +455,7 @@ class DurableDatabase:
 
     def _abort(self, txn: int) -> None:
         self._txn = None
+        self._txn_tags = []
         self.wal.append({"t": "abort", "txn": txn}, sync=False)
         self.db = self._reload_committed()
 
@@ -369,13 +466,15 @@ class DurableDatabase:
     def _reload_committed(self) -> Database:
         """Rebuild the in-memory engine from the durable state only."""
         stats = RecoveryStats()
-        db, snapshot_lsn = self._load_snapshot(stats)
+        tags: set = set()
+        db, snapshot_lsn = self._load_snapshot(stats, tags)
         scan = read_wal(self.wal_path)
         if scan.error is not None:
             raise WALCorruptionError(
                 f"write-ahead log {self.wal_path} is corrupt: {scan.error}"
             )
-        self._replay(db, scan.records, snapshot_lsn, stats)
+        self._replay(db, scan.records, snapshot_lsn, stats, tags)
+        self.applied_tags = tags
         return db
 
     # -- compaction --------------------------------------------------------
@@ -389,21 +488,13 @@ class DurableDatabase:
         self._check_open()
         if self._txn is not None:
             raise DurabilityError("cannot compact inside a transaction")
-        body = json.dumps(
-            dump_database(self.db), separators=(",", ":"), sort_keys=True
-        ).encode("utf-8")
-        header = json.dumps(
-            {
-                "format": SNAPSHOT_FORMAT,
-                "last_lsn": self.wal.last_lsn,
-                "sha256": hashlib.sha256(body).hexdigest(),
-            },
-            separators=(",", ":"),
-            sort_keys=True,
-        ).encode("utf-8")
-        atomic_write_bytes(
+        body_dict = dump_database(self.db)
+        if self.applied_tags:
+            body_dict["tags"] = sorted(self.applied_tags)
+        size = write_snapshot(
             self.snapshot_path,
-            header + b"\n" + body,
+            body_dict,
+            self.wal.last_lsn,
             crash=self.crash,
             label="snapshot",
             durable=self.durable,
@@ -412,7 +503,7 @@ class DurableDatabase:
         )
         reach(self.crash, "before-wal-truncate")
         self.wal.reset()
-        return len(body)
+        return size
 
     # -- passthrough reads -------------------------------------------------
     def table(self, name: str) -> Table:

@@ -112,10 +112,40 @@ class TrialResult:
     crashed: bool
     equivalent: bool
     detail: str = ""
+    #: workload length, so the exact trial is reconstructible
+    num_statements: int = 0
+    #: which data plane ran the trial ("single" or "cluster")
+    topology: str = "single"
+    #: a second armed crash that provoked the failover (cluster mode)
+    trigger_point: str = ""
+    trigger_occurrence: int = 0
 
     @property
     def ok(self) -> bool:
         return self.equivalent
+
+    def repro_line(self) -> str:
+        """One pasteable line that re-runs exactly this trial."""
+        runner = (
+            "run_crash_trial"
+            if self.topology == "single"
+            else "run_cluster_crash_trial"
+        )
+        workload = (
+            f"random_dml_workload(seed={self.seed}, "
+            f"num_statements={self.num_statements})"
+        )
+        extra = ""
+        if self.trigger_point:
+            extra = (
+                f", trigger_point={self.trigger_point!r}, "
+                f"trigger_occurrence={self.trigger_occurrence}"
+            )
+        return (
+            f"{runner}(tmp_dir, {workload}, "
+            f"point={self.point!r}, occurrence={self.occurrence}, "
+            f"seed={self.seed}{extra})"
+        )
 
 
 @dataclass
@@ -146,9 +176,10 @@ class CrashMatrixReport:
         ]
         for trial in self.failed:
             lines.append(
-                f"  FAILED {trial.point}#{trial.occurrence} seed={trial.seed}: "
-                f"{trial.detail}"
+                f"  FAILED {trial.point}#{trial.occurrence} seed={trial.seed} "
+                f"topology={trial.topology}: {trial.detail}"
             )
+            lines.append(f"    repro: {trial.repro_line()}")
         return lines
 
 
@@ -221,8 +252,14 @@ def run_crash_trial(
     point: str,
     occurrence: int,
     seed: int = 0,
+    num_statements: Optional[int] = None,
 ) -> TrialResult:
-    """Crash at one (point, occurrence), reopen, verify the contract."""
+    """Crash at one (point, occurrence), reopen, verify the contract.
+
+    ``num_statements`` is the value that was passed to
+    :func:`random_dml_workload` (recorded so a failed trial's repro
+    line regenerates the identical workload).
+    """
     directory = Path(directory)
     shutil.rmtree(directory, ignore_errors=True)
     crash = CrashInjector().at(point, occurrence)
@@ -234,9 +271,10 @@ def run_crash_trial(
     recovered_state = recovered.state()
     recovered.close()
 
+    n = num_statements if num_statements is not None else len(workload)
     expected = dump_database(shadow)
     if recovered_state == expected:
-        return TrialResult(point, occurrence, seed, crashed, True)
+        return TrialResult(point, occurrence, seed, crashed, True, "", n)
     if inflight is not None:
         # The crash hit mid-commit: the transaction may legitimately
         # have become durable. All-or-nothing is still required.
@@ -244,7 +282,8 @@ def run_crash_trial(
             shadow.execute(sql)
         if recovered_state == dump_database(shadow):
             return TrialResult(
-                point, occurrence, seed, crashed, True, "in-flight commit landed"
+                point, occurrence, seed, crashed, True,
+                "in-flight commit landed", n,
             )
     return TrialResult(
         point,
@@ -254,6 +293,7 @@ def run_crash_trial(
         False,
         f"recovered tables {sorted(t['name'] for t in recovered_state['tables'])} "
         "differ from the acknowledged state",
+        n,
     )
 
 
@@ -262,8 +302,29 @@ def run_crash_matrix(
     seeds: Sequence[int] = (0, 1, 2),
     num_statements: int = 30,
     max_occurrences_per_point: int = 2,
+    topology: str = "single",
+    num_shards: int = 2,
+    failover: bool = False,
 ) -> CrashMatrixReport:
-    """Crash every reachable point (first and last occurrence) per seed."""
+    """Crash every reachable point (first and last occurrence) per seed.
+
+    ``topology="cluster"`` runs the same matrix against the sharded
+    data plane (see :mod:`repro.sql.cluster.harness`); ``num_shards``
+    and ``failover`` apply only there.
+    """
+    if topology == "cluster":
+        # Deferred import: repro.durability must not import repro.sql.cluster
+        # at module load (the cluster package builds on this one).
+        from repro.sql.cluster.harness import run_cluster_crash_matrix
+
+        return run_cluster_crash_matrix(
+            base_dir,
+            seeds=seeds,
+            num_statements=num_statements,
+            num_shards=num_shards,
+            max_occurrences_per_point=max_occurrences_per_point,
+            failover=failover,
+        )
     base_dir = Path(base_dir)
     report = CrashMatrixReport()
     for seed in seeds:
@@ -276,6 +337,9 @@ def run_crash_matrix(
             occurrences = sorted({1, seen[point]})[:max_occurrences_per_point]
             for occurrence in occurrences:
                 report.trials.append(
-                    run_crash_trial(trial_dir, workload, point, occurrence, seed)
+                    run_crash_trial(
+                        trial_dir, workload, point, occurrence, seed,
+                        num_statements=num_statements,
+                    )
                 )
     return report

@@ -175,6 +175,27 @@ class WriteAheadLog:
             self.sync()
         return lsn
 
+    def append_raw(self, framed: bytes, last_lsn: int, sync: bool = True) -> None:
+        """Append already-framed bytes (log shipping's receive path).
+
+        The replica side of replication persists shipped frames exactly
+        as the primary encoded them, so both logs stay byte-identical
+        and re-scanning either classifies tails the same way. The
+        caller passes the highest LSN contained in ``framed`` (it has
+        already parsed the frames to validate them).
+        """
+        self._check_open()
+        reach(self.crash, "wal-before-append")
+        half = len(framed) // 2
+        self._handle.write(framed[:half])
+        reach(self.crash, "wal-torn-append")
+        self._handle.write(framed[half:])
+        reach(self.crash, "wal-after-append")
+        self.last_lsn = max(self.last_lsn, int(last_lsn))
+        self.appends += 1
+        if sync:
+            self.sync()
+
     def sync(self) -> None:
         """The durability barrier: fsync everything appended so far."""
         self._check_open()

@@ -187,8 +187,36 @@ class CircuitOpenError(ReproError):
     """A circuit breaker is open and the request was never attempted."""
 
 
+class ClusterError(ReproError):
+    """Base class for sharded-cluster errors (:mod:`repro.sql.cluster`)."""
+
+
+class ShardUnavailableError(ClusterError):
+    """A statement needed a shard whose primary is down.
+
+    Raised instead of silently dropping the write (or serving a read
+    the caller did not mark as stale-tolerant) when a shard has lost
+    its primary and automatic failover is disabled or has no replica
+    left to promote. ``shard`` identifies the partition.
+    """
+
+    def __init__(self, message: str, shard: int = -1) -> None:
+        super().__init__(message)
+        self.shard = int(shard)
+
+
 class DurabilityError(ReproError):
     """Base class for durable-storage errors (:mod:`repro.durability`)."""
+
+
+class ReplicationError(DurabilityError):
+    """Log shipping between a primary and its replica went wrong.
+
+    Covers receive-side rejections (a fully framed shipped record that
+    fails its CRC — corruption, never applied) and protocol violations
+    (frames arriving out of LSN order). Torn chunks are *not* errors:
+    the replica buffers them until the remaining bytes arrive.
+    """
 
 
 class WALCorruptionError(DurabilityError):

@@ -1,0 +1,88 @@
+"""A sharded SQL data plane with replicated WALs and failover.
+
+Tables are hash-partitioned across N shards; each shard is a primary
+:class:`~repro.durability.DurableDatabase` whose CRC-framed WAL is
+synchronously shipped to a warm replica. The
+:class:`~repro.sql.cluster.coordinator.ClusterDatabase` plans SELECTs
+into single-shard, scatter, partial-aggregate, or gather strategies,
+routes DML by partition key, commits multi-shard statements through a
+prepare/done log, and — on a primary crash — promotes the replica and
+re-routes in-flight statements exactly-once.
+
+Kept out of :mod:`repro.sql`'s namespace on purpose:
+``repro.durability`` imports the SQL core, and this package imports
+``repro.durability``, so it must only ever be imported explicitly.
+"""
+
+from repro.sql.cluster.coordinator import (
+    ClusterDatabase,
+    ClusterQueryResult,
+    ClusterStats,
+    canonicalize,
+)
+from repro.sql.cluster.harness import (
+    PROMOTE_POINTS,
+    discover_cluster_crash_points,
+    run_cluster_crash_matrix,
+    run_cluster_crash_trial,
+    run_cluster_failover_matrix,
+)
+from repro.sql.cluster.partition import (
+    PartitionMap,
+    TablePartitioning,
+    hash_value,
+)
+from repro.sql.cluster.replicate import (
+    RECEIVE_CORRUPT,
+    RECEIVE_OK,
+    RECEIVE_REORDER,
+    RECEIVE_TORN,
+    ReceiveResult,
+    ReplicationStats,
+    ShardReplica,
+    ShardReplicator,
+)
+from repro.sql.cluster.scatter import (
+    GATHER,
+    PARTIAL_AGG,
+    SCATTER,
+    SINGLE_SHARD,
+    DistributedPlan,
+    merge_scatter,
+    partition_key_equality,
+    plan_select,
+)
+from repro.sql.cluster.shard import Shard, ShardCrashed
+
+__all__ = [
+    "ClusterDatabase",
+    "ClusterQueryResult",
+    "ClusterStats",
+    "canonicalize",
+    "PROMOTE_POINTS",
+    "discover_cluster_crash_points",
+    "run_cluster_crash_matrix",
+    "run_cluster_crash_trial",
+    "run_cluster_failover_matrix",
+    "PartitionMap",
+    "TablePartitioning",
+    "hash_value",
+    "RECEIVE_CORRUPT",
+    "RECEIVE_OK",
+    "RECEIVE_REORDER",
+    "RECEIVE_TORN",
+    "ReceiveResult",
+    "ReplicationStats",
+    "ShardReplica",
+    "ShardReplicator",
+    "GATHER",
+    "PARTIAL_AGG",
+    "SCATTER",
+    "SINGLE_SHARD",
+    "DistributedPlan",
+    "merge_scatter",
+    "partition_key_equality",
+    "plan_select",
+    "Shard",
+    "ShardCrashed",
+]

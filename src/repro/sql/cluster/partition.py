@@ -1,0 +1,134 @@
+"""Hash partitioning: which shard owns which rows of which table.
+
+Every table in the cluster is hash-partitioned on one column (the
+first column of its ``CREATE TABLE`` by default). Routing hashes a
+*canonical, type-tagged* encoding of the key value with CRC32, so
+
+* equal values always land on the same shard regardless of Python
+  type drift (``1`` and ``1.0`` in an INT column hash identically —
+  values are coerced through the column type first);
+* the mapping is stable across processes and restarts (no reliance on
+  Python's randomized ``hash``).
+
+Two tables partitioned on columns of the same value domain are
+*co-partitioned*: rows with equal keys share a shard, which is what
+lets the coordinator run equi-joins on partition keys shard-locally.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ClusterError
+from repro.sql.schema import TableSchema
+from repro.sql.types import SQLType, Value, coerce
+
+
+def canonical_key_bytes(value: Value) -> bytes:
+    """A type-tagged stable encoding of one partition-key value.
+
+    Numbers (ints, floats, bools) share the numeric tag so equal
+    quantities agree across column types; NULL gets its own tag and
+    deterministically routes to shard 0.
+    """
+    if value is None:
+        return b"z:"
+    if isinstance(value, (bool, int, float)):
+        return b"n:" + repr(float(value)).encode("ascii")
+    return b"s:" + str(value).encode("utf-8")
+
+
+def hash_value(value: Value, num_shards: int) -> int:
+    """Map one key value to a shard id in ``[0, num_shards)``."""
+    if value is None:
+        return 0
+    return zlib.crc32(canonical_key_bytes(value)) % num_shards
+
+
+@dataclass
+class TablePartitioning:
+    """One table's placement: its partition-key column and type."""
+
+    table: str
+    column: str
+    sql_type: SQLType
+
+    def to_dict(self) -> Dict:
+        return {
+            "table": self.table,
+            "column": self.column,
+            "type": self.sql_type.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TablePartitioning":
+        return cls(data["table"], data["column"], SQLType(data["type"]))
+
+
+class PartitionMap:
+    """The cluster-wide routing table: table -> key column -> shard.
+
+    Persisted in the coordinator's ``cluster.json`` so a reopened
+    cluster routes rows exactly as the one that wrote them.
+    """
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ClusterError(f"need at least 1 shard, got {num_shards}")
+        self.num_shards = num_shards
+        self._tables: Dict[str, TablePartitioning] = {}
+
+    def register(self, schema: TableSchema, column: Optional[str] = None) -> None:
+        """Register a table, defaulting the key to its first column."""
+        if column is None:
+            column = schema.columns[0].name
+        position = schema.index_of(column)
+        self._tables[schema.name.lower()] = TablePartitioning(
+            table=schema.name,
+            column=column,
+            sql_type=schema.columns[position].sql_type,
+        )
+
+    def unregister(self, table: str) -> None:
+        self._tables.pop(table.lower(), None)
+
+    def partitioning(self, table: str) -> TablePartitioning:
+        try:
+            return self._tables[table.lower()]
+        except KeyError:
+            raise ClusterError(
+                f"table {table!r} is not registered with the cluster"
+            ) from None
+
+    def is_registered(self, table: str) -> bool:
+        return table.lower() in self._tables
+
+    def table_names(self) -> List[str]:
+        """Registered table names (lowered), sorted."""
+        return sorted(self._tables)
+
+    def key_column(self, table: str) -> str:
+        return self.partitioning(table).column
+
+    def shard_of(self, table: str, value: Value) -> int:
+        """The shard owning rows of ``table`` whose key is ``value``."""
+        part = self.partitioning(table)
+        return hash_value(coerce(value, part.sql_type), self.num_shards)
+
+    def to_dict(self) -> Dict:
+        return {
+            "num_shards": self.num_shards,
+            "tables": [
+                self._tables[name].to_dict() for name in sorted(self._tables)
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PartitionMap":
+        out = cls(int(data["num_shards"]))
+        for entry in data.get("tables", ()):
+            part = TablePartitioning.from_dict(entry)
+            out._tables[part.table.lower()] = part
+        return out

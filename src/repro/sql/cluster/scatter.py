@@ -1,0 +1,589 @@
+"""Distributed SELECT planning: scatter, partial aggregation, gather.
+
+Given one parsed :class:`~repro.sql.ast.SelectQuery` and the cluster's
+:class:`~repro.sql.cluster.partition.PartitionMap`, :func:`plan_select`
+picks the cheapest strategy that is provably row-equivalent to running
+the query on a single node holding all the data:
+
+* **single-shard** — the WHERE clause pins the partition key to a
+  literal, so every qualifying row lives on one shard; the query runs
+  there verbatim.
+* **scatter** — a non-aggregate query over one table (or tables joined
+  on their co-partitioned keys, so every join match is shard-local).
+  Each shard runs the query with ORDER BY/LIMIT/DISTINCT stripped and
+  auxiliary ``__ok{i}`` sort-key columns appended; the coordinator
+  concatenates, sorts with the executor's own comparator, deduplicates,
+  and applies the limit.
+* **partial-aggregate** — two-phase aggregation: each shard groups
+  locally and emits partial states (``COUNT``/``SUM`` → ``SUM``,
+  ``MIN``/``MAX`` → themselves, ``AVG`` → a SUM+COUNT pair); the
+  coordinator loads the partials into a scratch ``__partials`` table
+  and runs a rewritten merge query (HAVING/ORDER BY rewritten over the
+  partial columns) through the ordinary executor.
+* **gather** — the always-correct fallback: ship every table to the
+  coordinator and run the original query unchanged on the union.
+  Chosen whenever a construct's distributed form is not provably
+  equivalent (subqueries, non-co-partitioned joins, DISTINCT
+  aggregates, LIMIT without ORDER BY, non-column grouping, ...); the
+  plan records the reason for observability.
+
+The planner rewrites ASTs directly — no SQL re-parsing — so shard and
+merge queries execute through :func:`repro.sql.executor.execute_select`
+exactly as a single node would.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InSubquery,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectQuery,
+    Star,
+    Subquery,
+    TableRef,
+    walk_expr,
+)
+from repro.sql.catalog import Catalog
+from repro.sql.cluster.partition import PartitionMap
+from repro.sql.executor import (
+    _distinct,
+    _query_has_aggregates,
+    _sort_scored,
+    _split_conjuncts,
+)
+from repro.sql.schema import Column, TableSchema
+from repro.sql.types import SQLType, Value, infer_type
+
+SINGLE_SHARD = "single-shard"
+SCATTER = "scatter"
+PARTIAL_AGG = "partial-aggregate"
+GATHER = "gather"
+
+#: name of the coordinator-side scratch table holding partial states
+PARTIAL_TABLE = "__partials"
+
+
+@dataclass
+class DistributedPlan:
+    """How one SELECT runs across the shards, and how results merge."""
+
+    strategy: str
+    #: why the planner fell back to gather (empty for other strategies)
+    reason: str = ""
+    target_shard: Optional[int] = None
+    shard_query: Optional[SelectQuery] = None
+    merge_query: Optional[SelectQuery] = None
+    partial_schema: Optional[TableSchema] = None
+    #: ORDER BY key sources for scatter merge: ("aux", i) reads the
+    #: i-th appended ``__ok`` column, ("name", c) an output column
+    order_keys: List[Tuple[str, object]] = field(default_factory=list)
+    #: count of auxiliary sort-key columns appended to the shard query
+    n_aux: int = 0
+
+
+class _Gather(Exception):
+    """Internal: abandon the fast path and fall back to gather."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+def plan_select(
+    query: SelectQuery, pmap: PartitionMap, catalog: Catalog
+) -> DistributedPlan:
+    """Choose a distributed strategy for one SELECT."""
+    try:
+        return _plan(query, pmap, catalog)
+    except _Gather as fallback:
+        return DistributedPlan(GATHER, reason=fallback.reason)
+
+
+def _plan(
+    query: SelectQuery, pmap: PartitionMap, catalog: Catalog
+) -> DistributedPlan:
+    if _has_subquery(query):
+        raise _Gather("contains a subquery")
+    for ref in _table_refs(query):
+        if not pmap.is_registered(ref.name):
+            raise _Gather(f"table {ref.name!r} is not partitioned")
+    if query.joins:
+        _require_local_joins(query, pmap)
+    if not query.joins:
+        pruned = partition_key_equality(
+            query.where, query.table.name, query.table.effective_name, pmap
+        )
+        if pruned is not None:
+            value = pruned[0]
+            return DistributedPlan(
+                SINGLE_SHARD,
+                target_shard=pmap.shard_of(query.table.name, value),
+                shard_query=query,
+            )
+    if query.group_by or _query_has_aggregates(query):
+        return _plan_partial_aggregate(query, pmap, catalog)
+    if query.having is not None:
+        raise _Gather("HAVING without aggregation")
+    if query.limit is not None and not query.order_by:
+        raise _Gather("LIMIT without ORDER BY is scan-order-dependent")
+    return _plan_scatter(query, catalog)
+
+
+def _table_refs(query: SelectQuery) -> List[TableRef]:
+    return [query.table, *(join.table for join in query.joins)]
+
+
+def _has_subquery(query: SelectQuery) -> bool:
+    exprs: List[Expr] = [item.expr for item in query.items]
+    if query.where is not None:
+        exprs.append(query.where)
+    if query.having is not None:
+        exprs.append(query.having)
+    exprs.extend(order.expr for order in query.order_by)
+    exprs.extend(query.group_by)
+    return any(
+        isinstance(node, (Subquery, InSubquery))
+        for expr in exprs
+        for node in walk_expr(expr)
+    )
+
+
+# -- pruning ---------------------------------------------------------------
+def partition_key_equality(
+    where: Optional[Expr],
+    table_name: str,
+    effective_name: str,
+    pmap: PartitionMap,
+) -> Optional[Tuple[Value]]:
+    """The literal the partition key is pinned to, if WHERE pins it.
+
+    Returns a one-tuple holding the key value of a ``key = literal``
+    conjunct (either operand order) — tupled so a pinned NULL is
+    distinguishable from "not pinned" — or ``None`` when the statement
+    cannot be pruned. A literal NULL still routes (to shard 0):
+    ``= NULL`` matches nothing on any shard, so running it on one is as
+    correct as running it on all. Shared by SELECT planning and the
+    coordinator's single-shard UPDATE/DELETE routing.
+    """
+    key_column = pmap.key_column(table_name).lower()
+    base = effective_name.lower()
+    for conjunct in _split_conjuncts(where):
+        if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
+            continue
+        sides = (
+            (conjunct.left, conjunct.right),
+            (conjunct.right, conjunct.left),
+        )
+        for column, literal in sides:
+            if not (
+                isinstance(column, ColumnRef) and isinstance(literal, Literal)
+            ):
+                continue
+            if column.table is not None and column.table.lower() != base:
+                continue
+            if column.name.lower() == key_column:
+                return (literal.value,)
+    return None
+
+
+# -- join locality ---------------------------------------------------------
+def _require_local_joins(query: SelectQuery, pmap: PartitionMap) -> None:
+    """Verify every join matches rows only within one shard.
+
+    A join is shard-local when it is an equi-join whose two sides are
+    the partition keys of the joined tables (co-partitioning: equal
+    keys hash to the same shard). Anything else — CROSS joins,
+    non-equality conditions, joins on non-key columns — may need rows
+    from two different shards and forces a gather.
+    """
+    local: Dict[str, str] = {
+        query.table.effective_name.lower(): query.table.name
+    }
+    for join in query.joins:
+        if join.kind == "CROSS" or join.condition is None:
+            raise _Gather("CROSS JOIN is never shard-local")
+        condition = join.condition
+        if not (
+            isinstance(condition, BinaryOp)
+            and condition.op == "="
+            and isinstance(condition.left, ColumnRef)
+            and isinstance(condition.right, ColumnRef)
+            and condition.left.table is not None
+            and condition.right.table is not None
+        ):
+            raise _Gather(
+                f"join condition {condition.sql()} is not a qualified "
+                "equi-join"
+            )
+        joined = join.table.effective_name.lower()
+        sides: Dict[str, ColumnRef] = {}
+        for ref in (condition.left, condition.right):
+            alias = ref.table.lower()
+            if alias == joined:
+                sides["new"] = ref
+            elif alias in local:
+                sides["old"] = ref
+        if "new" not in sides or "old" not in sides:
+            raise _Gather(
+                f"join condition {condition.sql()} does not connect "
+                f"{join.table.sql()} to an earlier table"
+            )
+        new_table = join.table.name
+        old_table = local[sides["old"].table.lower()]
+        if (
+            sides["new"].name.lower() != pmap.key_column(new_table).lower()
+            or sides["old"].name.lower() != pmap.key_column(old_table).lower()
+        ):
+            raise _Gather(
+                f"join condition {condition.sql()} is not on the "
+                "partition keys (tables are not co-partitioned)"
+            )
+        local[joined] = new_table
+
+
+# -- plain scatter ---------------------------------------------------------
+def _static_output_names(query: SelectQuery, catalog: Catalog) -> List[str]:
+    """Output column names, with ``*`` expanded from the schemas.
+
+    Mirrors the executor's star expansion (sorted by qualified name) so
+    alias resolution in ORDER BY agrees with a single-node run.
+    """
+    names: List[str] = []
+    for position, item in enumerate(query.items):
+        if isinstance(item.expr, Star):
+            keys: List[Tuple[str, str]] = []
+            for ref in _table_refs(query):
+                effective = ref.effective_name.lower()
+                if (
+                    item.expr.table is not None
+                    and item.expr.table.lower() != effective
+                ):
+                    continue
+                keys.extend(
+                    (effective, column.lower())
+                    for column in catalog.get(ref.name).schema.column_names
+                )
+            keys.sort()
+            names.extend(column for _, column in keys)
+        else:
+            names.append(item.output_name(position))
+    return names
+
+
+def _plan_scatter(query: SelectQuery, catalog: Catalog) -> DistributedPlan:
+    output_names = {name.lower() for name in _static_output_names(query, catalog)}
+    aux_items: List[SelectItem] = []
+    order_keys: List[Tuple[str, object]] = []
+    for order in query.order_by:
+        expr = order.expr
+        if (
+            isinstance(expr, ColumnRef)
+            and expr.table is None
+            and expr.name.lower() in output_names
+        ):
+            # ORDER BY an output column/alias: its value is already in
+            # every shard row; no auxiliary column needed.
+            order_keys.append(("name", expr.name.lower()))
+        else:
+            order_keys.append(("aux", len(aux_items)))
+            aux_items.append(
+                SelectItem(expr=expr, alias=f"__ok{len(aux_items)}")
+            )
+    shard_query = dataclasses.replace(
+        query,
+        items=tuple(query.items) + tuple(aux_items),
+        order_by=(),
+        limit=None,
+        distinct=False,
+    )
+    return DistributedPlan(
+        SCATTER,
+        shard_query=shard_query,
+        order_keys=order_keys,
+        n_aux=len(aux_items),
+    )
+
+
+def merge_scatter(
+    plan: DistributedPlan,
+    query: SelectQuery,
+    results: List[Tuple[List[str], List[Tuple[Value, ...]]]],
+) -> Tuple[List[str], List[Tuple[Value, ...]]]:
+    """Concatenate shard results; sort, deduplicate, and limit globally."""
+    keyed: List[Tuple[List[Value], Tuple[Value, ...]]] = []
+    columns: List[str] = []
+    for shard_columns, shard_rows in results:
+        if shard_columns and not columns:
+            columns = shard_columns
+        lowered = [c.lower() for c in shard_columns]
+        width = len(shard_columns) - plan.n_aux
+        for row in shard_rows:
+            projected = row[:width] if plan.n_aux else row
+            key: List[Value] = []
+            for kind, selector in plan.order_keys:
+                if kind == "aux":
+                    key.append(row[width + int(selector)])
+                else:
+                    key.append(projected[lowered.index(str(selector))])
+            keyed.append((key, projected))
+    if query.order_by:
+        keyed = _sort_scored(keyed, query.order_by)
+    merged = [projected for _, projected in keyed]
+    if query.distinct:
+        merged = _distinct(merged)
+    if query.limit is not None:
+        merged = merged[: query.limit]
+    return columns[: len(columns) - plan.n_aux] if plan.n_aux else columns, merged
+
+
+# -- two-phase aggregation -------------------------------------------------
+def _plan_partial_aggregate(
+    query: SelectQuery, pmap: PartitionMap, catalog: Catalog
+) -> DistributedPlan:
+    if query.distinct:
+        raise _Gather("SELECT DISTINCT with aggregation")
+
+    schemas = {
+        ref.effective_name.lower(): catalog.get(ref.name).schema
+        for ref in _table_refs(query)
+    }
+
+    def column_type(ref: ColumnRef) -> SQLType:
+        if ref.table is not None:
+            schema = schemas.get(ref.table.lower())
+            if schema is None or not schema.has_column(ref.name):
+                raise _Gather(f"cannot type column {ref.sql()}")
+            return schema.column(ref.name).sql_type
+        found = [
+            s.column(ref.name).sql_type
+            for s in schemas.values()
+            if s.has_column(ref.name)
+        ]
+        if len(found) != 1:
+            raise _Gather(f"cannot uniquely type column {ref.sql()}")
+        return found[0]
+
+    # Group keys become __g{i} columns of the partial table.
+    group_columns: List[Column] = []
+    for position, group_expr in enumerate(query.group_by):
+        if not isinstance(group_expr, ColumnRef):
+            raise _Gather(
+                f"GROUP BY expression {group_expr.sql()} is not a column"
+            )
+        group_columns.append(
+            Column(f"__g{position}", column_type(group_expr))
+        )
+
+    # Every distinct aggregate call decomposes into partial columns
+    # plus a merge expression over them.
+    shard_agg_items: List[SelectItem] = []
+    agg_columns: List[Column] = []
+    merge_exprs: Dict[str, Expr] = {}
+
+    def numeric_sum_type(arg_type: SQLType) -> SQLType:
+        return arg_type if arg_type in (SQLType.INT, SQLType.FLOAT) else SQLType.FLOAT
+
+    def decompose(call: FuncCall) -> None:
+        text = call.sql()
+        if text in merge_exprs:
+            return
+        if call.distinct:
+            raise _Gather(f"DISTINCT aggregate {text} is not decomposable")
+        name = call.name.upper()
+        if not (name == "COUNT" and len(call.args) == 1 and isinstance(call.args[0], Star)):
+            if len(call.args) != 1:
+                raise _Gather(f"aggregate {text} has an unexpected arity")
+            arg = call.args[0]
+            if isinstance(arg, ColumnRef):
+                arg_type = column_type(arg)
+            elif isinstance(arg, Literal):
+                arg_type = infer_type(arg.value)
+            else:
+                raise _Gather(
+                    f"aggregate argument {arg.sql()} is not a plain column"
+                )
+        position = len(merge_exprs)
+        if name == "COUNT":
+            alias = f"__a{position}"
+            shard_agg_items.append(SelectItem(expr=call, alias=alias))
+            agg_columns.append(Column(alias, SQLType.INT))
+            merge_exprs[text] = FuncCall("SUM", (ColumnRef(alias),))
+        elif name == "SUM":
+            alias = f"__a{position}"
+            shard_agg_items.append(SelectItem(expr=call, alias=alias))
+            agg_columns.append(Column(alias, numeric_sum_type(arg_type)))
+            merge_exprs[text] = FuncCall("SUM", (ColumnRef(alias),))
+        elif name in ("MIN", "MAX"):
+            alias = f"__a{position}"
+            shard_agg_items.append(SelectItem(expr=call, alias=alias))
+            agg_columns.append(Column(alias, arg_type))
+            merge_exprs[text] = FuncCall(name, (ColumnRef(alias),))
+        elif name == "AVG":
+            # AVG does not distribute; ship a SUM+COUNT pair instead.
+            # NULL sums divide to NULL, and a zero count implies a NULL
+            # sum, so the division never sees 0 with a live numerator.
+            sum_alias, count_alias = f"__a{position}s", f"__a{position}c"
+            shard_agg_items.append(
+                SelectItem(expr=FuncCall("SUM", call.args), alias=sum_alias)
+            )
+            shard_agg_items.append(
+                SelectItem(expr=FuncCall("COUNT", call.args), alias=count_alias)
+            )
+            agg_columns.append(Column(sum_alias, SQLType.FLOAT))
+            agg_columns.append(Column(count_alias, SQLType.INT))
+            merge_exprs[text] = BinaryOp(
+                "/",
+                FuncCall("SUM", (ColumnRef(sum_alias),)),
+                FuncCall("SUM", (ColumnRef(count_alias),)),
+            )
+        else:
+            raise _Gather(f"unknown aggregate {text}")
+
+    rewrite_sources: List[Expr] = [item.expr for item in query.items]
+    if query.having is not None:
+        rewrite_sources.append(query.having)
+    rewrite_sources.extend(order.expr for order in query.order_by)
+    for source in rewrite_sources:
+        for node in walk_expr(source):
+            if isinstance(node, FuncCall) and node.is_aggregate:
+                decompose(node)
+
+    group_refs = {
+        expr.sql(): ColumnRef(f"__g{i}")
+        for i, expr in enumerate(query.group_by)
+    }
+
+    def rewrite(expr: Expr) -> Expr:
+        replacement = group_refs.get(expr.sql())
+        if replacement is not None:
+            return replacement
+        if isinstance(expr, FuncCall) and expr.is_aggregate:
+            return merge_exprs[expr.sql()]
+        if isinstance(expr, Star):
+            raise _Gather("'*' cannot appear with aggregation")
+        if isinstance(expr, ColumnRef):
+            raise _Gather(
+                f"column {expr.sql()} is neither grouped nor aggregated"
+            )
+        rebuilt = _rebuild(expr, rewrite)
+        return rebuilt
+
+    merge_items = tuple(
+        SelectItem(expr=rewrite(item.expr), alias=item.output_name(position))
+        for position, item in enumerate(query.items)
+    )
+    merge_having = (
+        rewrite(query.having) if query.having is not None else None
+    )
+    output_names = {
+        item.output_name(i).lower() for i, item in enumerate(query.items)
+    }
+    merge_order: List[OrderItem] = []
+    for order in query.order_by:
+        expr = order.expr
+        if (
+            isinstance(expr, ColumnRef)
+            and expr.table is None
+            and expr.name.lower() in output_names
+            and expr.sql() not in group_refs
+        ):
+            merge_order.append(order)  # alias of a merge item: keep as-is
+        else:
+            merge_order.append(
+                OrderItem(expr=rewrite(expr), descending=order.descending)
+            )
+
+    shard_items = tuple(
+        SelectItem(expr=expr, alias=f"__g{i}")
+        for i, expr in enumerate(query.group_by)
+    ) + tuple(shard_agg_items)
+    shard_query = dataclasses.replace(
+        query,
+        items=shard_items,
+        having=None,
+        order_by=(),
+        limit=None,
+        distinct=False,
+    )
+    merge_query = SelectQuery(
+        items=merge_items,
+        table=TableRef(PARTIAL_TABLE),
+        joins=(),
+        where=None,
+        group_by=tuple(
+            ColumnRef(f"__g{i}") for i in range(len(query.group_by))
+        ),
+        having=merge_having,
+        order_by=tuple(merge_order),
+        limit=query.limit,
+        distinct=False,
+    )
+    partial_schema = TableSchema(
+        name=PARTIAL_TABLE, columns=group_columns + agg_columns
+    )
+    return DistributedPlan(
+        PARTIAL_AGG,
+        shard_query=shard_query,
+        merge_query=merge_query,
+        partial_schema=partial_schema,
+    )
+
+
+def _rebuild(expr: Expr, transform) -> Expr:
+    """Rebuild one node with transformed children (structural recursion)."""
+    from repro.sql.ast import (
+        Between,
+        CaseWhen,
+        InList,
+        IsNull,
+        UnaryOp,
+    )
+
+    if isinstance(expr, Literal):
+        return expr
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, transform(expr.left), transform(expr.right))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, transform(expr.operand))
+    if isinstance(expr, IsNull):
+        return IsNull(transform(expr.operand), expr.negated)
+    if isinstance(expr, InList):
+        return InList(
+            transform(expr.operand),
+            tuple(transform(item) for item in expr.items),
+            expr.negated,
+        )
+    if isinstance(expr, Between):
+        return Between(
+            transform(expr.operand),
+            transform(expr.low),
+            transform(expr.high),
+            expr.negated,
+        )
+    if isinstance(expr, FuncCall):
+        return FuncCall(
+            expr.name,
+            tuple(transform(arg) for arg in expr.args),
+            expr.distinct,
+        )
+    if isinstance(expr, CaseWhen):
+        return CaseWhen(
+            branches=tuple(
+                (transform(condition), transform(value))
+                for condition, value in expr.branches
+            ),
+            default=(
+                transform(expr.default) if expr.default is not None else None
+            ),
+        )
+    raise _Gather(f"cannot rewrite expression {expr.sql()} for merging")

@@ -1,8 +1,14 @@
 """A minimal interactive SQL shell over the in-memory engine.
 
 Run with ``python -m repro.sql.shell [csv files...]`` — each CSV loads
-as a table named after the file. Useful for poking at the engine and
-for demos; the same REPL loop is importable for tests.
+as a table named after the file. ``--durable DIR`` backs the session
+with a :class:`~repro.durability.DurableDatabase` in ``DIR`` (WAL +
+snapshot), so statements survive a crash and a restarted shell resumes
+where the last one stopped. All persistence — the durable directory
+and ``.export`` CSVs alike — goes through the atomic write helpers of
+:mod:`repro.durability.io`; the shell never leaves a torn file behind.
+Useful for poking at the engine and for demos; the same REPL loop is
+importable for tests.
 """
 
 from __future__ import annotations
@@ -16,9 +22,10 @@ from repro.sql import Database, QueryResult
 
 PROMPT = "sql> "
 COMMANDS = """\
-.tables            list tables
-.schema <table>    show a table's columns
-.quit              exit
+.tables              list tables
+.schema <table>      show a table's columns
+.export <table> <f>  write a table to a CSV file (atomic replace)
+.quit                exit
 any other input is executed as SQL (one statement per line)"""
 
 
@@ -63,6 +70,15 @@ def handle_line(db: Database, line: str) -> Optional[str]:
         except ReproError as exc:
             return f"error: {exc}"
         return "\n".join(f"{c.name}  {c.sql_type.value}" for c in schema.columns)
+    if stripped.startswith(".export"):
+        parts = stripped.split()
+        if len(parts) != 3:
+            return "usage: .export <table> <path>"
+        try:
+            written = db.table(parts[1]).to_csv(parts[2])
+        except ReproError as exc:
+            return f"error: {exc}"
+        return f"exported {parts[1]} to {written}"
     try:
         return format_result(db.execute(stripped))
     except ReproError as exc:
@@ -92,15 +108,46 @@ def repl(
             stdout.write(output + "\n")
 
 
+def build_database(argv: List[str]):
+    """Parse shell arguments into a (database, remaining-args) pair.
+
+    ``--durable DIR`` opens (or resumes) a crash-safe
+    :class:`~repro.durability.DurableDatabase` in ``DIR``; everything
+    else is a CSV path to load as a table.
+    """
+    durable_dir: Optional[str] = None
+    csv_paths: List[str] = []
+    position = 0
+    while position < len(argv):
+        arg = argv[position]
+        if arg == "--durable":
+            if position + 1 >= len(argv):
+                raise SystemExit("--durable needs a directory argument")
+            durable_dir = argv[position + 1]
+            position += 2
+        else:
+            csv_paths.append(arg)
+            position += 1
+    if durable_dir is not None:
+        # Deferred import: repro.durability depends on repro.sql, so a
+        # module-level import here would be circular.
+        from repro.durability.database import DurableDatabase
+
+        return DurableDatabase(durable_dir), csv_paths
+    return Database(), csv_paths
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
-    db = Database()
-    for csv_path in argv:
+    db, csv_paths = build_database(argv)
+    for csv_path in csv_paths:
         path = Path(csv_path)
         db.load_csv(path.stem, path)
         print(f"loaded table {path.stem!r} from {path}")
     print("repro SQL shell — .help for commands")
     repl(db)
+    if hasattr(db, "close"):
+        db.close()
     return 0
 
 

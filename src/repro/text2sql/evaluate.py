@@ -113,6 +113,7 @@ def evaluate_translator(
     reliability_source: Optional[object] = None,
     translate_batch: Optional[Callable[[Sequence[str]], List[str]]] = None,
     serving_source: Optional[Callable[[], Dict[str, float]]] = None,
+    engine: Optional[object] = None,
 ) -> EvaluationReport:
     """Score a translator by execution accuracy on ``examples``.
 
@@ -124,7 +125,15 @@ def evaluate_translator(
     instead of one request per example. ``serving_source`` (e.g.
     ``ClientTranslator.serving_stats``) is called after translation and
     its dict is attached as ``serving``.
+
+    ``engine`` substitutes the execution backend the queries are scored
+    against — anything with ``execute(sql)`` and a ``catalog``, e.g. a
+    :class:`~repro.sql.cluster.ClusterDatabase` built from the
+    workload's tables via ``ClusterDatabase.from_database``. Verdicts
+    must not depend on the backend: a correct translation is correct on
+    one node or on a sharded cluster.
     """
+    db = engine if engine is not None else workload.db
     report = EvaluationReport()
     counts: Dict[str, List[int]] = {}
     if translate_batch is not None:
@@ -134,9 +143,9 @@ def evaluate_translator(
     else:
         predictions = [translate(example.question) for example in examples]
     for example, predicted in zip(examples, predictions):
-        ok = bool(predicted) and execution_match(workload.db, predicted, example.sql)
-        valid = bool(predicted) and is_valid_sql(workload.db, predicted)
-        static = bool(predicted) and is_statically_valid(workload.db, predicted)
+        ok = bool(predicted) and execution_match(db, predicted, example.sql)
+        valid = bool(predicted) and is_valid_sql(db, predicted)
+        static = bool(predicted) and is_statically_valid(db, predicted)
         report.total += 1
         report.correct += int(ok)
         report.valid_sql += int(valid)

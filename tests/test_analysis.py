@@ -680,6 +680,25 @@ class TestLintRules:
         code = "h = open(path, 'w')  # repro: noqa[atomic-write]\n"
         assert lint_source(code) == []
 
+    def test_atomic_write_write_text_flagged(self):
+        code = "path.write_text('data')\n"
+        assert rules_of(lint_source(code)) == ["atomic-write"]
+
+    def test_atomic_write_write_bytes_flagged(self):
+        code = "Path(out).write_bytes(blob)\n"
+        assert rules_of(lint_source(code)) == ["atomic-write"]
+
+    def test_atomic_write_path_open_write_mode_flagged(self):
+        code = "with path.open('w') as f:\n    f.write('x')\n"
+        assert "atomic-write" in rules_of(lint_source(code))
+
+    def test_atomic_write_path_open_read_mode_ok(self):
+        assert lint_source("h = path.open()\n") == []
+        assert lint_source("h = path.open('r')\n") == []
+
+    def test_atomic_write_read_text_ok(self):
+        assert lint_source("data = path.read_text()\n") == []
+
 
 class TestNoqaSuppression:
     def test_noqa_suppresses_named_rule(self):

@@ -4,8 +4,10 @@ import io
 
 import pytest
 
+from repro.durability import DurableDatabase
 from repro.sql import Database
-from repro.sql.shell import format_result, handle_line, repl
+from repro.sql.shell import build_database, format_result, handle_line, repl
+from repro.sql.table import Table
 
 
 @pytest.fixture
@@ -76,3 +78,45 @@ class TestRepl:
         stdin = io.StringIO("")
         stdout = io.StringIO()
         repl(db, stdin=stdin, stdout=stdout)  # must not hang or raise
+
+
+class TestExport:
+    def test_export_writes_csv_atomically(self, db, tmp_path):
+        target = tmp_path / "out.csv"
+        out = handle_line(db, f".export t {target}")
+        assert "exported t" in out
+        loaded = Table.from_csv("t", target)
+        assert len(loaded.rows) == 2
+
+    def test_export_usage_and_unknown_table(self, db, tmp_path):
+        assert "usage" in handle_line(db, ".export t")
+        assert "error" in handle_line(db, f".export ghost {tmp_path}/x.csv")
+
+    def test_export_listed_in_help(self, db):
+        assert ".export" in handle_line(db, ".help")
+
+
+class TestDurableShell:
+    def test_build_database_plain(self):
+        db, csvs = build_database(["a.csv", "b.csv"])
+        assert isinstance(db, Database)
+        assert csvs == ["a.csv", "b.csv"]
+
+    def test_build_database_durable(self, tmp_path):
+        db, csvs = build_database(["--durable", str(tmp_path / "d")])
+        assert isinstance(db, DurableDatabase)
+        assert csvs == []
+        db.close()
+
+    def test_durable_session_survives_restart(self, tmp_path):
+        db, _ = build_database(["--durable", str(tmp_path / "d")])
+        assert "ok" in handle_line(db, "CREATE TABLE t (id INT)")
+        assert "ok" in handle_line(db, "INSERT INTO t VALUES (1), (2)")
+        db.close()
+        resumed, _ = build_database(["--durable", str(tmp_path / "d")])
+        assert "2" in handle_line(resumed, "SELECT COUNT(*) FROM t")
+        resumed.close()
+
+    def test_missing_durable_argument(self):
+        with pytest.raises(SystemExit):
+            build_database(["--durable"])
