@@ -8,9 +8,12 @@ throughput (tokens/s) for the same request stream served sequentially
 microbatch sizes 4 and 8, plus the cost of priming the KV cache
 token-at-a-time versus the chunked causal prefill, the prefix-cache
 speedup on a few-shot text-to-SQL sweep whose prompts share a long
-header, and the slab KV cache versus the legacy concatenate-per-token
-growth at batch 8. Machine-readable results land in
-``benchmarks/BENCH_serving.json`` via the ``bench_metrics`` fixture.
+header, speculative decoding with a distilled 1-layer draft against
+plain batched decode on that same sweep, the int8 weight-quantization
+kernel against the fp64 matmul it replaces, and the slab KV cache
+versus the legacy concatenate-per-token growth at batch 8.
+Machine-readable results land in ``benchmarks/BENCH_serving.json`` via
+the ``bench_metrics`` fixture.
 """
 
 from __future__ import annotations
@@ -24,7 +27,8 @@ from repro.api import CompletionClient, ModelHub
 from repro.autograd import no_grad
 from repro.generation import GenerationConfig, generate
 from repro.models import GPTModel, ModelConfig
-from repro.serving import BatchRequest, BatchScheduler
+from repro.nn import quantize_weight
+from repro.serving import BatchRequest, BatchScheduler, distill_draft
 from repro.tokenizers import WhitespaceTokenizer
 
 PROMPT_LEN = 16
@@ -189,11 +193,15 @@ def sweep_setup():
     tokenizer = WhitespaceTokenizer(lowercase=True)
     tokenizer.train(prompts, vocab_size=512)
     longest = max(len(tokenizer.encode(p, add_bos=True).ids) for p in prompts)
+    # Deep-and-narrow on purpose: the speculative benchmark needs a
+    # target whose per-forward cost dwarfs the 1-layer draft's, and at
+    # this scale forward cost is dominated by per-layer overhead, not
+    # matmul width. The +40 headroom leaves room for a 32-token decode.
     config = ModelConfig(
         vocab_size=tokenizer.vocab_size,
-        max_seq_len=longest + 8,
+        max_seq_len=longest + 40,
         dim=64,
-        num_layers=2,
+        num_layers=12,
         num_heads=4,
         ff_dim=256,
         causal=True,
@@ -203,10 +211,10 @@ def sweep_setup():
     return hub, prompts
 
 
-def _sweep_seconds(client, prompts, **kwargs):
+def _sweep_seconds(client, prompts, max_tokens=6, **kwargs):
     start = time.perf_counter()
     responses = client.complete_batch(
-        "sql-bench", prompts, max_tokens=6, **kwargs
+        "sql-bench", prompts, max_tokens=max_tokens, **kwargs
     )
     return time.perf_counter() - start, [r.text for r in responses]
 
@@ -253,6 +261,159 @@ def test_bench_prefix_sweep(report_printer, bench_metrics, sweep_setup):
     # Same completions, at least twice the throughput (acceptance bar).
     assert opt_texts == base_texts
     assert speedup >= 2.0
+
+
+# -- speculative decoding on the few-shot text2sql sweep -------------------
+def test_bench_speculative_sweep(report_printer, bench_metrics, sweep_setup):
+    """Draft-and-verify speculative decoding vs plain batched decode.
+
+    Both sides run the barriered microbatch path with warm prefix
+    caches, so the only difference in the timed region is who advances
+    the decode: the target one token per forward, or a distilled
+    one-layer draft proposing runs the target verifies in one chunk.
+    Greedy outputs must be token-identical (acceptance bar).
+    """
+    hub, prompts = sweep_setup
+    entry = hub.get("sql-bench")
+    tokenizer = entry.tokenizer
+    prompt_ids = [tokenizer.encode(p, add_bos=True).ids for p in prompts]
+    draft = distill_draft(
+        entry.model, prompt_ids, steps=60, max_new_tokens=32, seed=1
+    )
+    hub.register("sql-bench-draft", draft, tokenizer)
+
+    base_client = CompletionClient(hub)
+    spec_client = CompletionClient(
+        hub, speculative_draft="sql-bench-draft", speculative_k=10
+    )
+    # Warm prefix caches (target and draft) and code paths outside the
+    # timed region; the timed sweeps then measure decode, not prefill.
+    _sweep_seconds(base_client, prompts, max_tokens=32, continuous=False)
+    _sweep_seconds(spec_client, prompts, max_tokens=32)
+
+    tokens_before = base_client.engine_stats("sql-bench").completion_tokens
+    rounds = 5
+    base_times, spec_times = [], []
+    # Interleave the two sides so machine noise hits both equally;
+    # min-of-N discards contention outliers.
+    for _ in range(rounds):
+        b_s, base_texts = _sweep_seconds(
+            base_client, prompts, max_tokens=32, continuous=False
+        )
+        s_s, spec_texts = _sweep_seconds(
+            spec_client, prompts, max_tokens=32
+        )
+        base_times.append(b_s)
+        spec_times.append(s_s)
+    sweep_tokens = (
+        base_client.engine_stats("sql-bench").completion_tokens - tokens_before
+    ) / rounds
+    base_s, spec_s = min(base_times), min(spec_times)
+
+    stats = spec_client.engine_stats("sql-bench")
+    acceptance = stats.acceptance_rate
+    base_tps = sweep_tokens / base_s
+    spec_tps = sweep_tokens / spec_s
+    speedup = spec_tps / base_tps
+
+    report_printer(
+        f"SERVING: speculative decoding, {N_QUERIES}-query text2sql sweep "
+        "(1-layer distilled draft, k=10, 32 new tokens)",
+        [
+            f"{'path':<34}{'tokens/s':>10}{'speedup':>10}",
+            f"{'plain batched decode':<34}{base_tps:>10.0f}{1.0:>10.2f}x",
+            f"{'speculative (draft + verify)':<34}{spec_tps:>10.0f}"
+            f"{speedup:>10.2f}x",
+            f"draft acceptance {acceptance:.3f} "
+            f"({stats.draft_accepted_tokens}/{stats.draft_tokens} proposals), "
+            f"{stats.verify_forwards} verify forwards",
+        ],
+    )
+
+    bench_metrics["speculative_acceptance_rate"] = round(acceptance, 3)
+    bench_metrics["speculative_tokens_per_sec"] = round(spec_tps, 1)
+    bench_metrics["speculative_vs_batched_speedup"] = round(speedup, 2)
+
+    # Token-identical greedy output, a live draft (not the fallback
+    # path), and at least 1.5x plain batched decode (acceptance bar).
+    assert spec_texts == base_texts
+    assert stats.verify_forwards > 0
+    assert acceptance > 0
+    assert speedup >= 1.5
+
+
+# -- int8 weight quantization: kernel throughput and output identity -------
+def test_bench_int8_matmul(report_printer, bench_metrics):
+    """Dequantize-free int8 projection vs the fp64 baseline matmul."""
+    rng = np.random.default_rng(3)
+    weight = rng.normal(size=(512, 512))
+    x = rng.normal(size=(256, 512))
+    w_q, scales = quantize_weight(weight)
+    w_q32 = w_q.astype(np.float32)
+    x32 = x.astype(np.float32)
+    repeats = 20
+
+    def _fp64_seconds():
+        start = time.perf_counter()
+        for _ in range(repeats):
+            x @ weight
+        return time.perf_counter() - start
+
+    def _int8_seconds():
+        start = time.perf_counter()
+        for _ in range(repeats):
+            (x32 @ w_q32).astype(np.float64) * scales
+        return time.perf_counter() - start
+
+    _fp64_seconds(), _int8_seconds()  # warmup
+    fp64_s = min(_fp64_seconds() for _ in range(5))
+    int8_s = min(_int8_seconds() for _ in range(5))
+    speedup = fp64_s / int8_s
+
+    report_printer(
+        "SERVING: int8 weight matmul (256x512 activations, 512x512 weight)",
+        [
+            f"{'kernel':<34}{'ms/matmul':>12}{'speedup':>10}",
+            f"{'fp64 baseline':<34}{fp64_s / repeats * 1e3:>12.3f}"
+            f"{1.0:>10.2f}x",
+            f"{'int8 weights, fp32 accumulate':<34}"
+            f"{int8_s / repeats * 1e3:>12.3f}{speedup:>10.2f}x",
+        ],
+    )
+
+    bench_metrics["int8_matmul_speedup"] = round(speedup, 2)
+
+    # The int8 path must not lose to the fp64 gemm it replaces
+    # (10% tolerance for timer noise).
+    assert int8_s <= fp64_s * 1.1
+
+
+def test_bench_int8_sweep_identity(report_printer, bench_metrics, sweep_setup):
+    """Quantized weights must keep the greedy sweep output-identical."""
+    hub, prompts = sweep_setup
+    base_client = CompletionClient(hub)
+    quant_client = CompletionClient(hub, int8_weights=True)
+    _, base_texts = _sweep_seconds(base_client, prompts, continuous=False)
+    _, quant_texts = _sweep_seconds(quant_client, prompts, continuous=False)
+    report = quant_client.quantization_report("sql-bench")
+
+    report_printer(
+        "SERVING: int8-quantized sweep vs fp64 weights",
+        [
+            f"quantized layers {len(report.layers)}, "
+            f"compression {report.compression:.2f}x",
+            f"max abs weight error {report.max_abs_error:.2e}",
+            f"greedy output identical: {quant_texts == base_texts}",
+        ],
+    )
+
+    bench_metrics["int8_max_abs_weight_error"] = round(
+        report.max_abs_error, 6
+    )
+    bench_metrics["int8_weight_compression"] = round(report.compression, 2)
+
+    assert quant_texts == base_texts
+    assert 0.0 < report.max_abs_error < 0.05
 
 
 # -- slab KV cache vs legacy concatenate growth at batch 8 -----------------

@@ -8,6 +8,7 @@ shape of ``openai.Completion.create``.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -16,6 +17,7 @@ from repro.generation import GenerationConfig, generate
 from repro.generation.decoding import TokenConstraint
 from repro.models import GPTModel
 from repro.api.hub import ModelHub
+from repro.nn import QuantizationReport, quantize_model, set_fused_attention
 from repro.reliability.clock import Clock, SystemClock
 from repro.serving import BatchRequest, BatchScheduler, PrefixCache
 
@@ -52,11 +54,21 @@ class EngineStats:
     prefix_hits: int = 0
     prefix_reused_tokens: int = 0
     batch_refills: int = 0
+    draft_tokens: int = 0
+    draft_accepted_tokens: int = 0
+    verify_forwards: int = 0
     queue_wait_seconds: float = 0.0
 
     @property
     def total_tokens(self) -> int:
         return self.prompt_tokens + self.completion_tokens
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of draft-proposed tokens the target model accepted."""
+        if self.draft_tokens == 0:
+            return 0.0
+        return self.draft_accepted_tokens / self.draft_tokens
 
 
 @dataclass(frozen=True)
@@ -139,6 +151,23 @@ class CompletionClient:
     shared header once for the whole session. The cache is invalidated
     automatically when the hub re-registers the engine with a different
     model.
+
+    Serving accelerations are opt-in constructor flags — all default
+    off, keeping the plain path bit-identical to previous releases:
+
+    * ``int8_weights`` serves each engine through an int8
+      weight-quantized copy (:func:`repro.nn.quantize_model`;
+      per-engine :meth:`quantization_report` gives the weight error).
+    * ``fused_attention`` enables the blocked online-softmax attention
+      kernel on the serving copy (numerically equivalent, not
+      bit-identical — see :func:`repro.nn.fused_attention`).
+    * ``speculative_draft`` names another hub engine to use as a
+      speculative-decoding draft model for greedy requests; outputs
+      stay token-identical while each target forward advances up to
+      ``speculative_k + 1`` tokens.
+
+    The transformed serving copies (and their prefix caches) are cached
+    per engine and rebuilt whenever the hub re-registers the model.
     """
 
     def __init__(
@@ -146,26 +175,89 @@ class CompletionClient:
         hub: ModelHub,
         prefix_cache_bytes: int = DEFAULT_PREFIX_CACHE_BYTES,
         clock: Optional[Clock] = None,
+        int8_weights: bool = False,
+        fused_attention: bool = False,
+        speculative_draft: Optional[str] = None,
+        speculative_k: int = 4,
     ) -> None:
         self.hub = hub
         self.prefix_cache_bytes = prefix_cache_bytes
         self.clock: Clock = clock if clock is not None else SystemClock()
+        self.int8_weights = int8_weights
+        self.fused_attention = fused_attention
+        self.speculative_draft = speculative_draft
+        self.speculative_k = speculative_k
         self._stats: Dict[str, EngineStats] = {}
         self._prefix_caches: Dict[str, Tuple[object, PrefixCache]] = {}
+        # engine -> (hub model, serving copy, quantization report)
+        self._serving_models: Dict[
+            str, Tuple[object, object, Optional[QuantizationReport]]
+        ] = {}
+
+    def _serving_model(self, engine: str):
+        """The model actually served for ``engine`` (transforms applied).
+
+        With all acceleration flags off this is the hub's model object
+        itself — no copy, bit-identical behavior. Otherwise a cached
+        per-engine copy with int8 weights and/or fused attention,
+        rebuilt whenever the hub re-registers the engine.
+        """
+        entry = self.hub.get(engine)
+        model = entry.model
+        if not isinstance(model, GPTModel):
+            return model
+        if not (self.int8_weights or self.fused_attention):
+            return model
+        stored = self._serving_models.get(engine)
+        if stored is None or stored[0] is not model:
+            report: Optional[QuantizationReport] = None
+            if self.int8_weights:
+                serving, report = quantize_model(model)
+            else:
+                serving = copy.deepcopy(model)
+            if self.fused_attention:
+                set_fused_attention(serving)
+            stored = (model, serving, report)
+            self._serving_models[engine] = stored
+        return stored[1]
+
+    def quantization_report(self, engine: str) -> Optional[QuantizationReport]:
+        """Weight-error report for the engine's int8 serving copy.
+
+        ``None`` unless the client was built with ``int8_weights=True``.
+        """
+        if not self.int8_weights:
+            return None
+        self._serving_model(engine)
+        stored = self._serving_models.get(engine)
+        return stored[2] if stored else None
+
+    def _draft_model(self) -> Optional[GPTModel]:
+        """The speculative draft engine's serving model (None if unset)."""
+        if self.speculative_draft is None:
+            return None
+        draft = self._serving_model(self.speculative_draft)
+        if not isinstance(draft, GPTModel):
+            raise ModelError(
+                f"speculative draft engine {self.speculative_draft!r} "
+                "is not a causal (completion) model"
+            )
+        return draft
 
     def prefix_cache(self, engine: str) -> Optional[PrefixCache]:
         """The engine's prompt-prefix K/V cache (None when disabled).
 
         Cached K/V states are only valid for the exact model weights
         that produced them, so the cache is dropped whenever the hub
-        entry's model object changes.
+        entry's model changes — including when an acceleration flag
+        swaps the serving copy (int8 K/V differ from float K/V).
         """
         if self.prefix_cache_bytes <= 0:
             return None
-        entry = self.hub.get(engine)
+        model = self._serving_model(engine)
         stored = self._prefix_caches.get(engine)
-        if stored is None or stored[0] is not entry.model:
-            stored = (entry.model, PrefixCache(max_bytes=self.prefix_cache_bytes))
+        if stored is None or stored[0] is not model:
+            stored = (model, PrefixCache(max_bytes=self.prefix_cache_bytes))
             self._prefix_caches[engine] = stored
         return stored[1]
 
@@ -188,12 +280,13 @@ class CompletionClient:
         truncate each returned text at the first occurrence.
         """
         entry = self.hub.get(engine)
-        model = entry.model
-        if not isinstance(model, GPTModel):
+        if not isinstance(entry.model, GPTModel):
             raise ModelError(f"engine {engine!r} is not a causal (completion) model")
+        model = self._serving_model(engine)
         tokenizer = entry.tokenizer
         if n <= 0:
             raise ModelError("n must be positive")
+        draft = self._draft_model()
 
         prompt_ids = tokenizer.encode(prompt, add_bos=True).ids
         choices: List[CompletionChoice] = []
@@ -202,7 +295,15 @@ class CompletionClient:
             config = _request_config(
                 tokenizer, max_tokens, temperature, top_p, seed + index
             )
-            out_ids = generate(model, prompt_ids, config, constraint)
+            if draft is not None and config.strategy == "greedy":
+                from repro.serving.speculative import speculative_generate
+
+                out_ids = speculative_generate(
+                    model, draft, prompt_ids, config, constraint,
+                    k=self.speculative_k,
+                )
+            else:
+                out_ids = generate(model, prompt_ids, config, constraint)
             choice, choice_tokens = _finish_choice(
                 tokenizer, out_ids, index, stop, max_tokens
             )
@@ -253,9 +354,9 @@ class CompletionClient:
         constraint, aligned with ``prompts``.
         """
         entry = self.hub.get(engine)
-        model = entry.model
-        if not isinstance(model, GPTModel):
+        if not isinstance(entry.model, GPTModel):
             raise ModelError(f"engine {engine!r} is not a causal (completion) model")
+        model = self._serving_model(engine)
         tokenizer = entry.tokenizer
         if n <= 0:
             raise ModelError("n must be positive")
@@ -263,14 +364,23 @@ class CompletionClient:
             raise ModelError("constraints must align one-to-one with prompts")
         if not prompts:
             return []
+        draft = self._draft_model()
 
         scheduler = BatchScheduler(
             model,
             max_batch_size=max_batch_size,
             prefill_chunk=prefill_chunk,
             prefix_cache=self.prefix_cache(engine) if prefix_caching else None,
-            continuous=continuous,
+            # Speculative decoding runs in barriered microbatches.
+            continuous=continuous and draft is None,
             clock=self.clock,
+            draft_model=draft,
+            speculative_k=self.speculative_k,
+            draft_prefix_cache=(
+                self.prefix_cache(self.speculative_draft)
+                if draft is not None and prefix_caching
+                else None
+            ),
         )
         config = _request_config(tokenizer, max_tokens, temperature, top_p, seed)
         tickets = []
@@ -292,6 +402,9 @@ class CompletionClient:
         stats.prefix_hits += scheduler.stats.prefix_hits
         stats.prefix_reused_tokens += scheduler.stats.prefix_reused_tokens
         stats.batch_refills += scheduler.stats.refills
+        stats.draft_tokens += scheduler.stats.draft_tokens
+        stats.draft_accepted_tokens += scheduler.stats.draft_accepted_tokens
+        stats.verify_forwards += scheduler.stats.verify_forwards
         stats.queue_wait_seconds += scheduler.stats.queue_wait_total
         responses: List[CompletionResponse] = []
         for prompt_ids, ticket in zip(encoded, tickets):

@@ -180,6 +180,12 @@ def _next_token(
     return _pick_token(next_logits, config, rng)
 
 
+#: absolute slack when comparing a probability cumsum against top_p —
+#: far above float64 accumulation error over any realistic vocab
+#: (~1e-13 worst case), far below any meaningful top_p difference.
+_TOP_P_TOLERANCE = 1e-9
+
+
 def _pick_token(logits: np.ndarray, config: GenerationConfig, rng: SeededRNG) -> int:
     """Select one token id from a logit vector per the configured strategy."""
     if config.strategy == "greedy":
@@ -199,7 +205,17 @@ def _pick_token(logits: np.ndarray, config: GenerationConfig, rng: SeededRNG) ->
     if config.top_p < 1.0:
         order = np.argsort(-probs)
         cumulative = np.cumsum(probs[order])
-        keep_count = int(np.searchsorted(cumulative, config.top_p) + 1)
+        # Boundary rule: the nucleus is the smallest prefix whose
+        # cumulative probability reaches top_p, where "reaches" is
+        # judged with a tolerance — a cumsum that lands within
+        # _TOP_P_TOLERANCE below top_p (pure float accumulation error,
+        # e.g. 0.3+0.3+0.3 == 0.8999999999999999) counts as having
+        # reached it. Without the clamp the keep-count flips by one
+        # token depending on rounding direction, changing sampled
+        # output across platforms.
+        keep_count = int(
+            np.searchsorted(cumulative, config.top_p - _TOP_P_TOLERANCE) + 1
+        )
         keep = order[:keep_count]
         filtered = np.zeros_like(probs)
         filtered[keep] = probs[keep]

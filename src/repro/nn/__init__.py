@@ -12,7 +12,15 @@ from repro.nn.attention import (
     MultiHeadAttention,
     causal_mask,
     chunk_causal_mask,
+    fused_attention,
     padding_mask,
+    set_fused_attention,
+)
+from repro.nn.quant import (
+    QuantizationReport,
+    QuantizedLinear,
+    quantize_model,
+    quantize_weight,
 )
 from repro.nn.transformer import FeedForward, TransformerBlock, TransformerStack
 
@@ -24,9 +32,15 @@ __all__ = [
     "LayerNorm",
     "Dropout",
     "MultiHeadAttention",
+    "QuantizationReport",
+    "QuantizedLinear",
     "causal_mask",
     "chunk_causal_mask",
+    "fused_attention",
     "padding_mask",
+    "quantize_model",
+    "quantize_weight",
+    "set_fused_attention",
     "FeedForward",
     "TransformerBlock",
     "TransformerStack",

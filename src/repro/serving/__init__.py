@@ -6,6 +6,10 @@ prefill, per-sequence stop handling, a prompt-prefix K/V cache
 (:class:`PrefixCache`), retire-and-admit continuous batching, and a
 FIFO microbatching scheduler. See :class:`BatchedGenerator` for the
 engine and :class:`BatchScheduler` for the queueing front-end.
+:class:`SpeculativeGenerator` layers draft-and-verify speculative
+decoding on top: a distilled draft model (:func:`distill_draft`)
+proposes runs of tokens the target verifies in one batched forward,
+token-identical to plain greedy decoding.
 
 On top of the scheduler sits the asyncio serving tier: the multi-tenant
 :class:`Gateway` (admission control, load shedding, deadline dispatch,
@@ -33,12 +37,22 @@ from repro.serving.kvcache import KVCache
 from repro.serving.loadgen import LoadReport, OpenLoopLoad, run_open_loop, sweep
 from repro.serving.prefix import PrefixCache, PrefixCacheStats
 from repro.serving.scheduler import BatchScheduler, SchedulerStats
+from repro.serving.speculative import (
+    SpeculativeGenerator,
+    distill_draft,
+    draft_config,
+    speculative_generate,
+)
 
 __all__ = [
     "BatchedGenerator",
     "BatchRequest",
     "BatchResult",
     "BatchScheduler",
+    "SpeculativeGenerator",
+    "distill_draft",
+    "draft_config",
+    "speculative_generate",
     "Gateway",
     "GatewayRequest",
     "GatewayResult",

@@ -50,5 +50,9 @@ def engine_serving_stats(client, engine: str) -> dict:
         "prefix_hits": float(getattr(stats, "prefix_hits", 0)),
         "prefix_reused_tokens": float(getattr(stats, "prefix_reused_tokens", 0)),
         "batch_refills": float(getattr(stats, "batch_refills", 0)),
+        "draft_tokens": float(getattr(stats, "draft_tokens", 0)),
+        "draft_accepted_tokens": float(getattr(stats, "draft_accepted_tokens", 0)),
+        "verify_forwards": float(getattr(stats, "verify_forwards", 0)),
+        "acceptance_rate": float(getattr(stats, "acceptance_rate", 0.0)),
         "queue_wait_seconds": float(getattr(stats, "queue_wait_seconds", 0.0)),
     }

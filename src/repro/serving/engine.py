@@ -102,6 +102,12 @@ class GeneratorStats:
     ``prefix_reused_tokens``. ``refills`` counts requests admitted into
     freed slots mid-decode (continuous batching); ``peak_active`` is
     the widest decode batch observed.
+
+    The speculative counters are zero on a plain generator:
+    ``draft_tokens`` counts tokens proposed by the draft model,
+    ``draft_accepted_tokens`` the subset the target model verified, and
+    ``verify_forwards`` the batched target forwards that did the
+    verification (one per speculative round).
     """
 
     prefill_chunks: int = 0
@@ -117,6 +123,16 @@ class GeneratorStats:
     peak_active: int = 0
     cancelled_sequences: int = 0
     cancelled_tokens: int = 0
+    draft_tokens: int = 0
+    draft_accepted_tokens: int = 0
+    verify_forwards: int = 0
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of draft-proposed tokens the target model accepted."""
+        if self.draft_tokens == 0:
+            return 0.0
+        return self.draft_accepted_tokens / self.draft_tokens
 
 
 @dataclass

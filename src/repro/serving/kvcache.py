@@ -99,3 +99,19 @@ class KVCache:
         self.v[:, :, self.length : self.length + new] = v
         self.length += new
         return self.k[:, :, : self.length], self.v[:, :, : self.length]
+
+    def truncate(self, length: int) -> None:
+        """Rewind the live prefix to ``length`` columns.
+
+        Speculative decoding appends a whole draft run optimistically
+        and, when the target model rejects a tail, rolls the cache back
+        to the last verified token. The slab itself is untouched — the
+        rejected columns simply fall outside the live prefix and are
+        overwritten by the next :meth:`append` — so rejection costs no
+        memory traffic at all.
+        """
+        if length < 0 or length > self.length:
+            raise ValueError(
+                f"cannot truncate to {length}: live prefix has {self.length} columns"
+            )
+        self.length = length

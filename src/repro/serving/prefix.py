@@ -49,6 +49,7 @@ class PrefixCacheStats:
     reused_tokens: int = 0
     inserted_tokens: int = 0
     evictions: int = 0
+    oversized: int = 0
     bytes: int = 0
 
     @property
@@ -158,7 +159,17 @@ class PrefixCache:
         prefilled cache. Positions already in the trie are only
         LRU-touched; the unseen suffix is copied in (the slab arrays
         are reused by the engine afterwards, so views must not leak).
+
+        A prompt whose K/V alone exceed ``max_bytes`` is rejected up
+        front (counted in ``stats.oversized``) instead of being stored:
+        inserting it first and evicting after would transiently blow the
+        byte budget, copy every column for nothing, and then LRU-evict
+        the *existing* entries along with the prompt's own header —
+        leaving the cache cold.
         """
+        if sum(k.nbytes + v.nbytes for k, v in layers) > self.max_bytes:
+            self.stats.oversized += 1
+            return 0
         self._tick += 1
         node = self._root
         added = 0

@@ -63,8 +63,18 @@ class SchedulerStats:
     refills: int = 0
     prefix_hits: int = 0
     prefix_reused_tokens: int = 0
+    draft_tokens: int = 0
+    draft_accepted_tokens: int = 0
+    verify_forwards: int = 0
     queue_wait_total: float = 0.0
     queue_wait_max: float = 0.0
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of draft-proposed tokens the target model accepted."""
+        if self.draft_tokens == 0:
+            return 0.0
+        return self.draft_accepted_tokens / self.draft_tokens
 
 
 class BatchScheduler:
@@ -77,7 +87,11 @@ class BatchScheduler:
     switches :meth:`run` from barriered microbatches to the generator's
     retire-and-admit loop; ``prefix_cache`` threads a shared prompt
     K/V cache through every request; ``clock`` timestamps queue waits
-    (defaults to real time).
+    (defaults to real time). A ``draft_model`` swaps the generator for
+    :class:`~repro.serving.speculative.SpeculativeGenerator` — greedy
+    requests then advance up to ``speculative_k + 1`` tokens per target
+    forward with token-identical output (barriered microbatches only;
+    ``draft_prefix_cache`` gives the draft its own prompt K/V reuse).
 
     Shared state: the pending queue, ticket counter, submission stamps,
     and ``stats`` are unsynchronized instance attributes (see the
@@ -95,12 +109,33 @@ class BatchScheduler:
         prefix_cache: Optional[PrefixCache] = None,
         continuous: bool = False,
         clock: Optional[Clock] = None,
+        draft_model: Optional[GPTModel] = None,
+        speculative_k: int = 4,
+        draft_prefix_cache: Optional[PrefixCache] = None,
     ) -> None:
         if max_batch_size <= 0:
             raise GenerationError("max_batch_size must be positive")
-        self.generator = BatchedGenerator(
-            model, prefill_chunk=prefill_chunk, prefix_cache=prefix_cache
-        )
+        if draft_model is not None and continuous:
+            raise GenerationError(
+                "speculative decoding uses barriered microbatches; "
+                "continuous=True is not supported with a draft_model"
+            )
+        if draft_model is not None:
+            from repro.serving.speculative import SpeculativeGenerator
+
+            # Duck-typed stand-in: same generate()/stats surface.
+            self.generator = SpeculativeGenerator(
+                model,
+                draft_model,
+                k=speculative_k,
+                prefill_chunk=prefill_chunk,
+                prefix_cache=prefix_cache,
+                draft_prefix_cache=draft_prefix_cache,
+            )
+        else:
+            self.generator = BatchedGenerator(
+                model, prefill_chunk=prefill_chunk, prefix_cache=prefix_cache
+            )
         self.max_batch_size = max_batch_size
         self.continuous = continuous
         self.clock: Clock = clock if clock is not None else SystemClock()
@@ -212,6 +247,9 @@ class BatchScheduler:
         self.stats.refills = gen.refills
         self.stats.prefix_hits = gen.prefix_hits
         self.stats.prefix_reused_tokens = gen.prefix_reused_tokens
+        self.stats.draft_tokens = gen.draft_tokens
+        self.stats.draft_accepted_tokens = gen.draft_accepted_tokens
+        self.stats.verify_forwards = gen.verify_forwards
 
     def _take_microbatch(self) -> List[Tuple[int, BatchRequest]]:
         """Pop a FIFO prefix of the queue within the occupancy budget."""

@@ -314,6 +314,43 @@ class TestDecodingEdgeCases:
         )
         assert self._support(logits, config) == {0, 1}
 
+    def test_top_p_float_accumulation_error_does_not_widen_nucleus(self):
+        # 0.3 + 0.3 + 0.3 accumulates to 0.8999999999999999 in float64.
+        # Without the comparison tolerance the cumsum "misses" top_p=0.9
+        # and a fourth token leaks into the nucleus; the boundary rule
+        # says three tokens exactly reach it.
+        logits = list(np.log([0.3, 0.3, 0.3, 0.1]))
+        config = GenerationConfig(
+            strategy="sample", top_p=0.9, temperature=1.0, max_new_tokens=1
+        )
+        assert self._support(logits, config) == {0, 1, 2}
+
+    def test_top_p_boundary_tolerance_across_adversarial_vectors(self):
+        # Each case lands a cumulative sum a few ulps *below* the exact
+        # threshold; the keep-count must match exact rational arithmetic.
+        cases = [
+            ([0.35, 0.25, 0.2, 0.2], 0.6, {0, 1}),
+            ([0.3, 0.3, 0.2, 0.2], 0.6, {0, 1}),
+            ([0.1] * 7 + [0.3], 0.3, {7}),
+        ]
+        for probs, top_p, expected in cases:
+            config = GenerationConfig(
+                strategy="sample", top_p=top_p, temperature=1.0,
+                max_new_tokens=1,
+            )
+            support = self._support(list(np.log(probs)), config, draws=400)
+            assert support == expected, (probs, top_p, support)
+
+    def test_top_p_tolerance_does_not_shrink_clear_margins(self):
+        # A top_p sitting comfortably between two cumulative sums is
+        # unaffected by the tolerance: it is orders of magnitude smaller
+        # than any meaningful threshold gap.
+        logits = list(np.log([0.5, 0.3, 0.2]))
+        config = GenerationConfig(
+            strategy="sample", top_p=0.79, temperature=1.0, max_new_tokens=1
+        )
+        assert self._support(logits, config) == {0, 1}
+
     def test_cached_constraint_masks_under_sampling(self, model):
         config = GenerationConfig(
             max_new_tokens=8, strategy="sample", temperature=2.5, seed=2

@@ -290,6 +290,34 @@ class TestCompleteBatch:
             r.usage.completion_tokens for r in single
         ]
 
+    def test_stop_billing_engine_stats_parity(self, hub):
+        """Satellite audit: EngineStats (not just per-response usage)
+        must bill identically when stop strings truncate mid-completion
+        — the batch path may generate tokens past the stop string, but
+        it must never *bill* them."""
+        client = CompletionClient(hub)
+        client.complete_batch("tiny-gpt", PROMPTS, max_tokens=8, stop=["the"])
+        reference = CompletionClient(hub)
+        for p in PROMPTS:
+            reference.complete("tiny-gpt", p, max_tokens=8, stop=["the"])
+        batched = dataclasses.replace(
+            client.engine_stats("tiny-gpt"), queue_wait_seconds=0.0
+        )
+        assert batched == reference.engine_stats("tiny-gpt")
+
+    def test_stop_billing_parity_with_stop_ids_and_length_cap(self, hub):
+        """Mixed finish reasons (stop vs length) keep EngineStats parity
+        between the batch and sequential paths."""
+        client = CompletionClient(hub)
+        client.complete_batch("tiny-gpt", PROMPTS, max_tokens=2, stop=["."])
+        reference = CompletionClient(hub)
+        for p in PROMPTS:
+            reference.complete("tiny-gpt", p, max_tokens=2, stop=["."])
+        batched = dataclasses.replace(
+            client.engine_stats("tiny-gpt"), queue_wait_seconds=0.0
+        )
+        assert batched == reference.engine_stats("tiny-gpt")
+
     def test_empty_prompt_list(self, hub):
         assert CompletionClient(hub).complete_batch("tiny-gpt", []) == []
 
@@ -737,6 +765,30 @@ class TestPrefixCacheTrie:
         with pytest.raises(GenerationError):
             PrefixCache(max_bytes=0)
 
+    def test_oversized_prompt_rejected_up_front(self):
+        """Regression: a prompt whose K/V alone exceed the byte budget
+        used to be inserted first and LRU-evicted after, transiently
+        blowing the budget and evicting the *existing* entries. It must
+        be rejected before any node is allocated."""
+        node_bytes = sum(k.nbytes + v.nbytes for k, v in _toy_layers(1))
+        cache = PrefixCache(max_bytes=2 * node_bytes)
+        cache.insert([1, 2], _toy_layers(2))
+        added = cache.insert(list(range(10, 20)), _toy_layers(10))
+        assert added == 0
+        assert cache.stats.oversized == 1
+        assert cache.stats.evictions == 0
+        assert cache.stats.bytes <= 2 * node_bytes
+        # The cache is not left cold: the existing entry survives.
+        match, _ = cache.lookup([1, 2])
+        assert match == 2
+
+    def test_prompt_exactly_at_budget_is_accepted(self):
+        node_bytes = sum(k.nbytes + v.nbytes for k, v in _toy_layers(1))
+        cache = PrefixCache(max_bytes=2 * node_bytes)
+        added = cache.insert([4, 5], _toy_layers(2))
+        assert added == 2
+        assert cache.stats.oversized == 0
+
 
 @pytest.fixture(scope="module")
 def shared_header_prompts():
@@ -780,16 +832,21 @@ class TestPrefixEquivalence:
     ):
         config = GenerationConfig(max_new_tokens=6)
         expected = [generate(model, p, config) for p in shared_header_prompts]
-        # A budget this tight evicts constantly while the sweep runs.
-        cache = PrefixCache(max_bytes=4096)
+        # Budget fits one 16-token prompt (16 KiB of K/V) but not the
+        # whole sweep, so inserts are accepted and then evict constantly
+        # while the sweep runs. (A budget below a single prompt would be
+        # rejected up front as oversized instead of churning.)
+        budget = 20 * 1024
+        cache = PrefixCache(max_bytes=budget)
         generator = BatchedGenerator(model, prefix_cache=cache)
         results = []
         for prompt in shared_header_prompts:
             (result,) = generator.generate([BatchRequest(prompt, config)])
             results.append(result.sequences[0])
         assert results == expected
+        assert cache.stats.oversized == 0
         assert cache.stats.evictions > 0
-        assert cache.stats.bytes <= 4096
+        assert cache.stats.bytes <= budget
 
     def test_n_choices_identical_with_prefix_cache(self, model):
         prompt = [3, 9, 9, 2, 7, 7, 1]

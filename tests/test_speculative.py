@@ -1,0 +1,375 @@
+"""Tests for repro.serving.speculative: draft-and-verify decoding.
+
+The load-bearing property everywhere: greedy speculative output is
+**token-identical** to plain decoding — the draft model only changes how
+many tokens each target forward advances, never which tokens come out.
+Every test here asserts identity against the plain path, across drafts
+of every quality (always-wrong, perfect, distilled).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import CompletionClient, ModelHub
+from repro.errors import GenerationError
+from repro.generation import GenerationConfig, generate
+from repro.models import GPTModel, ModelConfig
+from repro.serving import (
+    BatchRequest,
+    BatchScheduler,
+    BatchedGenerator,
+    KVCache,
+    PrefixCache,
+    SpeculativeGenerator,
+    distill_draft,
+    draft_config,
+    engine_serving_stats,
+    speculative_generate,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return GPTModel(ModelConfig.tiny(vocab_size=48), seed=7)
+
+
+@pytest.fixture(scope="module")
+def bad_draft(model):
+    """A randomly initialised draft: proposes mostly wrong tokens."""
+    return GPTModel(draft_config(model.config, num_layers=1), seed=99)
+
+
+@pytest.fixture(scope="module")
+def ragged_prompts():
+    rng = np.random.default_rng(0)
+    return [list(map(int, rng.integers(1, 48, size=n))) for n in (3, 9, 1, 12, 6, 4)]
+
+
+@pytest.fixture(scope="module")
+def distilled_draft(model, ragged_prompts):
+    return distill_draft(model, ragged_prompts, steps=40, max_new_tokens=10)
+
+
+def _plain(model, prompts, config, **kwargs):
+    return BatchedGenerator(model).generate(
+        [BatchRequest(p, config, **kwargs) for p in prompts]
+    )
+
+
+class EvenOnly:
+    """Constraint fixture: only even ids, abort after six tokens."""
+
+    def __init__(self, vocab):
+        self.vocab = vocab
+
+    def allowed_tokens(self, generated_ids):
+        if len(generated_ids) >= 6:
+            return []
+        return list(range(0, self.vocab, 2))
+
+
+class TestKVCacheTruncate:
+    def test_truncate_rewinds_live_prefix(self):
+        cache = KVCache()
+        step = np.arange(2 * 2 * 3 * 4, dtype=float).reshape(2, 2, 3, 4)
+        cache.append(step, step * 2)
+        cache.truncate(1)
+        assert len(cache) == 1
+        keys, values = cache.append(step[:, :, :1], step[:, :, :1])
+        # Column 0 survives the rewind; column 1 is the new append.
+        np.testing.assert_array_equal(keys[:, :, 0], step[:, :, 0])
+        assert keys.shape[2] == 2
+
+    def test_truncate_to_full_length_is_noop(self):
+        cache = KVCache()
+        cache.append(np.ones((1, 2, 4, 3)), np.ones((1, 2, 4, 3)))
+        cache.truncate(4)
+        assert len(cache) == 4
+
+    def test_truncate_bounds_checked(self):
+        cache = KVCache()
+        cache.append(np.ones((1, 2, 3, 3)), np.ones((1, 2, 3, 3)))
+        with pytest.raises(ValueError):
+            cache.truncate(4)
+        with pytest.raises(ValueError):
+            cache.truncate(-1)
+
+    def test_truncated_columns_are_overwritten_not_reused(self, model):
+        """Decoding, rewinding, and decoding a different token must give
+        the same logits as never having decoded the rejected token."""
+        from repro.autograd import no_grad
+
+        caches = model.init_cache()
+        fresh = model.init_cache()
+        with no_grad():
+            prompt = np.array([[5, 9, 2]])
+            positions = np.arange(3)[None, :]
+            from repro.nn import chunk_causal_mask
+
+            blocked = chunk_causal_mask(0, 3)[None, None]
+            model.forward_chunk(prompt, positions, caches, blocked=blocked)
+            model.forward_chunk(prompt, positions, fresh, blocked=blocked)
+            # Optimistically decode token 7, then reject it.
+            model.forward_incremental(np.array([[7]]), 3, caches)
+            for cache in caches:
+                cache.truncate(3)
+            a = model.forward_incremental(np.array([[11]]), 3, caches)
+            b = model.forward_incremental(np.array([[11]]), 3, fresh)
+            np.testing.assert_array_equal(a.data, b.data)
+
+
+class TestSpeculativeIdentity:
+    """Satellite: edge-case sweep, every case asserting token-identity."""
+
+    def test_always_wrong_draft_is_identical(self, model, bad_draft, ragged_prompts):
+        config = GenerationConfig(max_new_tokens=10)
+        base = _plain(model, ragged_prompts, config)
+        spec = SpeculativeGenerator(model, bad_draft, k=3)
+        out = spec.generate([BatchRequest(p, config) for p in ragged_prompts])
+        assert [r.sequences for r in out] == [r.sequences for r in base]
+        # Even a useless draft must not fall back to plain decode.
+        assert spec.stats.verify_forwards > 0
+        assert spec.stats.draft_tokens > 0
+
+    def test_perfect_draft_accepts_everything(self, model, ragged_prompts):
+        config = GenerationConfig(max_new_tokens=10)
+        base = _plain(model, ragged_prompts, config)
+        spec = SpeculativeGenerator(model, model, k=4)
+        out = spec.generate([BatchRequest(p, config) for p in ragged_prompts])
+        assert [r.sequences for r in out] == [r.sequences for r in base]
+        assert spec.stats.acceptance_rate == 1.0
+
+    def test_distilled_draft_is_identical(self, model, distilled_draft, ragged_prompts):
+        config = GenerationConfig(max_new_tokens=10)
+        base = _plain(model, ragged_prompts, config)
+        spec = SpeculativeGenerator(model, distilled_draft, k=4)
+        out = spec.generate([BatchRequest(p, config) for p in ragged_prompts])
+        assert [r.sequences for r in out] == [r.sequences for r in base]
+        assert spec.stats.acceptance_rate > 0.0
+
+    def test_stop_token_inside_accepted_run(self, model, ragged_prompts):
+        """A stop id hit mid-run must end the sequence exactly where the
+        plain engine ends it, discarding the speculated tail."""
+        # Use the model's own greedy stream to find a token that appears
+        # mid-sequence, then decode again with it as a stop id.
+        config = GenerationConfig(max_new_tokens=10)
+        probe = _plain(model, ragged_prompts, config)
+        stop = None
+        for result in probe:
+            seq = result.sequences[0]
+            if len(seq) >= 4:
+                stop = seq[2]  # lands inside the first k=4 verify run
+                break
+        assert stop is not None
+        stopped = GenerationConfig(max_new_tokens=10, stop_ids=(stop,))
+        base = _plain(model, ragged_prompts, stopped)
+        spec = SpeculativeGenerator(model, model, k=4)
+        out = spec.generate([BatchRequest(p, stopped) for p in ragged_prompts])
+        assert [r.sequences for r in out] == [r.sequences for r in base]
+
+    def test_constraints_and_multi_choice(self, model, distilled_draft, ragged_prompts):
+        config = GenerationConfig(max_new_tokens=10)
+        constraint = EvenOnly(model.config.vocab_size)
+        base = _plain(model, ragged_prompts, config, constraint=constraint, n=2)
+        spec = SpeculativeGenerator(model, distilled_draft, k=3)
+        out = spec.generate(
+            [
+                BatchRequest(p, config, constraint=constraint, n=2)
+                for p in ragged_prompts
+            ]
+        )
+        assert [r.sequences for r in out] == [r.sequences for r in base]
+        for result in out:
+            assert len(result.sequences) == 2
+            for seq in result.sequences:
+                assert all(t % 2 == 0 for t in seq)
+
+    def test_sampled_requests_fall_back_to_plain_engine(self, model, bad_draft, ragged_prompts):
+        config = GenerationConfig(
+            max_new_tokens=8, strategy="sample", temperature=0.8, seed=5
+        )
+        base = _plain(model, ragged_prompts, config)
+        spec = SpeculativeGenerator(model, bad_draft, k=3)
+        out = spec.generate([BatchRequest(p, config) for p in ragged_prompts])
+        assert [r.sequences for r in out] == [r.sequences for r in base]
+        assert spec.stats.verify_forwards == 0  # no speculative work
+
+    def test_oversized_prompt_uses_sequential_fallback(self, model, bad_draft):
+        rng = np.random.default_rng(4)
+        big = list(map(int, rng.integers(1, 48, size=60)))
+        config = GenerationConfig(max_new_tokens=20)
+        spec = SpeculativeGenerator(model, bad_draft, k=3)
+        out = spec.generate([BatchRequest(big, config)])
+        assert out[0].batched is False
+        assert out[0].sequences == [generate(model, big, config)]
+
+    def test_speculative_path_exercised_guard(self, model, distilled_draft, ragged_prompts):
+        """Tier-1 guard: the sweep must actually run the speculative
+        loop — draft proposals made, verify forwards issued, and fewer
+        target decode passes than tokens generated."""
+        config = GenerationConfig(max_new_tokens=10)
+        spec = SpeculativeGenerator(model, distilled_draft, k=4)
+        spec.generate([BatchRequest(p, config) for p in ragged_prompts])
+        stats = spec.stats
+        assert stats.draft_tokens > 0
+        assert stats.verify_forwards > 0
+        assert stats.draft_accepted_tokens > 0
+        # With any acceptance at all, verify rounds < generated tokens.
+        assert stats.verify_forwards < stats.generated_tokens
+        assert stats.sequential_fallbacks == 0
+        assert stats.decode_steps == 0  # plain decode loop never ran
+
+
+class TestSpeculativeSingleSequence:
+    def test_matches_generate_across_prompts(self, model, distilled_draft, ragged_prompts):
+        config = GenerationConfig(max_new_tokens=10)
+        for prompt in ragged_prompts:
+            expected = generate(model, prompt, config)
+            actual = speculative_generate(
+                model, distilled_draft, prompt, config, k=4
+            )
+            assert actual == expected
+
+    def test_matches_generate_with_bad_draft(self, model, bad_draft, ragged_prompts):
+        config = GenerationConfig(max_new_tokens=10)
+        for prompt in ragged_prompts[:3]:
+            assert speculative_generate(
+                model, bad_draft, prompt, config, k=3
+            ) == generate(model, prompt, config)
+
+    def test_constraint_identity(self, model, bad_draft, ragged_prompts):
+        config = GenerationConfig(max_new_tokens=10)
+        constraint = EvenOnly(model.config.vocab_size)
+        for prompt in ragged_prompts[:3]:
+            assert speculative_generate(
+                model, bad_draft, prompt, config, constraint, k=3
+            ) == generate(model, prompt, config, constraint)
+
+    def test_sampled_config_delegates(self, model, bad_draft, ragged_prompts):
+        config = GenerationConfig(
+            max_new_tokens=6, strategy="sample", temperature=0.7, seed=9
+        )
+        prompt = ragged_prompts[0]
+        assert speculative_generate(
+            model, bad_draft, prompt, config, k=3
+        ) == generate(model, prompt, config)
+
+    def test_empty_prompt_rejected(self, model, bad_draft):
+        with pytest.raises(GenerationError):
+            speculative_generate(model, bad_draft, [])
+
+
+class TestSpeculativeValidation:
+    def test_nonpositive_k_rejected(self, model, bad_draft):
+        with pytest.raises(GenerationError):
+            SpeculativeGenerator(model, bad_draft, k=0)
+        with pytest.raises(GenerationError):
+            speculative_generate(model, bad_draft, [1, 2], k=0)
+
+    def test_vocab_mismatch_rejected(self, model):
+        other = GPTModel(ModelConfig.tiny(vocab_size=32), seed=1)
+        with pytest.raises(GenerationError):
+            SpeculativeGenerator(model, other)
+
+    def test_draft_config_bounds(self, model):
+        assert draft_config(model.config, 1).num_layers == 1
+        with pytest.raises(GenerationError):
+            draft_config(model.config, 0)
+        with pytest.raises(GenerationError):
+            draft_config(model.config, model.config.num_layers + 1)
+
+    def test_distill_requires_prompts(self, model):
+        with pytest.raises(GenerationError):
+            distill_draft(model, [])
+
+
+class TestSpeculativeScheduler:
+    def test_scheduler_with_draft_is_identical(self, model, distilled_draft, ragged_prompts):
+        config = GenerationConfig(max_new_tokens=10)
+        plain = BatchScheduler(model, max_batch_size=4)
+        spec = BatchScheduler(
+            model, max_batch_size=4, draft_model=distilled_draft, speculative_k=4
+        )
+        plain_tickets = [plain.submit(BatchRequest(p, config)) for p in ragged_prompts]
+        spec_tickets = [spec.submit(BatchRequest(p, config)) for p in ragged_prompts]
+        plain_results = plain.run()
+        spec_results = spec.run()
+        for pt, st in zip(plain_tickets, spec_tickets):
+            assert spec_results[st].sequences == plain_results[pt].sequences
+        assert spec.stats.verify_forwards > 0
+        assert spec.stats.draft_tokens > 0
+        assert 0.0 < spec.stats.acceptance_rate <= 1.0
+
+    def test_continuous_with_draft_rejected(self, model, bad_draft):
+        with pytest.raises(GenerationError):
+            BatchScheduler(model, draft_model=bad_draft, continuous=True)
+
+    def test_prefix_caches_stay_separate(self, model, distilled_draft, ragged_prompts):
+        """Target and draft prefix caches must never mix K/V states."""
+        config = GenerationConfig(max_new_tokens=6)
+        target_cache = PrefixCache()
+        draft_cache = PrefixCache()
+        scheduler = BatchScheduler(
+            model,
+            draft_model=distilled_draft,
+            prefix_cache=target_cache,
+            draft_prefix_cache=draft_cache,
+        )
+        for p in ragged_prompts:
+            scheduler.submit(BatchRequest(p, config))
+        results = scheduler.run()
+        plain = _plain(model, ragged_prompts, config)
+        assert [results[t].sequences for t in sorted(results)] == [
+            r.sequences for r in plain
+        ]
+        assert target_cache.stats.inserted_tokens > 0
+        assert draft_cache.stats.inserted_tokens > 0
+
+
+@pytest.fixture(scope="module")
+def spec_hub(tiny_gpt, word_tokenizer, corpus):
+    hub = ModelHub()
+    hub.register("tiny-gpt", tiny_gpt, word_tokenizer)
+    sentences = [" ".join(doc.split()[:4]) for doc in corpus[:8]]
+    prompts = [
+        word_tokenizer.encode(s, add_bos=True).ids for s in sentences
+    ]
+    draft = distill_draft(tiny_gpt, prompts, steps=40, max_new_tokens=8)
+    hub.register("tiny-draft", draft, word_tokenizer)
+    return hub, sentences[:6]
+
+
+class TestSpeculativeClient:
+    def test_complete_batch_identity_and_stats(self, spec_hub):
+        hub, prompts = spec_hub
+        base = CompletionClient(hub).complete_batch(
+            "tiny-gpt", prompts, max_tokens=8
+        )
+        client = CompletionClient(
+            hub, speculative_draft="tiny-draft", speculative_k=4
+        )
+        out = client.complete_batch("tiny-gpt", prompts, max_tokens=8)
+        assert [r.text for r in out] == [r.text for r in base]
+        stats = engine_serving_stats(client, "tiny-gpt")
+        assert stats["verify_forwards"] > 0
+        assert stats["draft_tokens"] > 0
+        assert 0.0 < stats["acceptance_rate"] <= 1.0
+
+    def test_complete_single_identity(self, spec_hub):
+        hub, prompts = spec_hub
+        base = CompletionClient(hub).complete("tiny-gpt", prompts[0], max_tokens=8)
+        client = CompletionClient(hub, speculative_draft="tiny-draft")
+        assert client.complete("tiny-gpt", prompts[0], max_tokens=8).text == base.text
+
+    def test_sampled_batch_still_identical(self, spec_hub):
+        hub, prompts = spec_hub
+        base = CompletionClient(hub).complete_batch(
+            "tiny-gpt", prompts, max_tokens=6, temperature=0.8, seed=3
+        )
+        client = CompletionClient(hub, speculative_draft="tiny-draft")
+        out = client.complete_batch(
+            "tiny-gpt", prompts, max_tokens=6, temperature=0.8, seed=3
+        )
+        assert [r.text for r in out] == [r.text for r in base]
