@@ -28,11 +28,12 @@ the offending line):
   outside ``repro/durability/`` (file writes must go through the atomic
   temp-file + fsync + rename helpers of :mod:`repro.durability.io` so a
   crash can never leave a torn file; tests and benchmarks are exempt);
-* ``per-prompt-loop``      — a ``.complete()`` call inside a loop (or
-  comprehension) in the application subsystems (``codexdb``,
-  ``text2sql``, ``wrangle``); hot per-prompt loops should batch through
-  ``complete_batch`` / :func:`repro.serving.complete_many` so prompts
-  share vectorized model forwards;
+* ``per-prompt-loop``      — a ``.complete()`` or ``.read()`` call
+  inside a loop (or comprehension) in the application subsystems
+  (``codexdb``, ``text2sql``, ``wrangle``, ``neuraldb``); hot
+  per-prompt loops should batch through ``complete_batch`` /
+  :func:`repro.serving.complete_many` (or the reader's ``read_batch``)
+  so prompts share vectorized model forwards;
 * ``concat-in-loop``       — ``np.concatenate`` inside a loop (or
   comprehension) in the model/serving hot paths (``nn``,
   ``generation``, ``serving``, ``models``); growing an array by
@@ -102,7 +103,7 @@ _RULE_EXEMPT_DIRS = {
 
 #: directories (path components) a rule applies to *exclusively*
 _RULE_ONLY_DIRS = {
-    "per-prompt-loop": ("codexdb", "text2sql", "wrangle"),
+    "per-prompt-loop": ("codexdb", "text2sql", "wrangle", "neuraldb"),
     "concat-in-loop": ("nn", "generation", "serving", "models"),
 }
 
@@ -459,8 +460,16 @@ _LOOP_NODES = (
 )
 
 
+#: per-generation methods the rule flags, with the batched alternative
+#: the message points at.
+_PER_PROMPT_CALLS = {
+    "complete": "complete_batch / repro.serving.complete_many",
+    "read": "the reader's read_batch",
+}
+
+
 def _check_per_prompt_loop(tree: ast.Module, path: str) -> List[Finding]:
-    """Flag per-prompt ``.complete()`` calls issued from inside a loop."""
+    """Flag per-prompt ``.complete()``/``.read()`` calls inside loops."""
     seen = set()
     findings = []
     for loop in ast.walk(tree):
@@ -470,7 +479,7 @@ def _check_per_prompt_loop(tree: ast.Module, path: str) -> List[Finding]:
             if not (
                 isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Attribute)
-                and node.func.attr == "complete"
+                and node.func.attr in _PER_PROMPT_CALLS
             ):
                 continue
             key = (node.lineno, node.col_offset)
@@ -478,13 +487,13 @@ def _check_per_prompt_loop(tree: ast.Module, path: str) -> List[Finding]:
                 # Nested loops walk the same call twice; report it once.
                 continue
             seen.add(key)
+            batched = _PER_PROMPT_CALLS[node.func.attr]
             findings.append(
                 Finding(
                     rule="per-prompt-loop",
-                    message="per-prompt complete() call inside a loop; "
-                    "batch it through complete_batch / "
-                    "repro.serving.complete_many so prompts share "
-                    "vectorized model forwards",
+                    message=f"per-prompt {node.func.attr}() call inside "
+                    f"a loop; batch it through {batched} so prompts "
+                    "share vectorized model forwards",
                     line=node.lineno,
                     source=path,
                 )

@@ -19,7 +19,7 @@ from repro.models import GPTModel
 from repro.api.hub import ModelHub
 from repro.nn import QuantizationReport, quantize_model, set_fused_attention
 from repro.reliability.clock import Clock, SystemClock
-from repro.serving import BatchRequest, BatchScheduler, PrefixCache
+from repro.serving import BatchRequest, BatchScheduler, PrefixCache, SemanticCache
 
 
 @dataclass(frozen=True)
@@ -46,6 +46,11 @@ class EngineStats:
     ``queue_wait_seconds`` accumulates each batched request's
     admission→dispatch wait on the client's clock — the term that lets
     end-to-end latency be split into waiting vs decoding.
+
+    The ``cache_*`` counters cover the semantic completion cache: a
+    cache hit never reaches the engine, so it is *not* billed as a
+    request or as prompt/completion tokens — instead the prefill and
+    decode tokens it would have cost are recorded as skipped.
     """
 
     requests: int = 0
@@ -58,10 +63,34 @@ class EngineStats:
     draft_accepted_tokens: int = 0
     verify_forwards: int = 0
     queue_wait_seconds: float = 0.0
+    cache_lookups: int = 0
+    cache_exact_hits: int = 0
+    cache_similarity_hits: int = 0
+    cache_skipped_prompt_tokens: int = 0
+    cache_skipped_completion_tokens: int = 0
 
     @property
     def total_tokens(self) -> int:
         return self.prompt_tokens + self.completion_tokens
+
+    @property
+    def cache_hits(self) -> int:
+        """Completions served from the semantic cache (no engine work)."""
+        return self.cache_exact_hits + self.cache_similarity_hits
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if self.cache_lookups == 0:
+            return 0.0
+        return self.cache_hits / self.cache_lookups
+
+    @property
+    def cache_skipped_tokens(self) -> int:
+        """Prefill + decode tokens the semantic cache saved this engine."""
+        return (
+            self.cache_skipped_prompt_tokens
+            + self.cache_skipped_completion_tokens
+        )
 
     @property
     def acceptance_rate(self) -> float:
@@ -165,6 +194,15 @@ class CompletionClient:
       speculative-decoding draft model for greedy requests; outputs
       stay token-identical while each target forward advances up to
       ``speculative_k + 1`` tokens.
+    * ``semantic_cache_bytes`` enables the
+      :class:`~repro.serving.SemanticCache`: repeated requests — same
+      engine, prompt, and decode parameters — return their cached
+      :class:`CompletionResponse` without any prefill *or* decode.
+      Exact hits are byte-identical to re-decoding (generation is
+      seeded-deterministic); near-duplicate hits change outputs, so
+      they only run when a call passes ``allow_similar=True``. Cached
+      entries are invalidated per engine on model identity, like the
+      prefix cache. Constrained requests are never cached.
 
     The transformed serving copies (and their prefix caches) are cached
     per engine and rebuilt whenever the hub re-registers the model.
@@ -179,6 +217,8 @@ class CompletionClient:
         fused_attention: bool = False,
         speculative_draft: Optional[str] = None,
         speculative_k: int = 4,
+        semantic_cache_bytes: int = 0,
+        semantic_cache: Optional[SemanticCache] = None,
     ) -> None:
         self.hub = hub
         self.prefix_cache_bytes = prefix_cache_bytes
@@ -187,8 +227,16 @@ class CompletionClient:
         self.fused_attention = fused_attention
         self.speculative_draft = speculative_draft
         self.speculative_k = speculative_k
+        if semantic_cache is not None:
+            self.semantic_cache: Optional[SemanticCache] = semantic_cache
+        elif semantic_cache_bytes > 0:
+            self.semantic_cache = SemanticCache(max_bytes=semantic_cache_bytes)
+        else:
+            self.semantic_cache = None
         self._stats: Dict[str, EngineStats] = {}
         self._prefix_caches: Dict[str, Tuple[object, PrefixCache]] = {}
+        #: engine -> hub model the semantic cache's entries were decoded by
+        self._semcache_models: Dict[str, object] = {}
         # engine -> (hub model, serving copy, quantization report)
         self._serving_models: Dict[
             str, Tuple[object, object, Optional[QuantizationReport]]
@@ -261,6 +309,61 @@ class CompletionClient:
             self._prefix_caches[engine] = stored
         return stored[1]
 
+    def _completion_cache(self, engine: str) -> Optional[SemanticCache]:
+        """The semantic cache, with ``engine``'s entries identity-checked.
+
+        Cached completions are only valid for the exact model that
+        decoded them, so the engine's group is flushed whenever the hub
+        re-registers it with a different model — the same invalidation
+        rule as :meth:`prefix_cache`.
+        """
+        cache = self.semantic_cache
+        if cache is None:
+            return None
+        model = self.hub.get(engine).model
+        if self._semcache_models.get(engine) is not model:
+            if engine in self._semcache_models:
+                cache.invalidate(engine)
+            self._semcache_models[engine] = model
+        return cache
+
+    @staticmethod
+    def _cache_key(
+        engine: str,
+        prompt: str,
+        max_tokens: int,
+        temperature: float,
+        top_p: float,
+        n: int,
+        stop: Sequence[str],
+        seed: int,
+    ) -> Tuple:
+        """Exact-match key: everything that determines the response."""
+        return (engine, prompt, max_tokens, temperature, top_p, n, tuple(stop), seed)
+
+    def _record_cache_hit(self, engine: str, hit) -> CompletionResponse:
+        stats = self.engine_stats(engine)
+        if hit.kind == "exact":
+            stats.cache_exact_hits += 1
+        else:
+            stats.cache_similarity_hits += 1
+        stats.cache_skipped_prompt_tokens += hit.prompt_tokens
+        stats.cache_skipped_completion_tokens += hit.completion_tokens
+        return hit.value
+
+    def _cache_insert(
+        self, cache: SemanticCache, key: Tuple, engine: str, prompt: str,
+        response: CompletionResponse,
+    ) -> None:
+        cache.insert(
+            key,
+            response,
+            group=engine,
+            text=prompt,
+            prompt_tokens=response.usage.prompt_tokens,
+            completion_tokens=response.usage.completion_tokens,
+        )
+
     def complete(
         self,
         engine: str,
@@ -272,12 +375,16 @@ class CompletionClient:
         stop: Sequence[str] = (),
         seed: int = 0,
         constraint: Optional[TokenConstraint] = None,
+        allow_similar: bool = False,
     ) -> CompletionResponse:
         """Complete ``prompt`` with the named engine.
 
         ``temperature == 0`` selects greedy decoding (the OpenAI
         convention); positive temperatures sample. ``stop`` strings
-        truncate each returned text at the first occurrence.
+        truncate each returned text at the first occurrence. With a
+        semantic cache enabled, an exact repeat returns its cached
+        response without touching the engine; ``allow_similar=True``
+        additionally accepts a near-duplicate prompt's completion.
         """
         entry = self.hub.get(engine)
         if not isinstance(entry.model, GPTModel):
@@ -286,6 +393,18 @@ class CompletionClient:
         tokenizer = entry.tokenizer
         if n <= 0:
             raise ModelError("n must be positive")
+        cache = self._completion_cache(engine) if constraint is None else None
+        key = None
+        if cache is not None:
+            key = self._cache_key(
+                engine, prompt, max_tokens, temperature, top_p, n, stop, seed
+            )
+            self.engine_stats(engine).cache_lookups += 1
+            hit = cache.lookup(
+                key, group=engine, text=prompt, allow_similar=allow_similar
+            )
+            if hit is not None:
+                return self._record_cache_hit(engine, hit)
         draft = self._draft_model()
 
         prompt_ids = tokenizer.encode(prompt, add_bos=True).ids
@@ -313,13 +432,16 @@ class CompletionClient:
         stats.requests += 1
         stats.prompt_tokens += len(prompt_ids)
         stats.completion_tokens += completion_tokens
-        return CompletionResponse(
+        response = CompletionResponse(
             engine=engine,
             choices=choices,
             usage=Usage(
                 prompt_tokens=len(prompt_ids), completion_tokens=completion_tokens
             ),
         )
+        if cache is not None:
+            self._cache_insert(cache, key, engine, prompt, response)
+        return response
 
     def complete_batch(
         self,
@@ -336,6 +458,7 @@ class CompletionClient:
         prefill_chunk: Optional[int] = None,
         prefix_caching: bool = True,
         continuous: bool = True,
+        allow_similar: bool = False,
     ) -> List[CompletionResponse]:
         """Complete many prompts in one serving pass; one response per prompt.
 
@@ -352,6 +475,11 @@ class CompletionClient:
         attributed exactly as if each prompt were a request of its own.
         ``constraints`` optionally carries one per-prompt decoding
         constraint, aligned with ``prompts``.
+
+        With a semantic cache enabled, cached prompts (and exact
+        duplicates *within* the batch) skip the engine entirely; only
+        the remaining misses are scheduled. ``allow_similar=True``
+        additionally serves near-duplicate prompts from the cache.
         """
         entry = self.hub.get(engine)
         if not isinstance(entry.model, GPTModel):
@@ -364,6 +492,39 @@ class CompletionClient:
             raise ModelError("constraints must align one-to-one with prompts")
         if not prompts:
             return []
+        cache = self._completion_cache(engine)
+        served: Dict[int, CompletionResponse] = {}
+        keys: List[Optional[Tuple]] = [None] * len(prompts)
+        duplicate_of: Dict[int, int] = {}
+        to_run = list(range(len(prompts)))
+        if cache is not None:
+            to_run = []
+            leaders: Dict[Tuple, int] = {}
+            stats = self.engine_stats(engine)
+            for i, prompt in enumerate(prompts):
+                constraint = constraints[i] if constraints is not None else None
+                if constraint is not None:
+                    to_run.append(i)
+                    continue
+                key = self._cache_key(
+                    engine, prompt, max_tokens, temperature, top_p, n, stop, seed
+                )
+                keys[i] = key
+                stats.cache_lookups += 1
+                hit = cache.lookup(
+                    key, group=engine, text=prompt, allow_similar=allow_similar
+                )
+                if hit is not None:
+                    served[i] = self._record_cache_hit(engine, hit)
+                elif key in leaders:
+                    # An exact duplicate earlier in this same batch will
+                    # decode it; serve this copy from that result.
+                    duplicate_of[i] = leaders[key]
+                else:
+                    leaders[key] = i
+                    to_run.append(i)
+            if not to_run:
+                return [served[i] for i in range(len(prompts))]
         draft = self._draft_model()
 
         scheduler = BatchScheduler(
@@ -385,8 +546,8 @@ class CompletionClient:
         config = _request_config(tokenizer, max_tokens, temperature, top_p, seed)
         tickets = []
         encoded = []
-        for i, prompt in enumerate(prompts):
-            prompt_ids = tokenizer.encode(prompt, add_bos=True).ids
+        for i in to_run:
+            prompt_ids = tokenizer.encode(prompts[i], add_bos=True).ids
             encoded.append(prompt_ids)
             constraint = constraints[i] if constraints is not None else None
             tickets.append(
@@ -406,8 +567,7 @@ class CompletionClient:
         stats.draft_accepted_tokens += scheduler.stats.draft_accepted_tokens
         stats.verify_forwards += scheduler.stats.verify_forwards
         stats.queue_wait_seconds += scheduler.stats.queue_wait_total
-        responses: List[CompletionResponse] = []
-        for prompt_ids, ticket in zip(encoded, tickets):
+        for i, prompt_ids, ticket in zip(to_run, encoded, tickets):
             choices: List[CompletionChoice] = []
             completion_tokens = 0
             for index, out_ids in enumerate(results[ticket].sequences):
@@ -419,17 +579,26 @@ class CompletionClient:
             stats.requests += 1
             stats.prompt_tokens += len(prompt_ids)
             stats.completion_tokens += completion_tokens
-            responses.append(
-                CompletionResponse(
-                    engine=engine,
-                    choices=choices,
-                    usage=Usage(
-                        prompt_tokens=len(prompt_ids),
-                        completion_tokens=completion_tokens,
-                    ),
-                )
+            response = CompletionResponse(
+                engine=engine,
+                choices=choices,
+                usage=Usage(
+                    prompt_tokens=len(prompt_ids),
+                    completion_tokens=completion_tokens,
+                ),
             )
-        return responses
+            served[i] = response
+            if cache is not None and keys[i] is not None:
+                self._cache_insert(cache, keys[i], engine, prompts[i], response)
+        for i, leader in duplicate_of.items():
+            # Identical request, identical (deterministic) response; it
+            # skipped decode, which is what the cache counters record.
+            response = served[leader]
+            stats.cache_exact_hits += 1
+            stats.cache_skipped_prompt_tokens += response.usage.prompt_tokens
+            stats.cache_skipped_completion_tokens += response.usage.completion_tokens
+            served[i] = response
+        return [served[i] for i in range(len(prompts))]
 
     def engine_stats(self, engine: str) -> EngineStats:
         """Cumulative counters for one engine (created on first use)."""

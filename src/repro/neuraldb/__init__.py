@@ -10,21 +10,34 @@ retriever is an embedding index over our BERT encoder (with a lexical
 baseline for comparison), the reader is a fine-tuned causal LM that maps
 ``fact + question -> answer``, and the operator layer supports lookup,
 count, and two-hop join queries.
+
+At corpus scale (10^5+ facts) retrieval runs in two stages — an
+:class:`InvertedIndex` candidate generator over token postings feeding
+blocked embedding scoring — mutations maintain the index incrementally
+(embed one fact, tombstone one row), and the scan operators decode all
+per-fact reader prompts through one batched scheduler pass.
 """
 
 from repro.neuraldb.facts import FactWorld, generate_fact_world
+from repro.neuraldb.index import InvertedIndex
 from repro.neuraldb.reader import NeuralReader, train_reader
-from repro.neuraldb.retriever import EmbeddingRetriever, LexicalRetriever
+from repro.neuraldb.retriever import (
+    EmbeddingRetriever,
+    LexicalRetriever,
+    RetrieverStats,
+)
 from repro.neuraldb.store import NeuralDatabase, QueryOutcome
 from repro.neuraldb.evaluate import NeuralDBReport, evaluate_neuraldb
 
 __all__ = [
     "FactWorld",
     "generate_fact_world",
+    "InvertedIndex",
     "NeuralReader",
     "train_reader",
     "LexicalRetriever",
     "EmbeddingRetriever",
+    "RetrieverStats",
     "NeuralDatabase",
     "QueryOutcome",
     "NeuralDBReport",

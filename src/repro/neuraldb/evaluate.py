@@ -22,21 +22,31 @@ class NeuralDBReport:
 
 
 def evaluate_neuraldb(ndb: NeuralDatabase, world: FactWorld) -> NeuralDBReport:
-    """Score lookup, count, and join queries against ground truth."""
-    lookup_hits = 0
-    for person, dept in world.works_in.items():
-        outcome = ndb.lookup(f"where does {person} work ?")
-        lookup_hits += int(str(outcome.answer) == dept)
+    """Score lookup, count, and join queries against ground truth.
+
+    Lookup and join queries run through the store's batch entry points,
+    so each query family is a handful of batched decodes rather than a
+    per-person generation loop.
+    """
+    people = world.people
+    lookup_outcomes = ndb.lookup_batch(
+        [f"where does {person} work ?" for person in people]
+    )
+    lookup_hits = sum(
+        int(str(outcome.answer) == world.works_in[person])
+        for person, outcome in zip(people, lookup_outcomes)
+    )
 
     count_hits = 0
     for dept in world.departments:
         outcome = ndb.count_department(dept)
         count_hits += int(outcome.answer == world.count_in_department(dept))
 
-    join_hits = 0
-    for person in world.people:
-        outcome = ndb.join_lookup(person)
-        join_hits += int(str(outcome.answer) == world.building_of_person(person))
+    join_outcomes = ndb.join_lookup_batch(people)
+    join_hits = sum(
+        int(str(outcome.answer) == world.building_of_person(person))
+        for person, outcome in zip(people, join_outcomes)
+    )
 
     return NeuralDBReport(
         lookup_accuracy=lookup_hits / len(world.works_in),

@@ -46,17 +46,42 @@ class FactWorld:
         return self.located_in[self.works_in[person]]
 
 
-def generate_fact_world(num_people: int = 12, seed: int = 0) -> FactWorld:
-    """Sample a world and render every relation as one NL sentence."""
+def generate_fact_world(
+    num_people: int = 12,
+    seed: int = 0,
+    num_departments: int = 4,
+    num_buildings: int = 4,
+) -> FactWorld:
+    """Sample a world and render every relation as one NL sentence.
+
+    ``num_departments``/``num_buildings`` grow past the named lists
+    with synthetic entities (``dept7``, ``building9``) so corpus-scale
+    worlds (10^5+ facts) keep distinct, retrievable entity names. The
+    defaults reproduce the original named world byte-for-byte under a
+    given seed.
+    """
+    if num_people <= 0 or num_departments <= 0 or num_buildings <= 0:
+        raise ValueError("world dimensions must be positive")
     rng = SeededRNG(seed)
     world = FactWorld()
     people = _PEOPLE[:num_people]
     if num_people > len(_PEOPLE):
         people = people + [f"person{i}" for i in range(num_people - len(_PEOPLE))]
+    departments = _DEPARTMENTS[:num_departments]
+    if num_departments > len(_DEPARTMENTS):
+        departments = departments + [
+            f"dept{i}" for i in range(num_departments - len(_DEPARTMENTS))
+        ]
+    buildings = _BUILDINGS[:num_buildings]
+    if num_buildings > len(_BUILDINGS):
+        buildings = buildings + [
+            f"building{i}" for i in range(num_buildings - len(_BUILDINGS))
+        ]
     for person in people:
-        world.works_in[person] = rng.choice(_DEPARTMENTS)
-    for dept, building in zip(_DEPARTMENTS, rng.shuffled(_BUILDINGS)):
-        world.located_in[dept] = building
+        world.works_in[person] = rng.choice(departments)
+    shuffled = rng.shuffled(buildings)
+    for i, dept in enumerate(departments):
+        world.located_in[dept] = shuffled[i % len(shuffled)]
 
     for person, dept in world.works_in.items():
         template = rng.choice(_WORK_TEMPLATES)

@@ -32,13 +32,52 @@ class NeuralReader:
         prompt_ids = self.tokenizer.encode(
             _linearize(fact, question), add_bos=True
         ).ids
-        config = GenerationConfig(
+        out_ids = generate(self.model, prompt_ids, self._config(max_tokens))
+        return self.tokenizer.decode(out_ids).strip()
+
+    def read_batch(
+        self,
+        items: Sequence[Tuple[str, str]],
+        max_tokens: int = 4,
+        max_batch_size: int = 8,
+    ) -> List[str]:
+        """One answer per ``(fact, question)`` pair, decoded in batches.
+
+        Runs every prompt through the serving
+        :class:`~repro.serving.scheduler.BatchScheduler`, whose greedy
+        decoding is token-identical to per-pair :meth:`read` — this is
+        what the aggregation operators' full-store scans call instead
+        of a per-fact generation loop.
+        """
+        if not items:
+            return []
+        from repro.serving import BatchRequest, BatchScheduler
+
+        scheduler = BatchScheduler(self.model, max_batch_size=max_batch_size)
+        config = self._config(max_tokens)
+        tickets = [
+            scheduler.submit(
+                BatchRequest(
+                    self.tokenizer.encode(
+                        _linearize(fact, question), add_bos=True
+                    ).ids,
+                    config,
+                )
+            )
+            for fact, question in items
+        ]
+        results = scheduler.run()
+        return [
+            self.tokenizer.decode(results[ticket].sequences[0]).strip()
+            for ticket in tickets
+        ]
+
+    def _config(self, max_tokens: int) -> GenerationConfig:
+        return GenerationConfig(
             max_new_tokens=max_tokens,
             strategy="greedy",
             stop_ids=(self.tokenizer.vocab.eos_id,),
         )
-        out_ids = generate(self.model, prompt_ids, config)
-        return self.tokenizer.decode(out_ids).strip()
 
 
 def train_reader(

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.errors import NeuralDBError
 from repro.neuraldb.reader import NeuralReader
@@ -30,6 +30,14 @@ class NeuralDatabase:
     * :meth:`count` — aggregate over per-fact reader outputs;
     * :meth:`join_lookup` — two-hop composition (person -> department ->
       building) through intermediate answers.
+
+    Scan operators (:meth:`count`, :meth:`count_department`) and the
+    batch entry points (:meth:`lookup_batch`, :meth:`join_lookup_batch`)
+    run every per-fact reader prompt through one batched decode
+    (:meth:`~repro.neuraldb.reader.NeuralReader.read_batch`) instead of
+    a per-fact generation loop. Mutations are delegated to the
+    retriever's incremental index — inserting a fact embeds that fact
+    alone, never the corpus.
     """
 
     def __init__(self, retriever: Retriever, reader: NeuralReader) -> None:
@@ -42,66 +50,114 @@ class NeuralDatabase:
 
     # -- mutations (NeuralDB supports inserts/deletes of facts) -------------
     def add_fact(self, fact: str) -> None:
-        """Insert one NL fact and refresh the retrieval index."""
+        """Insert one NL fact and index it incrementally."""
         if not fact.strip():
             raise NeuralDBError("cannot store an empty fact")
-        self.retriever.facts.append(fact)
-        self._reindex()
+        self.retriever.add_fact(fact)
 
     def remove_fact(self, fact: str) -> None:
-        """Delete one NL fact (exact match) and refresh the index."""
-        try:
-            self.retriever.facts.remove(fact)
-        except ValueError:
-            raise NeuralDBError(f"fact not stored: {fact!r}") from None
-        if not self.retriever.facts:
+        """Delete one NL fact (exact match); its index entry tombstones."""
+        if fact not in self.retriever.facts:
+            raise NeuralDBError(f"fact not stored: {fact!r}")
+        if len(self.retriever.facts) == 1:
             raise NeuralDBError("cannot remove the last fact of the store")
-        self._reindex()
+        self.retriever.remove_fact(fact)
 
-    def _reindex(self) -> None:
-        if isinstance(self.retriever, EmbeddingRetriever):
-            self.retriever._index = self.retriever._embed(self.retriever.facts)
+    def _read_many(self, items: Sequence[Tuple[str, str]]) -> List[str]:
+        """Answer every ``(fact, question)`` pair, batched when possible.
 
+        Readers exposing ``read_batch`` decode all prompts in one
+        scheduler pass; stub readers without it fall back to a
+        per-pair loop — mirroring :func:`repro.serving.complete_many`.
+        """
+        batch = getattr(self.reader, "read_batch", None)
+        if batch is not None:
+            return list(batch(items))
+        # The designated fallback loop for batchless stub readers:
+        return [self.reader.read(f, q) for f, q in items]  # repro: noqa[per-prompt-loop]
+
+    # -- operators ----------------------------------------------------------
     def lookup(self, question: str, top_k: int = 2) -> QueryOutcome:
         """Answer from the single best-supported fact."""
-        hits = self.retriever.retrieve(question, top_k=top_k)
-        if not hits:
-            raise NeuralDBError("retriever returned no facts")
-        best_fact = hits[0][0]
-        answer = self.reader.read(best_fact, question)
-        return QueryOutcome(answer=answer, supporting_facts=[h[0] for h in hits])
+        return self.lookup_batch([question], top_k=top_k)[0]
+
+    def lookup_batch(
+        self, questions: Sequence[str], top_k: int = 2
+    ) -> List[QueryOutcome]:
+        """One :meth:`lookup` per question, read in one batched decode."""
+        if not questions:
+            return []
+        hits_per_question = [
+            self.retriever.retrieve(question, top_k=top_k)
+            for question in questions
+        ]
+        for hits in hits_per_question:
+            if not hits:
+                raise NeuralDBError("retriever returned no facts")
+        answers = self._read_many(
+            [
+                (hits[0][0], question)
+                for hits, question in zip(hits_per_question, questions)
+            ]
+        )
+        return [
+            QueryOutcome(answer=answer, supporting_facts=[h[0] for h in hits])
+            for answer, hits in zip(answers, hits_per_question)
+        ]
 
     def count(self, entity: str, question_of_fact: str, expected: str) -> QueryOutcome:
         """Count facts whose per-fact answer equals ``expected``.
 
         ``question_of_fact`` is asked against *every* fact (the scan is
-        NeuralDB's parallelizable select); facts answering ``expected``
-        are tallied. ``entity`` is only used to phrase provenance.
+        NeuralDB's parallelizable select — one batched decode here);
+        facts answering ``expected`` are tallied. ``entity`` is only
+        used to phrase provenance.
         """
-        supporting: List[str] = []
-        for fact in self.retriever.facts:
-            answer = self.reader.read(fact, question_of_fact.format(fact=fact))
-            if answer == expected:
-                supporting.append(fact)
+        facts = self.retriever.facts
+        answers = self._read_many(
+            [(fact, question_of_fact.format(fact=fact)) for fact in facts]
+        )
+        supporting = [
+            fact for fact, answer in zip(facts, answers) if answer == expected
+        ]
         return QueryOutcome(answer=len(supporting), supporting_facts=supporting)
 
     def count_department(self, dept: str) -> QueryOutcome:
         """How many people work in ``dept``? (a canonical count query)."""
-        supporting: List[str] = []
-        for fact in self.retriever.facts:
-            if "located" in fact or "sits" in fact:
-                continue  # location facts describe departments, not people
-            answer = self.reader.read(fact, "where does this person work ?")
-            if answer == dept:
-                supporting.append(fact)
+        person_facts = [
+            fact
+            for fact in self.retriever.facts
+            # location facts describe departments, not people
+            if "located" not in fact and "sits" not in fact
+        ]
+        answers = self._read_many(
+            [(fact, "where does this person work ?") for fact in person_facts]
+        )
+        supporting = [
+            fact for fact, answer in zip(person_facts, answers) if answer == dept
+        ]
         return QueryOutcome(answer=len(supporting), supporting_facts=supporting)
 
     def join_lookup(self, person: str) -> QueryOutcome:
         """Which building does ``person`` work in? (two-hop join)."""
-        first = self.lookup(f"where does {person} work ?")
-        dept = str(first.answer)
-        second = self.lookup(f"where is {dept} located ?")
-        return QueryOutcome(
-            answer=second.answer,
-            supporting_facts=first.supporting_facts[:1] + second.supporting_facts[:1],
+        return self.join_lookup_batch([person])[0]
+
+    def join_lookup_batch(self, persons: Sequence[str]) -> List[QueryOutcome]:
+        """Two-hop joins, each hop one batched decode across persons."""
+        if not persons:
+            return []
+        first = self.lookup_batch(
+            [f"where does {person} work ?" for person in persons]
         )
+        second = self.lookup_batch(
+            [f"where is {outcome.answer} located ?" for outcome in first]
+        )
+        return [
+            QueryOutcome(
+                answer=hop2.answer,
+                supporting_facts=(
+                    hop1.supporting_facts[:1] + hop2.supporting_facts[:1]
+                ),
+            )
+            for hop1, hop2 in zip(first, second)
+        ]

@@ -6,6 +6,10 @@ prefill, per-sequence stop handling, a prompt-prefix K/V cache
 (:class:`PrefixCache`), retire-and-admit continuous batching, and a
 FIFO microbatching scheduler. See :class:`BatchedGenerator` for the
 engine and :class:`BatchScheduler` for the queueing front-end.
+Above the scheduler, :class:`SemanticCache` memoizes whole
+completions — exact-match on the full request key plus an opt-in
+embedding-similarity tier — so repeated prompts skip prefill and
+decode entirely.
 :class:`SpeculativeGenerator` layers draft-and-verify speculative
 decoding on top: a distilled draft model (:func:`distill_draft`)
 proposes runs of tokens the target verifies in one batched forward,
@@ -37,6 +41,13 @@ from repro.serving.kvcache import KVCache
 from repro.serving.loadgen import LoadReport, OpenLoopLoad, run_open_loop, sweep
 from repro.serving.prefix import PrefixCache, PrefixCacheStats
 from repro.serving.scheduler import BatchScheduler, SchedulerStats
+from repro.serving.semcache import (
+    CacheHit,
+    SemanticCache,
+    SemanticCacheStats,
+    completion_request_key,
+    hashed_embedding,
+)
 from repro.serving.speculative import (
     SpeculativeGenerator,
     distill_draft,
@@ -63,10 +74,15 @@ __all__ = [
     "OpenLoopLoad",
     "PrefixCache",
     "PrefixCacheStats",
+    "CacheHit",
     "Replica",
     "SchedulerStats",
+    "SemanticCache",
+    "SemanticCacheStats",
     "ServiceModel",
     "complete_many",
+    "completion_request_key",
+    "hashed_embedding",
     "engine_serving_stats",
     "run_open_loop",
     "sweep",

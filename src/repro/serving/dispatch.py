@@ -55,4 +55,14 @@ def engine_serving_stats(client, engine: str) -> dict:
         "verify_forwards": float(getattr(stats, "verify_forwards", 0)),
         "acceptance_rate": float(getattr(stats, "acceptance_rate", 0.0)),
         "queue_wait_seconds": float(getattr(stats, "queue_wait_seconds", 0.0)),
+        "cache_lookups": float(getattr(stats, "cache_lookups", 0)),
+        "cache_exact_hits": float(getattr(stats, "cache_exact_hits", 0)),
+        "cache_similarity_hits": float(getattr(stats, "cache_similarity_hits", 0)),
+        "cache_hit_rate": float(getattr(stats, "cache_hit_rate", 0.0)),
+        "cache_skipped_prompt_tokens": float(
+            getattr(stats, "cache_skipped_prompt_tokens", 0)
+        ),
+        "cache_skipped_completion_tokens": float(
+            getattr(stats, "cache_skipped_completion_tokens", 0)
+        ),
     }

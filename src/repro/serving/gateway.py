@@ -14,7 +14,11 @@ the two things front doors die of — overload and replica failure:
   is *shed at the door* with a 429-style
   :class:`~repro.errors.GatewayOverloadError` instead of queued to
   death, which is what keeps accepted-request p99 latency bounded at
-  2x-saturation offered load.
+  2x-saturation offered load. An optional
+  :class:`~repro.serving.semcache.SemanticCache` sits *in front of*
+  admission: an exact repeat of a completed request is answered from
+  the cache before the tenant's quota bucket is even consulted — a
+  cache hit costs the tenant nothing and no replica any work.
 * **SLO-aware dispatch.** The queue drains in ``(priority, arrival)``
   order; a request carries a deadline *budget* and — following the
   :class:`~repro.reliability.retry.Retrier` deadline-accounting rule of
@@ -74,6 +78,7 @@ from repro.reliability.ratelimit import TokenBucket
 from repro.serving.engine import BatchRequest, BatchResult
 from repro.serving.prefix import PrefixCache
 from repro.serving.scheduler import BatchScheduler
+from repro.serving.semcache import SemanticCache, completion_request_key
 
 
 @dataclass(frozen=True)
@@ -214,6 +219,10 @@ class GatewayStats:
 
     submitted: int = 0
     admitted: int = 0
+    #: answered from the semantic cache before admission — these never
+    #: count as ``admitted`` (no queue slot, no quota token, no decode),
+    #: so the settlement identity over admitted requests is unaffected.
+    cache_hits: int = 0
     completed: int = 0
     cancelled: int = 0
     failed: int = 0
@@ -275,6 +284,7 @@ class Gateway:
         max_attempts: int = 3,
         probe_interval: float = 1.0,
         decode_in_thread: bool = True,
+        completion_cache: Optional[SemanticCache] = None,
     ) -> None:
         if not replicas:
             raise GenerationError("a gateway needs at least one replica")
@@ -289,6 +299,7 @@ class Gateway:
         self.max_attempts = max_attempts
         self.probe_interval = probe_interval
         self.decode_in_thread = decode_in_thread
+        self.completion_cache = completion_cache
         self.stats = GatewayStats()
         self._heap: List[Tuple[int, int, _Ticket]] = []
         self._next_id = 0
@@ -351,8 +362,16 @@ class Gateway:
         quota / queue full) or :class:`~repro.errors.CircuitOpenError`
         (every replica's breaker is open) — the three shed verdicts a
         front door can return without doing any work.
+
+        With a :class:`~repro.serving.semcache.SemanticCache`
+        configured, an exact repeat of a completed request resolves
+        here — *before* the tenant's quota bucket is debited or a queue
+        slot taken — so cached traffic can never shed a tenant.
         """
         self.stats.submitted += 1
+        cached = self._cache_lookup(request)
+        if cached is not None:
+            return cached
         bucket = self.quotas.get(request.tenant)
         if bucket is not None and not bucket.try_acquire():
             self.stats.shed_quota += 1
@@ -387,6 +406,44 @@ class Gateway:
         self._next_id += 1
         self.stats.admitted += 1
         self._push(ticket)
+        return ticket
+
+    def _cache_lookup(self, request: GatewayRequest) -> Optional[_Ticket]:
+        """Serve an exact repeat from the completion cache, if any.
+
+        A hit never touches quota, queue, or breakers: the ticket comes
+        back already resolved (replica ``"cache"``, zero wait/latency)
+        and is not counted as admitted — the settlement identity over
+        admitted requests stays intact.
+        """
+        if self.completion_cache is None:
+            return None
+        key = completion_request_key(request.request)
+        if key is None:
+            return None
+        hit = self.completion_cache.lookup(key, group="completions")
+        if hit is None:
+            return None
+        self.stats.cache_hits += 1
+        now = self.clock.monotonic()
+        ticket = _Ticket(
+            id=self._next_id,
+            request=request,
+            future=asyncio.get_running_loop().create_future(),
+            admitted_at=now,
+            enqueued_at=now,
+            deadline_at=None,
+        )
+        self._next_id += 1
+        ticket.future.set_result(
+            GatewayResult(
+                sequences=[list(ids) for ids in hit.value],
+                replica="cache",
+                attempts=0,
+                queue_wait=0.0,
+                latency=0.0,
+            )
+        )
         return ticket
 
     async def submit(self, request: GatewayRequest) -> GatewayResult:
@@ -629,6 +686,7 @@ class Gateway:
                 self._finish_cancelled(ticket)
                 continue
             self.stats.completed += 1
+            self._cache_store(ticket, result)
             self._resolve(
                 ticket,
                 GatewayResult(
@@ -639,6 +697,25 @@ class Gateway:
                     latency=now - ticket.admitted_at,
                 ),
             )
+
+    def _cache_store(self, ticket: _Ticket, result: BatchResult) -> None:
+        """Remember a completed request's sequences for exact repeats."""
+        if self.completion_cache is None:
+            return
+        key = completion_request_key(ticket.request.request)
+        if key is None:
+            return
+        # Sequences hold generated ids only; the prompt is the skipped
+        # prefill work, the sequences the skipped decode work.
+        prompt_tokens = len(ticket.request.request.prompt_ids)
+        completion_tokens = sum(len(ids) for ids in result.sequences)
+        self.completion_cache.insert(
+            key,
+            [list(ids) for ids in result.sequences],
+            group="completions",
+            prompt_tokens=prompt_tokens,
+            completion_tokens=completion_tokens,
+        )
 
     def _resolve(self, ticket: _Ticket, result: GatewayResult) -> None:
         if ticket.future.done():

@@ -1,0 +1,380 @@
+"""Semantic completion cache: skip decode for repeated (and near-duplicate) prompts.
+
+The :class:`~repro.serving.prefix.PrefixCache` reuses KV *state* but
+every request still pays full decode. The data-management workloads
+this repo serves (few-shot text-to-SQL sweeps, imputation, NeuralDB QA)
+are dominated by repeated and near-duplicate prompts, so the layer
+above it caches whole *completions*: a byte-budgeted LRU keyed on
+``(engine, prompt, decode-params)`` with two lookup tiers —
+
+* **exact** — a dict hit on the full key. The cached value was produced
+  by the same engine under the same decoding parameters (and decoding
+  is seeded-deterministic here), so returning it is byte-identical to
+  re-decoding; exact hits are always safe and always on.
+* **similarity** — a cosine search over normalized pooled embeddings of
+  the prompt text within the same group (engine). A hit above
+  ``similarity_threshold`` returns *another prompt's* completion, which
+  can change outputs — so similarity hits are **opt-in per call**
+  (``allow_similar=True``) and never consulted otherwise.
+
+The cache is generic over values: :class:`repro.api.CompletionClient`
+stores :class:`~repro.api.client.CompletionResponse` objects keyed by
+prompt text, while the :class:`~repro.serving.gateway.Gateway` stores
+raw token sequences keyed by prompt ids
+(:func:`completion_request_key`). Entries are grouped (by engine) so
+model-identity invalidation can flush one engine without cooling the
+rest, exactly like the prefix cache.
+
+Shared state: the entry dict, LRU clock, byte counter, and ``stats``
+all mutate on every lookup/insert with no synchronization — lookups
+are writes (they touch recency and hit counters), so concurrent use
+requires external serialization. The gateway respects this by calling
+the cache only from synchronous methods on its event loop.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GenerationError
+from repro.utils.text import simple_word_tokenize
+
+#: default byte budget — completions are small; this holds thousands
+DEFAULT_MAX_BYTES = 8 * 1024 * 1024
+
+#: default cosine threshold for similarity hits (inclusive)
+DEFAULT_SIMILARITY_THRESHOLD = 0.9
+
+#: dimensionality of the model-free hashed prompt embedding
+EMBEDDING_DIM = 256
+
+#: fixed per-entry bookkeeping charge (key tuple, links, counters)
+_ENTRY_OVERHEAD = 64
+
+
+def hashed_embedding(text: str, dim: int = EMBEDDING_DIM) -> np.ndarray:
+    """Normalized hashed bag-of-words embedding of ``text``.
+
+    Deterministic and model-free (CRC32 token buckets), so the cache
+    needs no encoder to measure prompt similarity: near-duplicate
+    prompts — same few-shot header, one changed row — land within a few
+    buckets of each other and cosine close to 1. Callers needing a
+    learned notion of similarity pass their own ``embedder``.
+    """
+    vector = np.zeros(dim, dtype=np.float64)
+    for token in simple_word_tokenize(text.lower()):
+        vector[zlib.crc32(token.encode("utf-8")) % dim] += 1.0
+    norm = float(np.linalg.norm(vector))
+    return vector / norm if norm > 0.0 else vector
+
+
+def completion_request_key(request: Any) -> Optional[Hashable]:
+    """Exact-match cache key for a serving-layer ``BatchRequest``.
+
+    Covers everything that determines the output: prompt token ids,
+    choice count, and the full decoding configuration (decoding is
+    seeded, so sampled requests replay deterministically too). Returns
+    ``None`` for constrained requests — a ``TokenConstraint`` is
+    stateful and has no stable identity, so those are never cached.
+    """
+    if request.constraint is not None:
+        return None
+    config = request.config
+    return (
+        tuple(int(t) for t in request.prompt_ids),
+        request.n,
+        config.max_new_tokens,
+        config.strategy,
+        config.temperature,
+        config.top_k,
+        config.top_p,
+        tuple(config.stop_ids),
+        config.seed,
+    )
+
+
+@dataclass
+class SemanticCacheStats:
+    """Hit/miss/byte accounting for one :class:`SemanticCache`."""
+
+    lookups: int = 0
+    exact_hits: int = 0
+    similarity_hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    oversized: int = 0
+    bytes: int = 0
+    skipped_prompt_tokens: int = 0
+    skipped_completion_tokens: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.exact_hits + self.similarity_hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def skipped_tokens(self) -> int:
+        """Prefill + decode tokens the cache saved the engines."""
+        return self.skipped_prompt_tokens + self.skipped_completion_tokens
+
+
+@dataclass(frozen=True)
+class CacheHit:
+    """One successful lookup: the value plus how it was found."""
+
+    value: Any
+    kind: str  # "exact" | "similarity"
+    similarity: float
+    prompt_tokens: int
+    completion_tokens: int
+
+
+class _Entry:
+    """One cached completion."""
+
+    __slots__ = (
+        "key",
+        "group",
+        "value",
+        "embedding",
+        "nbytes",
+        "prompt_tokens",
+        "completion_tokens",
+        "last_used",
+    )
+
+    def __init__(
+        self,
+        key: Hashable,
+        group: str,
+        value: Any,
+        embedding: Optional[np.ndarray],
+        nbytes: int,
+        prompt_tokens: int,
+        completion_tokens: int,
+    ) -> None:
+        self.key = key
+        self.group = group
+        self.value = value
+        self.embedding = embedding
+        self.nbytes = nbytes
+        self.prompt_tokens = prompt_tokens
+        self.completion_tokens = completion_tokens
+        self.last_used = 0
+
+
+def _estimate_nbytes(value: Any) -> int:
+    """Byte-size estimate for a cached value.
+
+    Understands the two value shapes the serving stack stores —
+    response-like objects (``.choices`` with ``.text``) and token
+    sequences (lists of int lists) — and falls back to ``repr`` length
+    for anything else.
+    """
+    choices = getattr(value, "choices", None)
+    if choices is not None:
+        return sum(len(choice.text) for choice in choices) + _ENTRY_OVERHEAD
+    if isinstance(value, (list, tuple)) and all(
+        isinstance(item, (list, tuple)) for item in value
+    ):
+        return sum(8 * len(item) for item in value) + _ENTRY_OVERHEAD
+    if isinstance(value, str):
+        return len(value) + _ENTRY_OVERHEAD
+    return len(repr(value)) + _ENTRY_OVERHEAD
+
+
+class SemanticCache:
+    """Byte-budgeted LRU cache of whole completions, in two tiers.
+
+    See the module docstring for the exact/similarity split. Eviction
+    is deterministic: entries age on a logical tick (every lookup that
+    touches them refreshes it) and the least-recently-used entry is
+    evicted first, with insertion order breaking ties — a seeded
+    workload always leaves the same survivors.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        similarity_threshold: float = DEFAULT_SIMILARITY_THRESHOLD,
+        embedder: Optional[Callable[[str], np.ndarray]] = None,
+    ) -> None:
+        if max_bytes <= 0:
+            raise GenerationError("max_bytes must be positive")
+        if not 0.0 < similarity_threshold <= 1.0:
+            raise GenerationError("similarity_threshold must be in (0, 1]")
+        self.max_bytes = max_bytes
+        self.similarity_threshold = similarity_threshold
+        self.embedder = embedder if embedder is not None else hashed_embedding
+        self.stats = SemanticCacheStats()
+        self._entries: Dict[Hashable, _Entry] = {}
+        self._groups: Dict[str, Dict[Hashable, _Entry]] = {}
+        self._tick = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def keys(self) -> List[Hashable]:
+        """Cached keys in insertion order (testing/introspection)."""
+        return list(self._entries)
+
+    # -- lookup ------------------------------------------------------------
+    def lookup(
+        self,
+        key: Hashable,
+        group: str = "default",
+        text: Optional[str] = None,
+        allow_similar: bool = False,
+        embedding: Optional[np.ndarray] = None,
+    ) -> Optional[CacheHit]:
+        """Return a :class:`CacheHit` for ``key`` (or a near-duplicate).
+
+        The exact tier matches ``key`` alone. The similarity tier runs
+        only with ``allow_similar=True`` and a ``text`` (or a
+        precomputed normalized ``embedding``): the best cosine within
+        ``group`` at or above ``similarity_threshold`` wins, earliest
+        insertion breaking ties. A miss returns ``None``.
+        """
+        self.stats.lookups += 1
+        self._tick += 1
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.last_used = self._tick
+            self.stats.exact_hits += 1
+            self.stats.skipped_prompt_tokens += entry.prompt_tokens
+            self.stats.skipped_completion_tokens += entry.completion_tokens
+            return CacheHit(
+                value=entry.value,
+                kind="exact",
+                similarity=1.0,
+                prompt_tokens=entry.prompt_tokens,
+                completion_tokens=entry.completion_tokens,
+            )
+        if allow_similar and (text is not None or embedding is not None):
+            if embedding is None:
+                embedding = self.embedder(text)
+            best, best_sim = self._best_similar(group, embedding)
+            if best is not None:
+                best.last_used = self._tick
+                self.stats.similarity_hits += 1
+                self.stats.skipped_prompt_tokens += best.prompt_tokens
+                self.stats.skipped_completion_tokens += best.completion_tokens
+                return CacheHit(
+                    value=best.value,
+                    kind="similarity",
+                    similarity=best_sim,
+                    prompt_tokens=best.prompt_tokens,
+                    completion_tokens=best.completion_tokens,
+                )
+        self.stats.misses += 1
+        return None
+
+    def _best_similar(
+        self, group: str, embedding: np.ndarray
+    ) -> Tuple[Optional[_Entry], float]:
+        """Highest-cosine entry of ``group`` at/above the threshold.
+
+        Iterates the group in insertion order with a strict-greater
+        update, so ties resolve to the earliest-inserted entry —
+        deterministic under any workload.
+        """
+        best: Optional[_Entry] = None
+        best_sim = 0.0
+        for entry in self._groups.get(group, {}).values():
+            if entry.embedding is None:
+                continue
+            similarity = float(embedding @ entry.embedding)
+            if similarity >= self.similarity_threshold and similarity > best_sim:
+                best, best_sim = entry, similarity
+        return best, best_sim
+
+    # -- insert / invalidate ----------------------------------------------
+    def insert(
+        self,
+        key: Hashable,
+        value: Any,
+        group: str = "default",
+        text: Optional[str] = None,
+        embedding: Optional[np.ndarray] = None,
+        prompt_tokens: int = 0,
+        completion_tokens: int = 0,
+        nbytes: Optional[int] = None,
+    ) -> bool:
+        """Store one completion; returns False if it exceeds the budget.
+
+        ``text`` (or a precomputed normalized ``embedding``) makes the
+        entry reachable through the similarity tier; without either it
+        is exact-match only. Re-inserting an existing key replaces the
+        old entry. A value whose own footprint exceeds ``max_bytes`` is
+        rejected up front (``stats.oversized``) instead of evicting the
+        whole cache for nothing — the PrefixCache oversized-prompt rule.
+        """
+        if embedding is None and text is not None:
+            embedding = self.embedder(text)
+        size = nbytes if nbytes is not None else _estimate_nbytes(value)
+        size += int(embedding.nbytes) if embedding is not None else 0
+        size += _ENTRY_OVERHEAD
+        if size > self.max_bytes:
+            self.stats.oversized += 1
+            return False
+        old = self._entries.get(key)
+        if old is not None:
+            self._remove(old)
+        entry = _Entry(
+            key=key,
+            group=group,
+            value=value,
+            embedding=embedding,
+            nbytes=size,
+            prompt_tokens=prompt_tokens,
+            completion_tokens=completion_tokens,
+        )
+        self._tick += 1
+        entry.last_used = self._tick
+        self._entries[key] = entry
+        self._groups.setdefault(group, {})[key] = entry
+        self.stats.bytes += size
+        self.stats.insertions += 1
+        while self.stats.bytes > self.max_bytes:
+            victim = min(
+                self._entries.values(), key=lambda e: e.last_used
+            )
+            self._remove(victim)
+            self.stats.evictions += 1
+        return True
+
+    def invalidate(self, group: str) -> int:
+        """Drop every entry of ``group`` (model identity changed)."""
+        entries = list(self._groups.get(group, {}).values())
+        for entry in entries:
+            self._remove(entry)
+        if entries:
+            self.stats.invalidations += 1
+        return len(entries)
+
+    def clear(self) -> None:
+        """Drop every entry in every group (stats are kept)."""
+        self._entries.clear()
+        self._groups.clear()
+        self.stats.bytes = 0
+
+    def _remove(self, entry: _Entry) -> None:
+        del self._entries[entry.key]
+        group = self._groups.get(entry.group)
+        if group is not None:
+            group.pop(entry.key, None)
+            if not group:
+                del self._groups[entry.group]
+        self.stats.bytes -= entry.nbytes

@@ -567,3 +567,83 @@ class TestLoadgen:
         # ...while goodput holds within 10% of the single-replica peak.
         peak = max(light.goodput, saturated.goodput)
         assert overloaded.goodput > 0.9 * peak
+
+
+class TestGatewayCompletionCache:
+    def test_cache_hit_skips_quota_and_decode(self, model, prompts):
+        from repro.serving import SemanticCache
+
+        clock = AsyncVirtualClock()
+
+        async def main():
+            cache = SemanticCache(max_bytes=64 * 1024)
+            quota = TokenBucket(0.001, capacity=1, clock=clock.virtual)
+            gateway = Gateway(
+                [make_replica("r0", model, clock)],
+                clock=clock,
+                quotas={"metered": quota},
+                completion_cache=cache,
+            )
+            await gateway.start()
+            first = await gateway.submit(
+                GatewayRequest(BatchRequest(prompts[0], config=CFG), tenant="metered")
+            )
+            # The bucket is empty (refill is ~never): an exact repeat
+            # must be served from the cache without touching it...
+            again = await gateway.submit(
+                GatewayRequest(BatchRequest(prompts[0], config=CFG), tenant="metered")
+            )
+            # ...while a *different* request still sheds on quota.
+            with pytest.raises(GatewayOverloadError):
+                await gateway.submit(
+                    GatewayRequest(
+                        BatchRequest(prompts[1], config=CFG), tenant="metered"
+                    )
+                )
+            await gateway.stop()
+            return gateway, first, again
+
+        gateway, first, again = run_virtual(main(), clock)
+        assert again.sequences == first.sequences
+        assert again.replica == "cache"
+        assert again.latency == 0.0
+        assert gateway.stats.cache_hits == 1
+        assert gateway.stats.shed_quota == 1
+        # The hit is not admitted work: the settlement ledger balances
+        # over decoded requests alone.
+        assert gateway.stats.admitted == 1
+        assert gateway.stats.completed == 1
+        assert gateway.stats.submitted == 3
+
+    def test_cached_sequences_token_identical(self, model, prompts, reference):
+        from repro.serving import SemanticCache
+
+        clock = AsyncVirtualClock()
+
+        async def main():
+            gateway = Gateway(
+                [make_replica("r0", model, clock)],
+                clock=clock,
+                completion_cache=SemanticCache(max_bytes=64 * 1024),
+            )
+            await gateway.start()
+            results = []
+            for _ in range(2):
+                results.append(
+                    await asyncio.gather(
+                        *[
+                            gateway.submit(
+                                GatewayRequest(BatchRequest(p, config=CFG))
+                            )
+                            for p in prompts
+                        ]
+                    )
+                )
+            await gateway.stop()
+            return gateway, results
+
+        gateway, (cold, warm) = run_virtual(main(), clock)
+        assert [r.sequences for r in cold] == reference
+        assert [r.sequences for r in warm] == reference
+        assert gateway.stats.cache_hits == len(prompts)
+        assert all(r.replica == "cache" for r in warm)

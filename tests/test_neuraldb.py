@@ -160,3 +160,229 @@ class TestNeuralDatabase:
         report = evaluate_neuraldb(lexical_db, world)
         assert 0.0 <= report.overall() <= 1.0
         assert report.overall() > 0.6
+
+
+class TestInvertedIndex:
+    def make(self, texts):
+        from repro.neuraldb import InvertedIndex
+
+        index = InvertedIndex()
+        for doc_id, text in enumerate(texts):
+            index.add(doc_id, text)
+        return index
+
+    def test_candidates_ranked_by_idf_overlap(self):
+        index = self.make(
+            [
+                "alice works in engineering .",
+                "bob works in sales .",
+                "engineering is located in the tower .",
+            ]
+        )
+        candidates = index.candidates("where does alice work ?")
+        # "alice" appears in one doc; that doc must rank first.
+        assert candidates[0] == 0
+
+    def test_common_tokens_are_stopworded(self):
+        texts = [f"person{i} works in engineering ." for i in range(10)]
+        texts.append("zoe sits in the annex .")
+        index = self.make(texts)
+        # "works" matches 10/11 docs (> max_df_fraction) and is skipped;
+        # only the selective name token proposes candidates.
+        assert index.candidates("where does person3 works ?") == [3]
+
+    def test_all_stopword_query_falls_back_to_matches(self):
+        texts = [f"person{i} works in engineering ." for i in range(10)]
+        index = self.make(texts)
+        # Every query token is ubiquitous — keep them anyway rather
+        # than returning no candidates.
+        assert len(index.candidates("works in engineering")) == 10
+
+    def test_no_match_returns_empty(self):
+        index = self.make(["alice works in engineering ."])
+        assert index.candidates("xyzzy ?") == []
+
+    def test_remove_drops_postings(self):
+        index = self.make(["alice works here .", "bob works here ."])
+        index.remove(0)
+        assert len(index) == 1
+        assert index.candidates("alice") == []
+        assert index.candidates("bob") == [1]
+
+    def test_add_duplicate_id_and_remove_missing_raise(self):
+        index = self.make(["alice works here ."])
+        with pytest.raises(NeuralDBError):
+            index.add(0, "again")
+        with pytest.raises(NeuralDBError):
+            index.remove(5)
+
+    def test_limit_truncates_after_ranking(self):
+        index = self.make(
+            ["alice and bob .", "alice alone .", "carol alone ."]
+        )
+        candidates = index.candidates("alice bob", limit=1)
+        assert candidates == [0]
+
+
+class TestIncrementalEmbeddingIndex:
+    @pytest.fixture(scope="class")
+    def retriever(self, request):
+        world = generate_fact_world(num_people=10, seed=42)
+        return EmbeddingRetriever(world.facts, pretrain_steps=30, seed=0)
+
+    def test_add_fact_embeds_exactly_one_text(self, retriever):
+        before = retriever.stats.embedded_texts
+        retriever.add_fact("zoe works in engineering .")
+        assert retriever.stats.embedded_texts == before + 1
+        hits = retriever.retrieve("where does zoe work ?", top_k=3, mode="two_stage")
+        assert any("zoe" in fact for fact, _ in hits)
+
+    def test_remove_fact_embeds_nothing(self, retriever):
+        retriever.add_fact("yuri works in sales .")
+        before = retriever.stats.embedded_texts
+        retriever.remove_fact("yuri works in sales .")
+        assert retriever.stats.embedded_texts == before
+        assert "yuri works in sales ." not in retriever.facts
+
+    def test_tombstoned_fact_never_retrieved(self, retriever):
+        retriever.add_fact("xena works in finance .")
+        retriever.remove_fact("xena works in finance .")
+        hits = retriever.retrieve("where does xena work ?", top_k=len(retriever.facts))
+        assert all("xena" not in fact for fact, _ in hits)
+
+    def test_duplicate_fact_removed_one_copy_at_a_time(self, retriever):
+        retriever.add_fact("twin works in sales .")
+        retriever.add_fact("twin works in sales .")
+        retriever.remove_fact("twin works in sales .")
+        assert retriever.facts.count("twin works in sales .") == 1
+        hits = retriever.retrieve("where does twin work ?", top_k=3, mode="two_stage")
+        assert any("twin" in fact for fact, _ in hits)
+        retriever.remove_fact("twin works in sales .")
+        assert "twin works in sales ." not in retriever.facts
+
+    def test_remove_unknown_raises(self, retriever):
+        with pytest.raises(NeuralDBError):
+            retriever.remove_fact("never stored .")
+
+    def test_two_stage_ranks_candidates_like_dense(self, retriever):
+        # Two-stage is dense scoring restricted to the candidate set:
+        # its results must be dense's ranking filtered to candidates.
+        query = "where does alice work ?"
+        candidates = {
+            retriever._row_fact[row]
+            for row in retriever._iindex.candidates(query)
+        }
+        dense = retriever.retrieve(query, top_k=len(retriever.facts), mode="dense")
+        expected = [fact for fact, _ in dense if fact in candidates]
+        two_stage = retriever.retrieve(
+            query, top_k=len(retriever.facts), mode="two_stage"
+        )
+        assert [fact for fact, _ in two_stage] == expected
+        assert any("alice" in fact for fact, _ in two_stage[:1])
+
+    def test_two_stage_scores_fewer_facts(self, retriever):
+        start = retriever.stats.facts_scored
+        retriever.retrieve("where does alice work ?", mode="dense")
+        dense_work = retriever.stats.facts_scored - start
+        start = retriever.stats.facts_scored
+        retriever.retrieve("where does alice work ?", mode="two_stage")
+        two_stage_work = retriever.stats.facts_scored - start
+        assert two_stage_work < dense_work
+
+    def test_unmatched_query_falls_back_to_dense(self, retriever):
+        before = retriever.stats.dense_fallbacks
+        hits = retriever.retrieve("xyzzy plugh ?", top_k=2, mode="two_stage")
+        assert retriever.stats.dense_fallbacks == before + 1
+        assert len(hits) == 2
+
+    def test_auto_mode_picks_by_corpus_size(self, retriever):
+        assert len(retriever.facts) <= retriever.dense_cutoff
+        before = retriever.stats.dense_queries
+        retriever.retrieve("where does alice work ?", mode="auto")
+        assert retriever.stats.dense_queries == before + 1
+
+    def test_unknown_mode_raises(self, retriever):
+        with pytest.raises(NeuralDBError):
+            retriever.retrieve("anything", mode="fuzzy")
+
+
+class TestEmbedFallbacks:
+    def test_all_unk_row_falls_back_to_full_mask(self):
+        world = generate_fact_world(num_people=6, seed=3)
+        retriever = EmbeddingRetriever(world.facts, pretrain_steps=5, seed=0)
+        # Every token out-of-vocabulary: the informative mask would be
+        # all-zero, so pooling must fall back to the attention mask
+        # instead of dividing by zero.
+        import numpy as np
+
+        vectors = retriever._embed(["xyzzy plugh qwop"])
+        assert np.all(np.isfinite(vectors))
+        assert np.linalg.norm(vectors[0]) == pytest.approx(1.0)
+
+    def test_blocked_embedding_matches_single_batch(self):
+        world = generate_fact_world(num_people=10, seed=3)
+        blocked = EmbeddingRetriever(
+            world.facts, pretrain_steps=5, seed=0, embed_block=4
+        )
+        whole = EmbeddingRetriever(
+            world.facts, pretrain_steps=5, seed=0, embed_block=4096
+        )
+        import numpy as np
+
+        a = blocked._embed(world.facts)
+        b = whole._embed(world.facts)
+        assert np.allclose(a, b, atol=1e-10)
+
+
+class TestBatchedReader:
+    def test_read_batch_matches_sequential_read(self, reader, world):
+        items = [
+            (fact, "where does this person work ?")
+            for fact in world.facts
+            if "located" not in fact and "sits" not in fact
+        ]
+        sequential = [reader.read(f, q) for f, q in items]
+        batched = reader.read_batch(items)
+        assert batched == sequential
+
+    def test_read_batch_empty(self, reader):
+        assert reader.read_batch([]) == []
+
+    def test_lookup_batch_matches_lookups(self, lexical_db, world):
+        questions = [f"where does {p} work ?" for p in world.people[:4]]
+        batched = lexical_db.lookup_batch(questions)
+        singles = [lexical_db.lookup(q) for q in questions]
+        assert [o.answer for o in batched] == [o.answer for o in singles]
+        assert [o.supporting_facts for o in batched] == [
+            o.supporting_facts for o in singles
+        ]
+
+    def test_join_lookup_batch_matches_joins(self, lexical_db, world):
+        persons = world.people[:3]
+        batched = lexical_db.join_lookup_batch(persons)
+        singles = [lexical_db.join_lookup(p) for p in persons]
+        assert [o.answer for o in batched] == [o.answer for o in singles]
+
+
+class TestScaledFactWorld:
+    def test_scaled_world_has_synthetic_entities(self):
+        world = generate_fact_world(
+            num_people=40, seed=1, num_departments=10, num_buildings=6
+        )
+        assert len(world.located_in) == 10
+        assert any(d.startswith("dept") for d in world.departments)
+        assert len(world.facts) == 40 + 10
+
+    def test_default_world_unchanged_by_scale_params(self):
+        a = generate_fact_world(num_people=12, seed=9)
+        b = generate_fact_world(
+            num_people=12, seed=9, num_departments=4, num_buildings=4
+        )
+        assert a.facts == b.facts
+        assert a.located_in == b.located_in
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            generate_fact_world(num_people=0)
+        with pytest.raises(ValueError):
+            generate_fact_world(num_departments=0)

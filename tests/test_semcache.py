@@ -1,0 +1,297 @@
+"""Tests for the semantic completion cache and its client wiring.
+
+The contract under test: exact hits are byte-identical to re-decoding
+(and skip the engine entirely), similarity hits are opt-in and
+threshold-gated, eviction is deterministic under a seeded workload,
+and a model-identity change flushes the stale engine's entries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import CompletionClient, ModelHub
+from repro.errors import GenerationError
+from repro.generation import GenerationConfig
+from repro.models import GPTModel, ModelConfig
+from repro.serving import (
+    BatchRequest,
+    SemanticCache,
+    completion_request_key,
+    hashed_embedding,
+)
+
+
+@pytest.fixture(scope="module")
+def hub(tiny_gpt_module, word_tokenizer_module):
+    hub = ModelHub()
+    hub.register("tiny-gpt", tiny_gpt_module, word_tokenizer_module)
+    return hub
+
+
+@pytest.fixture(scope="module")
+def tiny_gpt_module(tiny_gpt):
+    return tiny_gpt
+
+
+@pytest.fixture(scope="module")
+def word_tokenizer_module(word_tokenizer):
+    return word_tokenizer
+
+
+def make_client(hub, **kwargs):
+    kwargs.setdefault("semantic_cache_bytes", 64 * 1024)
+    return CompletionClient(hub, **kwargs)
+
+
+class TestHashedEmbedding:
+    def test_normalized_and_deterministic(self):
+        a = hashed_embedding("the database stores rows .")
+        b = hashed_embedding("the database stores rows .")
+        assert np.allclose(a, b)
+        assert np.isclose(np.linalg.norm(a), 1.0)
+
+    def test_near_duplicates_are_close(self):
+        a = hashed_embedding("select name from users where id = 1")
+        b = hashed_embedding("select name from users where id = 2")
+        c = hashed_embedding("completely unrelated prose about weather")
+        assert float(a @ b) > float(a @ c)
+
+    def test_empty_text_is_zero_vector(self):
+        assert float(np.linalg.norm(hashed_embedding(""))) == 0.0
+
+
+class TestRequestKey:
+    def test_covers_decode_params(self):
+        config = GenerationConfig(max_new_tokens=4)
+        key_a = completion_request_key(BatchRequest([1, 2, 3], config))
+        key_b = completion_request_key(BatchRequest([1, 2, 3], config))
+        assert key_a == key_b
+        other = completion_request_key(
+            BatchRequest([1, 2, 3], GenerationConfig(max_new_tokens=5))
+        )
+        assert key_a != other
+
+    def test_constrained_requests_are_uncacheable(self):
+        request = BatchRequest([1, 2], GenerationConfig(), constraint=object())
+        assert completion_request_key(request) is None
+
+
+class TestSemanticCacheUnit:
+    def test_exact_hit_round_trip(self):
+        cache = SemanticCache(max_bytes=4096)
+        cache.insert("k", "value", prompt_tokens=3, completion_tokens=5)
+        hit = cache.lookup("k")
+        assert hit is not None and hit.kind == "exact"
+        assert hit.value == "value"
+        assert cache.stats.exact_hits == 1
+        assert cache.stats.skipped_prompt_tokens == 3
+        assert cache.stats.skipped_completion_tokens == 5
+        assert cache.lookup("missing") is None
+        assert cache.stats.misses == 1
+
+    def test_similarity_threshold_boundary(self):
+        # A two-point embedder: cosine between the stored and probed
+        # prompt is exactly controllable, so the inclusive threshold
+        # can be probed just above and just below.
+        def embedder(text):
+            angle = {"stored": 0.0, "just-above": 0.3, "just-below": 0.5}[text]
+            return np.array([np.cos(angle), np.sin(angle)])
+
+        cache = SemanticCache(
+            max_bytes=4096, similarity_threshold=float(np.cos(0.4)),
+            embedder=embedder,
+        )
+        cache.insert("k-stored", "answer", text="stored")
+        above = cache.lookup("k-above", text="just-above", allow_similar=True)
+        assert above is not None and above.kind == "similarity"
+        assert above.value == "answer"
+        assert above.similarity == pytest.approx(np.cos(0.3))
+        below = cache.lookup("k-below", text="just-below", allow_similar=True)
+        assert below is None
+        assert cache.stats.similarity_hits == 1
+
+    def test_similarity_requires_opt_in(self):
+        cache = SemanticCache(max_bytes=4096, similarity_threshold=0.5)
+        cache.insert("k1", "v", text="the quick brown fox jumps")
+        assert cache.lookup("k2", text="the quick brown fox jumps .") is None
+        hit = cache.lookup(
+            "k2", text="the quick brown fox jumps .", allow_similar=True
+        )
+        assert hit is not None
+
+    def test_lru_eviction_is_deterministic(self):
+        def run_once():
+            cache = SemanticCache(max_bytes=1024)
+            rng = np.random.default_rng(11)
+            for step in range(60):
+                key = int(rng.integers(0, 30))
+                if cache.lookup(key) is None:
+                    cache.insert(key, "x" * 64)
+            return cache.keys(), cache.stats.evictions
+
+        first_keys, first_evictions = run_once()
+        second_keys, second_evictions = run_once()
+        assert first_evictions > 0
+        assert first_keys == second_keys
+        assert first_evictions == second_evictions
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = SemanticCache(max_bytes=500)
+        cache.insert("a", "x" * 80)
+        cache.insert("b", "x" * 80)
+        assert cache.lookup("a") is not None  # refresh a; b is now LRU
+        cache.insert("c", "x" * 80)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+
+    def test_oversized_value_rejected_up_front(self):
+        cache = SemanticCache(max_bytes=256)
+        cache.insert("small", "x" * 32)
+        assert not cache.insert("huge", "x" * 10_000)
+        assert cache.stats.oversized == 1
+        assert "small" in cache  # nothing was evicted for the reject
+
+    def test_invalidate_flushes_one_group_only(self):
+        cache = SemanticCache(max_bytes=4096)
+        cache.insert("a", "v", group="engine-a")
+        cache.insert("b", "v", group="engine-b")
+        assert cache.invalidate("engine-a") == 1
+        assert "a" not in cache and "b" in cache
+        assert cache.stats.bytes > 0
+
+    def test_reinsert_replaces(self):
+        cache = SemanticCache(max_bytes=4096)
+        cache.insert("k", "old")
+        cache.insert("k", "new")
+        assert len(cache) == 1
+        assert cache.lookup("k").value == "new"
+
+    def test_validation(self):
+        with pytest.raises(GenerationError):
+            SemanticCache(max_bytes=0)
+        with pytest.raises(GenerationError):
+            SemanticCache(similarity_threshold=0.0)
+
+
+class TestClientCacheWiring:
+    def test_exact_repeat_is_byte_identical_and_skips_engine(self, hub):
+        cached = make_client(hub)
+        uncached = CompletionClient(hub)
+        first = cached.complete("tiny-gpt", "the database", max_tokens=6)
+        second = cached.complete("tiny-gpt", "the database", max_tokens=6)
+        baseline = uncached.complete("tiny-gpt", "the database", max_tokens=6)
+        assert second is first  # served straight from the cache
+        assert first.text == baseline.text
+        assert first.usage == baseline.usage
+        stats = cached.engine_stats("tiny-gpt")
+        assert stats.requests == 1  # the repeat never reached the engine
+        assert stats.cache_exact_hits == 1
+        assert stats.cache_lookups == 2
+        assert stats.cache_skipped_completion_tokens == first.usage.completion_tokens
+
+    def test_different_params_miss(self, hub):
+        client = make_client(hub)
+        client.complete("tiny-gpt", "the table", max_tokens=4)
+        client.complete("tiny-gpt", "the table", max_tokens=5)
+        assert client.engine_stats("tiny-gpt").cache_hits == 0
+        assert client.engine_stats("tiny-gpt").requests == 2
+
+    def test_model_identity_invalidation_flushes(self, hub, word_tokenizer):
+        client = make_client(hub)
+        original = hub.get("tiny-gpt").model
+        client.complete("tiny-gpt", "the index", max_tokens=4)
+        assert len(client.semantic_cache) == 1
+        replacement = GPTModel(
+            ModelConfig.tiny(vocab_size=word_tokenizer.vocab_size, causal=True),
+            seed=99,
+        )
+        hub.register("tiny-gpt", replacement, word_tokenizer)
+        try:
+            client.complete("tiny-gpt", "the index", max_tokens=4)
+            stats = client.engine_stats("tiny-gpt")
+            assert stats.cache_hits == 0
+            assert stats.requests == 2
+            assert client.semantic_cache.stats.invalidations == 1
+        finally:
+            hub.register("tiny-gpt", original, word_tokenizer)
+
+    def test_batch_serves_repeats_and_in_batch_duplicates(self, hub):
+        client = make_client(hub)
+        warm = client.complete_batch(
+            "tiny-gpt", ["the query", "the model"], max_tokens=5
+        )
+        mixed = client.complete_batch(
+            "tiny-gpt",
+            ["the query", "the rows", "the rows", "the model"],
+            max_tokens=5,
+        )
+        assert mixed[0] is warm[0]
+        assert mixed[3] is warm[1]
+        # in-batch duplicate decodes once, both copies share the result
+        assert mixed[2] is mixed[1]
+        stats = client.engine_stats("tiny-gpt")
+        assert stats.cache_exact_hits == 3
+        assert stats.requests == 3  # 2 warmup + 1 fresh prompt
+
+    def test_batch_matches_single_path_responses(self, hub):
+        client = make_client(hub)
+        single = client.complete("tiny-gpt", "sorted results", max_tokens=5)
+        [batched] = client.complete_batch(
+            "tiny-gpt", ["sorted results"], max_tokens=5
+        )
+        assert batched is single  # same key: the batch path hit the cache
+
+    def test_similarity_opt_in_on_client(self, hub):
+        # A constant embedder makes every prompt maximally similar, so
+        # the behavior difference is purely the allow_similar flag.
+        cache = SemanticCache(
+            max_bytes=64 * 1024,
+            similarity_threshold=0.9,
+            embedder=lambda text: np.array([1.0]),
+        )
+        client = CompletionClient(hub, semantic_cache=cache)
+        first = client.complete("tiny-gpt", "the database stores", max_tokens=4)
+        strict = client.complete("tiny-gpt", "the database scans", max_tokens=4)
+        assert strict is not first
+        similar = client.complete(
+            "tiny-gpt", "the database returns", max_tokens=4, allow_similar=True
+        )
+        assert similar in (first, strict)
+        stats = client.engine_stats("tiny-gpt")
+        assert stats.cache_similarity_hits == 1
+
+    def test_constrained_requests_bypass_cache(self, hub):
+        class Unrestricted:
+            def allowed_tokens(self, generated_ids):
+                return None
+
+        client = make_client(hub)
+        for _ in range(2):
+            client.complete(
+                "tiny-gpt",
+                "the database",
+                max_tokens=4,
+                constraint=Unrestricted(),
+            )
+        assert client.engine_stats("tiny-gpt").cache_lookups == 0
+        assert len(client.semantic_cache) == 0
+
+    def test_serving_stats_expose_cache_counters(self, hub):
+        from repro.serving import engine_serving_stats
+
+        client = make_client(hub)
+        client.complete("tiny-gpt", "cached empty records", max_tokens=4)
+        client.complete("tiny-gpt", "cached empty records", max_tokens=4)
+        stats = engine_serving_stats(client, "tiny-gpt")
+        assert stats["cache_lookups"] == 2.0
+        assert stats["cache_exact_hits"] == 1.0
+        assert stats["cache_hit_rate"] == 0.5
+        assert stats["cache_skipped_completion_tokens"] >= 0.0
+
+    def test_cache_disabled_by_default(self, hub):
+        client = CompletionClient(hub)
+        assert client.semantic_cache is None
+        client.complete("tiny-gpt", "the model", max_tokens=4)
+        assert client.engine_stats("tiny-gpt").cache_lookups == 0

@@ -621,6 +621,22 @@ class TestPerPromptLoopLint:
         )
         assert not self.lint(code, "src/repro/text2sql/translator.py")
 
+    def test_flags_reader_read_in_loop_in_neuraldb(self):
+        code = (
+            "def scan(reader, facts, question):\n"
+            "    return [reader.read(f, question) for f in facts]\n"
+        )
+        findings = self.lint(code, "src/repro/neuraldb/store.py")
+        assert len(findings) == 1
+        assert "read_batch" in findings[0].message
+
+    def test_read_outside_neuraldb_not_covered(self):
+        code = (
+            "def slurp(handles):\n"
+            "    return [h.read() for h in handles]\n"
+        )
+        assert not self.lint(code, "src/repro/serving/dispatch.py")
+
     def test_shipped_subsystems_are_clean(self):
         from pathlib import Path
 
@@ -633,6 +649,7 @@ class TestPerPromptLoopLint:
                     Path("src/repro/codexdb"),
                     Path("src/repro/text2sql"),
                     Path("src/repro/wrangle"),
+                    Path("src/repro/neuraldb"),
                 ]
             )
             if f.rule == "per-prompt-loop"
